@@ -1,0 +1,74 @@
+// Community detection by label propagation (§6.1) on a planted-partition
+// graph: runs CD on the Cyclops engine, then evaluates how well the found
+// labels recover the planted communities, and shows the dynamic-computation
+// advantage (active vertices collapse once communities lock in).
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "cyclops/algorithms/cd.hpp"
+#include "cyclops/core/engine.hpp"
+#include "cyclops/graph/generators.hpp"
+#include "cyclops/partition/multilevel.hpp"
+
+int main() {
+  using namespace cyclops;
+
+  graph::gen::CommunitySpec spec;
+  spec.communities = 24;
+  spec.group_size = 80;
+  spec.degree = 10;
+  spec.p_internal = 0.9;
+  const graph::Csr g = graph::Csr::build(graph::gen::planted_communities(spec, 5));
+  std::printf("social graph: %u members, %zu ties, %u planted communities\n",
+              g.num_vertices(), g.num_edges() / 2, spec.communities);
+
+  algo::CdCyclops cd;
+  core::Config config = core::Config::cyclops(4, 2);
+  config.max_supersteps = 60;
+  core::Engine<algo::CdCyclops> engine(
+      g, partition::MultilevelPartitioner{}.partition(g, 8), cd, config);
+  const auto stats = engine.run();
+  const auto labels = engine.values();
+
+  std::printf("converged after %zu supersteps; active vertices per superstep:",
+              stats.supersteps.size());
+  for (const auto& s : stats.supersteps) {
+    std::printf(" %llu", static_cast<unsigned long long>(s.active_vertices));
+  }
+  std::puts("");
+
+  // Quality 1: fraction of edges whose endpoints agree.
+  std::printf("edge label agreement: %.1f%%\n", 100.0 * algo::label_agreement(g, labels));
+
+  // Quality 2: per planted community, the share captured by its dominant label.
+  double purity_sum = 0;
+  std::size_t distinct = 0;
+  std::map<algo::Label, std::size_t> global_sizes;
+  for (VertexId c = 0; c < spec.communities; ++c) {
+    std::map<algo::Label, std::size_t> counts;
+    for (VertexId v = c * spec.group_size; v < (c + 1) * spec.group_size; ++v) {
+      ++counts[labels[v]];
+      ++global_sizes[labels[v]];
+    }
+    std::size_t best = 0;
+    for (const auto& [label, n] : counts) best = std::max(best, n);
+    purity_sum += static_cast<double>(best) / spec.group_size;
+  }
+  distinct = global_sizes.size();
+  std::printf("mean community purity: %.1f%% across %zu detected labels\n",
+              100.0 * purity_sum / spec.communities, distinct);
+
+  // Largest detected communities.
+  std::vector<std::pair<std::size_t, algo::Label>> sizes;
+  for (const auto& [label, n] : global_sizes) sizes.emplace_back(n, label);
+  std::sort(sizes.rbegin(), sizes.rend());
+  std::printf("largest communities:");
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, sizes.size()); ++i) {
+    std::printf(" label %u (%zu members)", sizes[i].second, sizes[i].first);
+  }
+  std::puts("");
+  return 0;
+}

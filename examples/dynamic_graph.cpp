@@ -1,0 +1,98 @@
+// Dynamic graph processing — exercises the topology-mutation extension
+// (paper §8 future work): a navigation service keeps shortest paths from a
+// depot over a road network while roads open and close between epochs. Each
+// epoch applies a TopologyDelta, rebuilds the distributed immutable view
+// (replicas are derived state), re-activates the touched vertices, and
+// continues the SSSP computation incrementally.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cyclops/algorithms/sssp.hpp"
+#include "cyclops/core/engine.hpp"
+#include "cyclops/core/mutation.hpp"
+#include "cyclops/graph/generators.hpp"
+#include "cyclops/partition/hash.hpp"
+
+int main() {
+  using namespace cyclops;
+
+  graph::gen::RoadSpec spec;
+  spec.rows = 40;
+  spec.cols = 40;
+  spec.shortcut_fraction = 0.0;
+  graph::EdgeList edges = graph::gen::road_grid(spec, 77);
+  graph::Csr g = graph::Csr::build(edges);
+  const VertexId depot = 0;
+  const VertexId mall = g.num_vertices() - 1;  // far corner
+  std::printf("road network: %u intersections, %zu segments; depot=%u, mall=%u\n",
+              g.num_vertices(), g.num_edges() / 2, depot, mall);
+
+  algo::SsspCyclops sssp;
+  sssp.source = depot;
+  core::Config cfg = core::Config::cyclops(4, 2);
+  cfg.max_supersteps = 4000;
+  core::Engine<algo::SsspCyclops> engine(
+      g, partition::HashPartitioner{}.partition(g, 8), sssp, cfg);
+  (void)engine.run();
+  std::printf("epoch 0: depot->mall = %.3f\n", engine.values()[mall]);
+
+  struct Epoch {
+    const char* what;
+    core::TopologyDelta delta;
+  };
+  std::vector<Epoch> epochs;
+  {
+    Epoch e;
+    e.what = "new highway depot -> midtown";
+    e.delta.add_edge(depot, 20 * 40 + 20, 1.0);
+    e.delta.add_edge(20 * 40 + 20, depot, 1.0);
+    epochs.push_back(std::move(e));
+  }
+  {
+    Epoch e;
+    e.what = "express bypass midtown -> mall district";
+    e.delta.add_edge(20 * 40 + 20, 39 * 40 + 38, 1.5);
+    e.delta.add_edge(39 * 40 + 38, 20 * 40 + 20, 1.5);
+    epochs.push_back(std::move(e));
+  }
+
+  // Keep all generations alive: the engine references the latest graph and
+  // partition by pointer (and `g` backs the initial epoch).
+  std::vector<std::unique_ptr<graph::Csr>> graphs;
+  std::vector<std::unique_ptr<partition::EdgeCutPartition>> partitions;
+
+  unsigned epoch_no = 1;
+  for (auto& epoch : epochs) {
+    epoch.delta.apply(edges);
+    graphs.push_back(std::make_unique<graph::Csr>(graph::Csr::build(edges)));
+    partitions.push_back(std::make_unique<partition::EdgeCutPartition>(
+        partition::HashPartitioner{}.partition(*graphs.back(), 8)));
+    const double rebuild_s = engine.rebuild(*graphs.back(), *partitions.back());
+    for (VertexId v : epoch.delta.touched_vertices()) engine.activate(v);
+    engine.extend_max_supersteps(4000);
+    const auto stats = engine.run();
+
+    const auto reference = algo::sssp_reference(*graphs.back(), depot);
+    const auto values = engine.values();
+    double max_err = 0;
+    std::size_t recomputed = 0;
+    for (const auto& s : stats.supersteps) recomputed += s.computed_vertices;
+    for (VertexId v = 0; v < graphs.back()->num_vertices(); ++v) {
+      if (std::isfinite(reference[v])) {
+        max_err = std::max(max_err, std::abs(values[v] - reference[v]));
+      }
+    }
+    std::printf(
+        "epoch %u (%s): depot->mall = %.3f | rebuild %.3fs, %zu incremental "
+        "compute()s (%u intersections total), max err vs Dijkstra %.2g\n",
+        epoch_no, epoch.what, values[mall], rebuild_s, recomputed,
+        graphs.back()->num_vertices(), max_err);
+    ++epoch_no;
+  }
+  std::puts("distances stay exact after every mutation epoch; only the wavefront "
+            "downstream of each change recomputes.");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Portability demo — the §6.1 claim that algorithms move between Hama and
+// Cyclops with a handful of changed lines. The two PageRank programs below
+// are shown side by side in the paper (Figures 2 and 5); this example runs
+// the same computation through the BSP engine, the Cyclops engine, CyclopsMT
+// and the PowerGraph-style GAS engine, verifies all four agree, and prints
+// the communication profile that separates them.
+
+#include <cmath>
+#include <cstdio>
+
+#include "cyclops/algorithms/pagerank.hpp"
+#include "cyclops/bsp/engine.hpp"
+#include "cyclops/common/table.hpp"
+#include "cyclops/core/engine.hpp"
+#include "cyclops/gas/engine.hpp"
+#include "cyclops/graph/generators.hpp"
+#include "cyclops/partition/hash.hpp"
+#include "cyclops/partition/vertex_cut.hpp"
+
+int main() {
+  using namespace cyclops;
+
+  const graph::EdgeList edges = graph::gen::rmat(13, 40000, 11);
+  const graph::Csr g = graph::Csr::build(edges);
+  const WorkerId workers = 8;
+  const auto edge_cut = partition::HashPartitioner{}.partition(g, workers);
+  const double epsilon = 1e-10;
+
+  Table table({"engine", "supersteps", "messages", "msgs/superstep", "total time(s)",
+               "max |rank diff|"});
+  const auto reference = algo::pagerank_reference(g);
+  auto diff = [&](const std::vector<double>& values) {
+    double m = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      m = std::max(m, std::abs(values[v] - reference[v]));
+    }
+    return m;
+  };
+  auto add_row = [&](const char* name, const metrics::RunStats& stats, double max_diff) {
+    const auto net = stats.net_totals();
+    table.add_row({name, Table::fmt_int(static_cast<long long>(stats.supersteps.size())),
+                   Table::fmt_int(static_cast<long long>(net.total_messages())),
+                   Table::fmt_int(static_cast<long long>(
+                       net.total_messages() / std::max<std::size_t>(1, stats.supersteps.size()))),
+                   Table::fmt(stats.total_time_s(), 3), Table::fmt(max_diff, 12)});
+  };
+
+  {
+    algo::PageRankBsp prog;  // Figure 2: push messages + global aggregator
+    prog.epsilon = epsilon;
+    bsp::Config cfg = bsp::Config::workers(workers);
+    cfg.max_supersteps = 200;
+    bsp::Engine<algo::PageRankBsp> engine(g, edge_cut, prog, cfg);
+    const auto stats = engine.run();
+    add_row("Hama (BSP)", stats,
+            diff(std::vector<double>(engine.values().begin(), engine.values().end())));
+  }
+  {
+    algo::PageRankCyclops prog;  // Figure 5: pull from the immutable view
+    prog.epsilon = epsilon;
+    core::Config cfg = core::Config::cyclops(4, 2);
+    cfg.max_supersteps = 200;
+    core::Engine<algo::PageRankCyclops> engine(g, edge_cut, prog, cfg);
+    const auto stats = engine.run();
+    add_row("Cyclops", stats, diff(engine.values()));
+  }
+  {
+    algo::PageRankCyclops prog;  // identical program, hierarchical execution
+    prog.epsilon = epsilon;
+    core::Config cfg = core::Config::cyclops_mt(4, 2, 2);
+    cfg.max_supersteps = 200;
+    core::Engine<algo::PageRankCyclops> engine(
+        g, partition::HashPartitioner{}.partition(g, 4), prog, cfg);
+    const auto stats = engine.run();
+    add_row("CyclopsMT", stats, diff(engine.values()));
+  }
+  {
+    algo::PageRankGas prog;  // gather/apply/scatter over a vertex cut
+    prog.num_vertices = g.num_vertices();
+    prog.epsilon = epsilon;
+    gas::Config cfg = gas::Config::workers(workers);
+    cfg.max_iterations = 200;
+    // Random vertex-cut, matching the paper's hash-based comparison where
+    // both systems see similar replication factors (Table 4).
+    gas::Engine<algo::PageRankGas> engine(
+        edges, partition::RandomVertexCut{}.partition(edges, workers), prog, cfg);
+    const auto stats = engine.run();
+    const auto values = engine.values();
+    std::vector<double> ranks(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) ranks[v] = values[v].rank;
+    add_row("PowerGraph (GAS)", stats, diff(ranks));
+  }
+
+  std::printf("graph: %u vertices, %zu edges, %u workers\n", g.num_vertices(),
+              g.num_edges(), workers);
+  std::fputs(table.render("One PageRank, four engines").c_str(), stdout);
+  std::puts("The compute bodies differ by a handful of lines (paper: 8 SLOC for PR);");
+  std::puts("the engines differ by an order of magnitude in messages.");
+  return 0;
+}

@@ -1,0 +1,77 @@
+#include "cyclops/algorithms/als.hpp"
+
+#include <cmath>
+
+#include "cyclops/common/check.hpp"
+#include "cyclops/common/rng.hpp"
+
+namespace cyclops::algo {
+
+Factor als_init_factor(VertexId v) noexcept {
+  Factor f{};
+  SplitMix64 sm(0x9e3779b9u + static_cast<std::uint64_t>(v));
+  for (double& x : f) {
+    x = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  }
+  return f;
+}
+
+Factor als_solve(std::span<const Factor> neighbor_factors, std::span<const double> ratings,
+                 double lambda) {
+  CYCLOPS_CHECK(neighbor_factors.size() == ratings.size());
+  Mat<kAlsRank> a;
+  Vec<kAlsRank> b{};
+  for (std::size_t i = 0; i < neighbor_factors.size(); ++i) {
+    a.add_outer(neighbor_factors[i]);
+    axpy(b, ratings[i], neighbor_factors[i]);
+  }
+  a.add_diagonal(lambda * static_cast<double>(neighbor_factors.size()) + 1e-9);
+  Vec<kAlsRank> x{};
+  if (!cholesky_solve(a, b, x)) {
+    return Vec<kAlsRank>{};  // degenerate neighborhood; reset the factor
+  }
+  return x;
+}
+
+double als_rmse(const graph::Csr& g, VertexId num_users, std::span<const Factor> factors) {
+  double sq = 0;
+  std::size_t count = 0;
+  for (VertexId u = 0; u < num_users && u < g.num_vertices(); ++u) {
+    for (const graph::Adj& a : g.out_neighbors(u)) {
+      if (a.neighbor < num_users) continue;  // user-user edge: not a rating
+      const double predicted = dot(factors[u], factors[a.neighbor]);
+      const double err = predicted - a.weight;
+      sq += err * err;
+      ++count;
+    }
+  }
+  return count > 0 ? std::sqrt(sq / static_cast<double>(count)) : 0.0;
+}
+
+std::vector<Factor> als_reference(const graph::Csr& g, VertexId num_users, unsigned rounds,
+                                  double lambda) {
+  const VertexId n = g.num_vertices();
+  std::vector<Factor> factors(n);
+  for (VertexId v = 0; v < n; ++v) factors[v] = als_init_factor(v);
+  std::vector<Factor> nbr;
+  std::vector<double> ratings;
+  for (unsigned round = 0; round < rounds; ++round) {
+    const bool users_turn = (round % 2) == 0;
+    std::vector<Factor> next = factors;
+    for (VertexId v = 0; v < n; ++v) {
+      const bool is_user = v < num_users;
+      if (is_user != users_turn) continue;
+      nbr.clear();
+      ratings.clear();
+      for (const graph::Adj& a : g.in_neighbors(v)) {
+        nbr.push_back(factors[a.neighbor]);
+        ratings.push_back(a.weight);
+      }
+      if (!nbr.empty()) next[v] = als_solve(nbr, ratings, lambda);
+    }
+    factors.swap(next);
+  }
+  return factors;
+}
+
+}  // namespace cyclops::algo

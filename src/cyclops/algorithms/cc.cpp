@@ -1,0 +1,40 @@
+#include "cyclops/algorithms/cc.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace cyclops::algo {
+
+namespace {
+VertexId find_root(std::vector<VertexId>& parent, VertexId v) {
+  while (parent[v] != v) {
+    parent[v] = parent[parent[v]];  // path halving
+    v = parent[v];
+  }
+  return v;
+}
+}  // namespace
+
+std::vector<VertexId> cc_reference(const graph::Csr& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> parent(n);
+  std::iota(parent.begin(), parent.end(), VertexId{0});
+  for (VertexId v = 0; v < n; ++v) {
+    for (const graph::Adj& a : g.out_neighbors(v)) {
+      const VertexId ra = find_root(parent, v);
+      const VertexId rb = find_root(parent, a.neighbor);
+      if (ra != rb) parent[std::max(ra, rb)] = std::min(ra, rb);
+    }
+  }
+  std::vector<VertexId> labels(n);
+  for (VertexId v = 0; v < n; ++v) labels[v] = find_root(parent, v);
+  return labels;
+}
+
+std::size_t count_components(std::span<const VertexId> labels) {
+  std::set<VertexId> distinct(labels.begin(), labels.end());
+  return distinct.size();
+}
+
+}  // namespace cyclops::algo

@@ -1,0 +1,73 @@
+#pragma once
+// Connected Components via minimum-label propagation — the standard
+// complement to the paper's four workloads (every Pregel/Hama distribution
+// ships it). Pull-mode with sparse activation: a vertex recomputes only when
+// a neighbor's component label drops, so Cyclops' dynamic computation pays
+// off after the first few supersteps. Expects undirected edge storage (both
+// directions present) to find weakly-connected components.
+
+#include <span>
+#include <vector>
+
+#include "cyclops/graph/csr.hpp"
+
+namespace cyclops::algo {
+
+/// Pregel-style push CC.
+struct CcBsp {
+  using Value = VertexId;
+  using Message = VertexId;
+  static constexpr bool kCombinable = true;
+
+  [[nodiscard]] Message combine(Message a, Message b) const noexcept {
+    return a < b ? a : b;
+  }
+
+  [[nodiscard]] Value init(VertexId v, const graph::Csr&) const noexcept { return v; }
+
+  template <typename Ctx>
+  void compute(Ctx& ctx, std::span<const Message> msgs) const {
+    VertexId best = ctx.value();
+    for (VertexId m : msgs) best = m < best ? m : best;
+    if (best < ctx.value() || ctx.superstep() == 0) {
+      ctx.set_value(best);
+      ctx.send_to_neighbors(best);
+    }
+    ctx.vote_to_halt();
+  }
+};
+
+/// Cyclops CC: the component label is the replicated shared data.
+struct CcCyclops {
+  using Value = VertexId;
+  using Message = VertexId;
+
+  [[nodiscard]] Value init(VertexId v, const graph::Csr&) const noexcept { return v; }
+  [[nodiscard]] Message init_shared(VertexId v, const graph::Csr&) const noexcept {
+    return v;
+  }
+  [[nodiscard]] bool initially_active(VertexId, const graph::Csr&) const noexcept {
+    return true;
+  }
+
+  template <typename Ctx>
+  void compute(Ctx& ctx) const {
+    VertexId best = ctx.value();
+    for (const auto& e : ctx.in_edges()) {
+      const VertexId m = ctx.data(e.slot);
+      if (m < best) best = m;
+    }
+    const bool improved = best < ctx.value();
+    if (improved) ctx.set_value(best);
+    ctx.mark_converged(!improved);
+    if (improved || ctx.superstep() == 0) ctx.activate_neighbors(ctx.value());
+  }
+};
+
+/// Union-find ground truth (labels = minimum vertex id per component).
+[[nodiscard]] std::vector<VertexId> cc_reference(const graph::Csr& g);
+
+/// Number of distinct components in a labeling.
+[[nodiscard]] std::size_t count_components(std::span<const VertexId> labels);
+
+}  // namespace cyclops::algo

@@ -1,0 +1,37 @@
+#include "cyclops/algorithms/cd.hpp"
+
+namespace cyclops::algo {
+
+std::vector<Label> cd_reference(const graph::Csr& g, unsigned max_iterations) {
+  const VertexId n = g.num_vertices();
+  std::vector<Label> labels(n);
+  for (VertexId v = 0; v < n; ++v) labels[v] = v;
+  std::vector<Label> next(n);
+  std::vector<Label> scratch;
+  for (unsigned it = 0; it < max_iterations; ++it) {
+    bool any_change = false;
+    for (VertexId v = 0; v < n; ++v) {
+      scratch.clear();
+      for (const graph::Adj& a : g.in_neighbors(v)) scratch.push_back(labels[a.neighbor]);
+      next[v] = detail::majority_label(scratch, labels[v]);
+      any_change = any_change || next[v] != labels[v];
+    }
+    labels.swap(next);
+    if (!any_change) break;
+  }
+  return labels;
+}
+
+double label_agreement(const graph::Csr& g, std::span<const Label> labels) {
+  std::size_t agree = 0;
+  std::size_t total = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const graph::Adj& a : g.out_neighbors(v)) {
+      ++total;
+      if (labels[v] == labels[a.neighbor]) ++agree;
+    }
+  }
+  return total > 0 ? static_cast<double>(agree) / static_cast<double>(total) : 1.0;
+}
+
+}  // namespace cyclops::algo

@@ -1,0 +1,109 @@
+#pragma once
+// Community Detection via synchronous label propagation (§6.1): every vertex
+// adopts the most frequent label among its neighbors (ties break to the
+// smallest label, keeping every engine deterministic and comparable).
+// Pull-mode: a vertex needs *all* neighbor labels each round.
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "cyclops/graph/csr.hpp"
+
+namespace cyclops::algo {
+
+using Label = std::uint32_t;
+
+namespace detail {
+/// Most frequent label in `labels`; ties -> smallest. `labels` is scratch
+/// (sorted in place). Returns `fallback` when empty.
+[[nodiscard]] inline Label majority_label(std::vector<Label>& labels, Label fallback) {
+  if (labels.empty()) return fallback;
+  std::sort(labels.begin(), labels.end());
+  Label best = labels[0];
+  std::size_t best_count = 0;
+  std::size_t i = 0;
+  while (i < labels.size()) {
+    std::size_t j = i;
+    while (j < labels.size() && labels[j] == labels[i]) ++j;
+    if (j - i > best_count) {
+      best_count = j - i;
+      best = labels[i];
+    }
+    i = j;
+  }
+  return best;
+}
+}  // namespace detail
+
+/// BSP label propagation: push labels every superstep; stop when the global
+/// change ratio drops below `stop_change_ratio` (aggregator-driven, like the
+/// paper's Hama baselines for pull-mode algorithms).
+struct CdBsp {
+  using Value = Label;
+  using Message = Label;
+  static constexpr bool kCombinable = false;
+  // Cost-model weight: majority voting sorts the gathered labels.
+  static constexpr double kEdgeOpWeight = 3.0;
+  static constexpr double kVertexOpWeight = 1.0;
+
+  double stop_change_ratio = 0.0;  ///< halt when avg change indicator <= this
+
+  [[nodiscard]] Value init(VertexId v, const graph::Csr&) const noexcept { return v; }
+
+  template <typename Ctx>
+  void compute(Ctx& ctx, std::span<const Message> msgs) const {
+    if (ctx.superstep() == 0) {
+      ctx.send_to_neighbors(ctx.value());
+      return;
+    }
+    std::vector<Label> labels(msgs.begin(), msgs.end());
+    const Label next = detail::majority_label(labels, ctx.value());
+    const bool changed = next != ctx.value();
+    ctx.set_value(next);
+    ctx.aggregate_error(changed ? 1.0 : 0.0);
+    if (ctx.global_error() > stop_change_ratio) {
+      ctx.send_to_neighbors(next);
+    } else {
+      ctx.vote_to_halt();
+    }
+  }
+};
+
+/// Cyclops label propagation: pull neighbor labels from the immutable view;
+/// only changed vertices re-activate their neighborhood.
+struct CdCyclops {
+  using Value = Label;
+  using Message = Label;
+  static constexpr double kEdgeOpWeight = 3.0;
+  static constexpr double kVertexOpWeight = 1.0;
+
+  [[nodiscard]] Value init(VertexId v, const graph::Csr&) const noexcept { return v; }
+  [[nodiscard]] Message init_shared(VertexId v, const graph::Csr&) const noexcept {
+    return v;
+  }
+  [[nodiscard]] bool initially_active(VertexId, const graph::Csr&) const noexcept {
+    return true;
+  }
+
+  template <typename Ctx>
+  void compute(Ctx& ctx) const {
+    std::vector<Label> labels;
+    labels.reserve(ctx.num_in_edges());
+    for (const auto& e : ctx.in_edges()) labels.push_back(ctx.data(e.slot));
+    const Label next = detail::majority_label(labels, ctx.value());
+    const bool changed = next != ctx.value();
+    ctx.set_value(next);
+    ctx.mark_converged(!changed);
+    if (changed) ctx.activate_neighbors(next);
+  }
+};
+
+/// Sequential synchronous label propagation with identical tie-breaking.
+[[nodiscard]] std::vector<Label> cd_reference(const graph::Csr& g, unsigned max_iterations);
+
+/// Fraction of (undirected) edges whose endpoints share a label — the
+/// community-quality score examples report.
+[[nodiscard]] double label_agreement(const graph::Csr& g, std::span<const Label> labels);
+
+}  // namespace cyclops::algo

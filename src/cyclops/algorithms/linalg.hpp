@@ -1,0 +1,83 @@
+#pragma once
+// Tiny fixed-size dense linear algebra for ALS: symmetric positive-definite
+// K×K solve via Cholesky. K is a compile-time constant (latent factor rank).
+
+#include <array>
+#include <cmath>
+
+#include "cyclops/common/check.hpp"
+
+namespace cyclops::algo {
+
+template <std::size_t K>
+using Vec = std::array<double, K>;
+
+template <std::size_t K>
+struct Mat {
+  std::array<double, K * K> a{};
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return a[r * K + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return a[r * K + c];
+  }
+
+  /// Adds v·vᵀ (rank-one update).
+  void add_outer(const Vec<K>& v) noexcept {
+    for (std::size_t r = 0; r < K; ++r) {
+      for (std::size_t c = 0; c < K; ++c) (*this)(r, c) += v[r] * v[c];
+    }
+  }
+
+  void add_diagonal(double d) noexcept {
+    for (std::size_t i = 0; i < K; ++i) (*this)(i, i) += d;
+  }
+};
+
+template <std::size_t K>
+[[nodiscard]] double dot(const Vec<K>& a, const Vec<K>& b) noexcept {
+  double s = 0;
+  for (std::size_t i = 0; i < K; ++i) s += a[i] * b[i];
+  return s;
+}
+
+template <std::size_t K>
+void axpy(Vec<K>& y, double alpha, const Vec<K>& x) noexcept {
+  for (std::size_t i = 0; i < K; ++i) y[i] += alpha * x[i];
+}
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky
+/// (A = L Lᵀ, forward then backward substitution). Returns false if A is not
+/// (numerically) positive definite.
+template <std::size_t K>
+[[nodiscard]] bool cholesky_solve(Mat<K> a, Vec<K> b, Vec<K>& x) noexcept {
+  // Decompose in place: lower triangle becomes L.
+  for (std::size_t c = 0; c < K; ++c) {
+    double diag = a(c, c);
+    for (std::size_t k = 0; k < c; ++k) diag -= a(c, k) * a(c, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) return false;
+    const double l = std::sqrt(diag);
+    a(c, c) = l;
+    for (std::size_t r = c + 1; r < K; ++r) {
+      double v = a(r, c);
+      for (std::size_t k = 0; k < c; ++k) v -= a(r, k) * a(c, k);
+      a(r, c) = v / l;
+    }
+  }
+  // Forward: L y = b.
+  for (std::size_t r = 0; r < K; ++r) {
+    double v = b[r];
+    for (std::size_t k = 0; k < r; ++k) v -= a(r, k) * b[k];
+    b[r] = v / a(r, r);
+  }
+  // Backward: Lᵀ x = y.
+  for (std::size_t r = K; r-- > 0;) {
+    double v = b[r];
+    for (std::size_t k = r + 1; k < K; ++k) v -= a(k, r) * x[k];
+    x[r] = v / a(r, r);
+  }
+  return true;
+}
+
+}  // namespace cyclops::algo

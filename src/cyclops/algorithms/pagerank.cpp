@@ -1,0 +1,30 @@
+#include "cyclops/algorithms/pagerank.hpp"
+
+#include <cmath>
+
+namespace cyclops::algo {
+
+std::vector<double> pagerank_reference(const graph::Csr& g, unsigned max_iterations,
+                                       double tolerance) {
+  const VertexId n = g.num_vertices();
+  if (n == 0) return {};
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  for (unsigned it = 0; it < max_iterations; ++it) {
+    double delta = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      double sum = 0;
+      for (const graph::Adj& a : g.in_neighbors(v)) {
+        const auto d = g.out_degree(a.neighbor);
+        if (d > 0) sum += rank[a.neighbor] / static_cast<double>(d);
+      }
+      next[v] = (1.0 - kPageRankDamping) / static_cast<double>(n) + kPageRankDamping * sum;
+      delta = std::max(delta, std::abs(next[v] - rank[v]));
+    }
+    rank.swap(next);
+    if (delta < tolerance) break;
+  }
+  return rank;
+}
+
+}  // namespace cyclops::algo

@@ -1,0 +1,31 @@
+#include "cyclops/algorithms/sssp.hpp"
+
+#include <queue>
+
+#include "cyclops/common/check.hpp"
+
+namespace cyclops::algo {
+
+std::vector<double> sssp_reference(const graph::Csr& g, VertexId source) {
+  CYCLOPS_CHECK(source < g.num_vertices());
+  std::vector<double> dist(g.num_vertices(), kInfDistance);
+  using Entry = std::pair<double, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;
+    for (const graph::Adj& a : g.out_neighbors(v)) {
+      const double nd = d + a.weight;
+      if (nd < dist[a.neighbor]) {
+        dist[a.neighbor] = nd;
+        heap.emplace(nd, a.neighbor);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace cyclops::algo

@@ -1,0 +1,83 @@
+#pragma once
+// Single-Source Shortest Path — the evaluation's push-mode algorithm (§6.1):
+// no redundant computation exists to eliminate, so Cyclops' edge over Hama
+// here comes purely from communication (no parse phase, lock-free delivery).
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "cyclops/graph/csr.hpp"
+
+namespace cyclops::algo {
+
+inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+/// Pregel-style push SSSP: a vertex sleeps until a shorter distance arrives.
+struct SsspBsp {
+  using Value = double;
+  using Message = double;
+  static constexpr bool kCombinable = true;
+
+  VertexId source = 0;
+
+  [[nodiscard]] Message combine(Message a, Message b) const noexcept {
+    return a < b ? a : b;
+  }
+
+  [[nodiscard]] Value init(VertexId v, const graph::Csr&) const noexcept {
+    return v == source ? 0.0 : kInfDistance;
+  }
+
+  template <typename Ctx>
+  void compute(Ctx& ctx, std::span<const Message> msgs) const {
+    double best = ctx.value();
+    for (double m : msgs) best = m < best ? m : best;
+    if (best < ctx.value() || (ctx.superstep() == 0 && ctx.vertex() == source)) {
+      ctx.set_value(best);
+      for (const graph::Adj& a : ctx.out_edges()) {
+        ctx.send_to(a.neighbor, best + a.weight);
+      }
+    }
+    ctx.vote_to_halt();
+  }
+};
+
+/// Cyclops SSSP: shared data is the vertex's current distance; an activated
+/// vertex pulls min(dist + weight) over its in-edges from the immutable view.
+struct SsspCyclops {
+  using Value = double;
+  using Message = double;
+
+  VertexId source = 0;
+
+  [[nodiscard]] Value init(VertexId v, const graph::Csr&) const noexcept {
+    return v == source ? 0.0 : kInfDistance;
+  }
+  [[nodiscard]] Message init_shared(VertexId v, const graph::Csr& g) const noexcept {
+    return init(v, g);
+  }
+  [[nodiscard]] bool initially_active(VertexId v, const graph::Csr&) const noexcept {
+    return v == source;
+  }
+
+  template <typename Ctx>
+  void compute(Ctx& ctx) const {
+    double best = ctx.value();
+    for (const auto& e : ctx.in_edges()) {
+      const double d = ctx.data(e.slot);
+      if (d + e.weight < best) best = d + e.weight;
+    }
+    const bool improved = best < ctx.value();
+    if (improved) ctx.set_value(best);
+    ctx.mark_converged(!improved);
+    if (improved || (ctx.superstep() == 0 && ctx.vertex() == source)) {
+      ctx.activate_neighbors(ctx.value());
+    }
+  }
+};
+
+/// Sequential Dijkstra ground truth.
+[[nodiscard]] std::vector<double> sssp_reference(const graph::Csr& g, VertexId source);
+
+}  // namespace cyclops::algo

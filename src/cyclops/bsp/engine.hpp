@@ -1,0 +1,471 @@
+#pragma once
+// Hama-style Pregel/BSP engine — the baseline every speedup in Section 6 is
+// measured against. Faithful to the deficiencies §2.2 identifies:
+//   * pure message passing: every superstep parses (PRS), computes (CMP),
+//     sends (SND), and synchronizes (SYN);
+//   * a *global* in-queue per worker whose enqueue is lock-protected — the
+//     receive-side contention point;
+//   * push-mode: senders must stay alive to feed pull-mode algorithms, so
+//     converged vertices keep computing and re-sending identical payloads;
+//   * convergence detection by a global average-error aggregator.
+//
+// Program concept:
+//   struct P {
+//     using Value;                       // per-vertex state
+//     using Message;                     // trivially copyable wire payload
+//     Value init(VertexId v, const graph::Csr& g) const;
+//     template <typename Ctx> void compute(Ctx& ctx, std::span<const Message> msgs) const;
+//   };
+// Optionally `static constexpr bool kCombinable = true` plus
+// `Message combine(Message, Message) const` enables the Hama combiner.
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <limits>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cyclops/bsp/engine_base.hpp"
+#include "cyclops/common/bitset.hpp"
+#include "cyclops/common/check.hpp"
+#include "cyclops/common/exec.hpp"
+#include "cyclops/common/serialize.hpp"
+#include "cyclops/common/spinlock.hpp"
+#include "cyclops/common/thread_pool.hpp"
+#include "cyclops/common/timer.hpp"
+#include "cyclops/graph/csr.hpp"
+#include "cyclops/metrics/memory_model.hpp"
+#include "cyclops/metrics/superstep_stats.hpp"
+#include "cyclops/partition/partition.hpp"
+#include "cyclops/sim/fabric.hpp"
+
+namespace cyclops::bsp {
+
+template <typename P>
+concept Combinable = requires(const P& p, typename P::Message m) {
+  { p.combine(m, m) } -> std::convertible_to<typename P::Message>;
+  requires P::kCombinable;
+};
+
+/// Programs may define a tolerance-aware payload comparison used by the
+/// redundant-message instrumentation (Fig 3(2)); bitwise equality otherwise.
+template <typename P>
+concept HasNearlyEqual = requires(const P& p, typename P::Message m) {
+  { p.nearly_equal(m, m) } -> std::convertible_to<bool>;
+};
+
+template <typename Program>
+class Engine {
+ public:
+  using Value = typename Program::Value;
+  using Message = typename Program::Message;
+  static_assert(std::is_trivially_copyable_v<Message>,
+                "messages cross simulated machines; they must be POD");
+
+  /// Per-vertex view handed to Program::compute.
+  class Context {
+   public:
+    Context(Engine& engine, WorkerId worker, VertexId vertex) noexcept
+        : engine_(engine), worker_(worker), vertex_(vertex) {}
+
+    [[nodiscard]] VertexId vertex() const noexcept { return vertex_; }
+    [[nodiscard]] VertexId num_vertices() const noexcept {
+      return engine_.graph_->num_vertices();
+    }
+    [[nodiscard]] Superstep superstep() const noexcept { return engine_.superstep_; }
+
+    [[nodiscard]] const Value& value() const noexcept { return engine_.values_[vertex_]; }
+    void set_value(const Value& v) noexcept { engine_.values_[vertex_] = v; }
+
+    [[nodiscard]] std::span<const graph::Adj> out_edges() const noexcept {
+      return engine_.graph_->out_neighbors(vertex_);
+    }
+    [[nodiscard]] std::size_t out_degree() const noexcept {
+      return engine_.graph_->out_degree(vertex_);
+    }
+
+    void send_to(VertexId dst, const Message& msg) {
+      engine_.note_sent(worker_, vertex_, msg, 1);
+      engine_.stage_message(worker_, dst, msg);
+    }
+    void send_to_neighbors(const Message& msg) {
+      engine_.note_sent(worker_, vertex_, msg, out_degree());
+      for (const graph::Adj& a : out_edges()) engine_.stage_message(worker_, a.neighbor, msg);
+    }
+
+    void vote_to_halt() noexcept { voted_halt_ = true; }
+    [[nodiscard]] bool voted_halt() const noexcept { return voted_halt_; }
+
+    /// Contributes to the global average-error aggregator (visible next
+    /// superstep via global_error()).
+    void aggregate_error(double err) noexcept {
+      engine_.worker_agg_[worker_].sum += err;
+      engine_.worker_agg_[worker_].count += 1;
+    }
+    /// Average aggregated error from the previous superstep; +inf initially.
+    [[nodiscard]] double global_error() const noexcept { return engine_.global_error_; }
+
+   private:
+    Engine& engine_;
+    WorkerId worker_;
+    VertexId vertex_;
+    bool voted_halt_ = false;
+  };
+
+  /// The engine copies the partition (owner table) so callers may pass
+  /// temporaries; the graph must outlive the engine.
+  Engine(const graph::Csr& g, partition::EdgeCutPartition part, Program program,
+         Config config)
+      : graph_(&g),
+        part_(std::move(part)),
+        program_(std::move(program)),
+        config_(config),
+        pool_(config.pool_threads),
+        fabric_(config.topo, config.cost) {
+    CYCLOPS_CHECK(part_.num_parts() == config.topo.total_workers());
+    CYCLOPS_CHECK(g.num_vertices() == part_.num_vertices());
+    build_local_state();
+  }
+
+  /// Runs to termination (all halted and no messages in flight, or the
+  /// superstep limit).
+  metrics::RunStats run() {
+    metrics::RunStats stats;
+    bool done = false;
+    while (!done) {
+      metrics::SuperstepStats step;
+      step.superstep = superstep_;
+      done = run_superstep(step);
+      stats.supersteps.push_back(step);
+      stats.peak_buffered_bytes = std::max(stats.peak_buffered_bytes, peak_buffered_);
+      if (observer_) observer_(step, std::span<const Value>(values_));
+      ++superstep_;
+      if (superstep_ >= config_.max_supersteps) done = true;
+    }
+    stats.elapsed_s = simulated_elapsed_s_;
+    return stats;
+  }
+
+  [[nodiscard]] std::span<const Value> values() const noexcept { return values_; }
+  [[nodiscard]] const sim::Fabric& fabric() const noexcept { return fabric_; }
+  [[nodiscard]] Superstep superstep() const noexcept { return superstep_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  /// Per-superstep observer: (stats, values). Used for L1 tracking.
+  void set_observer(
+      std::function<void(const metrics::SuperstepStats&, std::span<const Value>)> fn) {
+    observer_ = std::move(fn);
+  }
+
+  // --- Pregel-style checkpointing (§3.6): values + activity + undelivered
+  // messages, written after the global barrier. ---
+  void checkpoint(ByteWriter& out) const {
+    out.write(superstep_);
+    out.write(global_error_);
+    out.write_vector(values_);
+    const VertexId n = graph_->num_vertices();
+    std::vector<std::uint8_t> flags(n);
+    for (VertexId v = 0; v < n; ++v) {
+      flags[v] = static_cast<std::uint8_t>((halted_.test(v) ? 1 : 0) |
+                                           (active_.test(v) ? 2 : 0));
+    }
+    out.write_vector(flags);
+    for (const auto& queue : inqueue_) out.write_vector(queue);
+  }
+
+  void restore(ByteReader& in) {
+    superstep_ = in.read<Superstep>();
+    global_error_ = in.read<double>();
+    values_ = in.read_vector<Value>();
+    const auto flags = in.read_vector<std::uint8_t>();
+    CYCLOPS_CHECK(flags.size() == graph_->num_vertices());
+    halted_.clear_all();
+    active_.clear_all();
+    for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
+      if (flags[v] & 1) halted_.set(v);
+      if (flags[v] & 2) active_.set(v);
+    }
+    for (auto& queue : inqueue_) queue = in.read_vector<WireRecord>();
+  }
+
+  /// Total transient message-buffer bytes allocated over the run (Table 2's
+  /// GC-pressure analog).
+  [[nodiscard]] std::uint64_t mailbox_churn_bytes() const noexcept {
+    return mailbox_churn_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Memory behaviour for Table 2: resident graph state plus transient
+  /// message churn. Hama has no replicas, but each message is materialized
+  /// once on the wire, once in the global in-queue, and once in a mailbox.
+  [[nodiscard]] metrics::MemoryReport memory_report() const noexcept {
+    metrics::MemoryReport r;
+    r.vertex_state_bytes =
+        graph_->num_vertices() * sizeof(Value) + graph_->num_edges() * sizeof(graph::Adj);
+    r.replica_bytes = 0;
+    r.peak_message_bytes = peak_buffered_;
+    r.message_churn_bytes = mailbox_churn_bytes();
+    r.message_alloc_count = fabric_.totals().total_messages();
+    return r;
+  }
+  /// Messages staged by compute before combining (combiner effectiveness).
+  [[nodiscard]] std::uint64_t total_staged_messages() const noexcept {
+    return total_staged_.load(std::memory_order_relaxed);
+  }
+  /// Global in-queue lock acquisitions — the contention §2.2.2 describes.
+  [[nodiscard]] std::uint64_t lock_acquisitions() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& l : inqueue_locks_) total += l.acquisitions();
+    return total;
+  }
+
+ private:
+  struct WireRecord {
+    VertexId dst;
+    Message payload;
+  };
+
+  struct WorkerAgg {
+    double sum = 0;
+    std::uint64_t count = 0;
+  };
+
+  struct StageBucket {
+    std::vector<WireRecord> records;
+    std::unordered_map<VertexId, Message> combined;
+  };
+
+  void build_local_state() {
+    const VertexId n = graph_->num_vertices();
+    const WorkerId workers = part_.num_parts();
+    values_.resize(n);
+    for (VertexId v = 0; v < n; ++v) values_[v] = program_.init(v, *graph_);
+    mailbox_.assign(n, {});
+    active_.resize(n);
+    active_.set_all();
+    halted_.resize(n);
+    local_vertices_.assign(workers, {});
+    for (VertexId v = 0; v < n; ++v) local_vertices_[part_.owner(v)].push_back(v);
+    staged_.assign(workers, std::vector<StageBucket>(workers));
+    inqueue_.assign(workers, {});
+    inqueue_locks_ = std::vector<SpinLock>(workers);
+    worker_agg_.assign(workers, WorkerAgg{});
+    redundant_acc_.assign(workers, 0);
+    if (config_.track_redundant) {
+      last_sent_hash_.assign(n, 0);
+      last_payload_.assign(n, Message{});
+      has_last_payload_.resize(n);
+    }
+  }
+
+  void note_sent(WorkerId worker, VertexId src, const Message& msg, std::size_t count) {
+    total_staged_.fetch_add(count, std::memory_order_relaxed);
+    if (!config_.track_redundant) return;
+    if constexpr (HasNearlyEqual<Program>) {
+      if (has_last_payload_.test(src) && program_.nearly_equal(last_payload_[src], msg)) {
+        redundant_acc_[worker] += count;
+      }
+      last_payload_[src] = msg;
+      has_last_payload_.set(src);
+    } else {
+      const std::uint64_t h = payload_hash(msg);
+      if (last_sent_hash_[src] == h) redundant_acc_[worker] += count;
+      last_sent_hash_[src] = h;
+    }
+  }
+
+  void stage_message(WorkerId from, VertexId dst, const Message& msg) {
+    const WorkerId to = part_.owner(dst);
+    StageBucket& bucket = staged_[from][to];
+    if constexpr (Combinable<Program>) {
+      if (config_.use_combiner) {
+        auto [it, inserted] = bucket.combined.try_emplace(dst, msg);
+        if (!inserted) it->second = program_.combine(it->second, msg);
+        return;
+      }
+    }
+    bucket.records.push_back(WireRecord{dst, msg});
+  }
+
+  static std::uint64_t payload_hash(const Message& m) noexcept {
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&m);
+    for (std::size_t i = 0; i < sizeof(Message); ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+    return h == 0 ? 1 : h;
+  }
+
+  bool run_superstep(metrics::SuperstepStats& step) {
+    const WorkerId workers = part_.num_parts();
+    const sim::SoftwareModel& sw = config_.software;
+
+    // Per-worker work counters; phase time = max over workers of the
+    // worker's deterministic operation count x per-op rate (the perfectly
+    // overlapped parallel wall time — see sim/software_model.hpp).
+    std::vector<std::uint64_t> parsed(workers, 0);
+    std::vector<std::uint64_t> computed(workers, 0);
+    std::vector<std::uint64_t> consumed(workers, 0);  // messages read in compute
+    std::vector<std::uint64_t> emitted(workers, 0);
+    std::vector<std::uint64_t> delivered(workers, 0);
+    auto max_of = [](const std::vector<std::uint64_t>& v) {
+      std::uint64_t m = 0;
+      for (auto x : v) m = std::max(m, x);
+      return m;
+    };
+
+    // --- PRS: parse the global in-queue into per-vertex mailboxes and
+    // activate recipients. ---
+    pool_.parallel_tasks(workers, [&](std::size_t w) {
+      auto& queue = inqueue_[w];
+      parsed[w] = queue.size();
+      for (const WireRecord& rec : queue) {
+        mailbox_[rec.dst].push_back(rec.payload);
+        active_.set(rec.dst);
+        halted_.clear(rec.dst);
+      }
+      mailbox_churn_bytes_.fetch_add(queue.size() * sizeof(WireRecord),
+                                     std::memory_order_relaxed);
+      queue.clear();
+      queue.shrink_to_fit();
+    });
+    step.phases.prs_s = static_cast<double>(max_of(parsed)) *
+                        (sw.msg_parse_us + 0.5 * sizeof(WireRecord) * sw.msg_byte_us) * 1e-6;
+
+    // --- CMP: run compute on active vertices. ---
+    pool_.parallel_tasks(workers, [&](std::size_t w) {
+      for (VertexId v : local_vertices_[w]) {
+        if (!active_.test(v)) continue;
+        Context ctx(*this, static_cast<WorkerId>(w), v);
+        program_.compute(ctx, std::span<const Message>(mailbox_[v]));
+        ++computed[w];
+        consumed[w] += mailbox_[v].size();
+        if (ctx.voted_halt()) {
+          halted_.set(v);
+          active_.clear(v);
+        }
+        if (!mailbox_[v].empty()) std::vector<Message>().swap(mailbox_[v]);
+      }
+    });
+    for (auto c : computed) step.active_vertices += c;
+    step.computed_vertices = step.active_vertices;
+    {
+      double cmp_max = 0;
+      for (WorkerId w = 0; w < workers; ++w) {
+        const double us =
+            static_cast<double>(computed[w]) * sw.vertex_op_us *
+                sim::vertex_op_weight<Program>() +
+            static_cast<double>(consumed[w]) * sw.edge_op_us * sim::edge_op_weight<Program>();
+        cmp_max = std::max(cmp_max, us);
+      }
+      step.phases.cmp_s = cmp_max * 1e-6;
+    }
+
+    // --- SND: serialize staged messages onto the wire, exchange, then run
+    // the receive side: every record enqueues into the destination worker's
+    // global in-queue under its lock (the §2.2.2 contention point). ---
+    pool_.parallel_tasks(workers, [&](std::size_t w) {
+      sim::OutBox& box = fabric_.outbox(static_cast<WorkerId>(w));
+      ByteWriter writer;
+      for (WorkerId to = 0; to < workers; ++to) {
+        StageBucket& bucket = staged_[w][to];
+        auto emit = [&](const WireRecord& rec) {
+          writer.clear();
+          writer.write(rec);
+          box.send(to, writer.bytes());
+          ++emitted[w];
+        };
+        if constexpr (Combinable<Program>) {
+          for (const auto& [dst, msg] : bucket.combined) emit(WireRecord{dst, msg});
+          bucket.combined.clear();
+        }
+        for (const WireRecord& rec : bucket.records) emit(rec);
+        bucket.records.clear();
+      }
+    });
+    for (auto& r : redundant_acc_) {
+      step.redundant_messages += r;
+      r = 0;
+    }
+
+    const sim::ExchangeStats xstats = fabric_.exchange(workers);
+    peak_buffered_ = std::max(peak_buffered_, xstats.peak_buffered_bytes);
+
+    pool_.parallel_tasks(workers, [&](std::size_t w) {
+      for (const sim::Package& pkg : fabric_.incoming(static_cast<WorkerId>(w))) {
+        ByteReader reader(pkg.bytes);
+        while (!reader.exhausted()) {
+          const auto rec = reader.read<WireRecord>();
+          inqueue_locks_[w].lock();
+          inqueue_[w].push_back(rec);
+          inqueue_locks_[w].unlock();
+          ++delivered[w];
+        }
+      }
+      fabric_.clear_incoming(static_cast<WorkerId>(w));
+    });
+    const double per_emit_us = sw.msg_serialize_us + sizeof(WireRecord) * sw.msg_byte_us;
+    const double per_deliver_us =
+        sw.msg_deliver_us + 0.5 * sizeof(WireRecord) * sw.msg_byte_us;
+    step.phases.snd_s = (static_cast<double>(max_of(emitted)) * per_emit_us +
+                         static_cast<double>(max_of(delivered)) * per_deliver_us) *
+                        1e-6;
+    step.net = xstats.net;
+    step.modeled_comm_s = xstats.modeled_comm_s;
+    step.modeled_barrier_s = xstats.modeled_barrier_s;
+
+    // --- SYN: merge aggregators, decide termination. ---
+    Timer syn_timer;
+    double err_sum = 0;
+    std::uint64_t err_count = 0;
+    for (WorkerAgg& agg : worker_agg_) {
+      err_sum += agg.sum;
+      err_count += agg.count;
+      agg = WorkerAgg{};
+    }
+    global_error_ = err_count > 0 ? err_sum / static_cast<double>(err_count)
+                                  : std::numeric_limits<double>::infinity();
+    bool any_pending = false;
+    for (WorkerId w = 0; w < workers && !any_pending; ++w) {
+      any_pending = !inqueue_[w].empty();
+    }
+    const bool any_active = active_.any();
+    step.phases.syn_s = syn_timer.elapsed_s();
+    simulated_elapsed_s_ += step.phases.total_s();
+    step.converged_vertices = halted_.count();
+    return !any_pending && !any_active;
+  }
+
+  const graph::Csr* graph_;
+  partition::EdgeCutPartition part_;
+  Program program_;
+  Config config_;
+  ThreadPool pool_;
+  sim::Fabric fabric_;
+
+  std::vector<Value> values_;
+  std::vector<std::vector<Message>> mailbox_;
+  DenseBitset active_;
+  DenseBitset halted_;
+  std::vector<std::vector<VertexId>> local_vertices_;
+  std::vector<std::vector<StageBucket>> staged_;  // [from][to]
+  std::vector<std::vector<WireRecord>> inqueue_;  // global in-queue per worker
+  std::vector<SpinLock> inqueue_locks_;
+  std::vector<WorkerAgg> worker_agg_;
+  std::vector<std::uint64_t> redundant_acc_;
+  std::vector<std::uint64_t> last_sent_hash_;
+  std::vector<Message> last_payload_;
+  DenseBitset has_last_payload_;
+
+  Superstep superstep_ = 0;
+  double global_error_ = std::numeric_limits<double>::infinity();
+  double simulated_elapsed_s_ = 0;
+  std::uint64_t peak_buffered_ = 0;
+  std::atomic<std::uint64_t> mailbox_churn_bytes_{0};
+  std::atomic<std::uint64_t> total_staged_{0};
+  std::function<void(const metrics::SuperstepStats&, std::span<const Value>)> observer_;
+};
+
+}  // namespace cyclops::bsp

@@ -1,0 +1,5 @@
+#include "cyclops/bsp/engine_base.hpp"
+
+namespace cyclops::bsp {
+static_assert(sizeof(Config) > 0);
+}  // namespace cyclops::bsp

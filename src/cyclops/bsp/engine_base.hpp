@@ -1,0 +1,31 @@
+#pragma once
+// Engine-independent configuration shared by the BSP baseline. (Cyclops and
+// GAS have their own configs; BSP's knobs mirror Hama's.)
+
+#include <cstdint>
+
+#include "cyclops/common/types.hpp"
+#include "cyclops/sim/cost_model.hpp"
+#include "cyclops/sim/software_model.hpp"
+
+namespace cyclops::bsp {
+
+struct Config {
+  sim::Topology topo;                         ///< workers == partitions
+  sim::CostModel cost = sim::CostModel::hama_java();
+  std::size_t pool_threads = 1;               ///< host threads executing the simulation
+  Superstep max_supersteps = 100;
+  bool use_combiner = false;                  ///< Hama's sender-side combiner
+  bool track_redundant = false;               ///< Fig 3(2) instrumentation
+
+  /// Deterministic per-operation software costs (see sim/software_model.hpp).
+  sim::SoftwareModel software = sim::SoftwareModel::hama_java();
+
+  [[nodiscard]] static Config workers(WorkerId w) {
+    Config c;
+    c.topo = sim::Topology{w, 1};
+    return c;
+  }
+};
+
+}  // namespace cyclops::bsp

@@ -1,0 +1,25 @@
+#pragma once
+// Lightweight invariant checking. CYCLOPS_CHECK is always on (cheap, used on
+// cold paths); CYCLOPS_DCHECK compiles away in release builds and guards hot
+// paths.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cyclops::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "CYCLOPS_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+}  // namespace cyclops::detail
+
+#define CYCLOPS_CHECK(expr)                                        \
+  do {                                                             \
+    if (!(expr)) ::cyclops::detail::check_failed(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#ifdef NDEBUG
+#define CYCLOPS_DCHECK(expr) ((void)0)
+#else
+#define CYCLOPS_DCHECK(expr) CYCLOPS_CHECK(expr)
+#endif

@@ -1,0 +1,33 @@
+#pragma once
+// Simulated-parallel execution helper. The evaluation cluster has 72 hardware
+// threads; this host may have one. Engines therefore time each simulated
+// executor (worker, or compute thread within a worker) separately and report
+// the *maximum* executor time as the phase's parallel wall time — exactly
+// what a perfectly-overlapped cluster run would measure, minus contention,
+// which the engines model explicitly where the paper says it matters.
+
+#include <cstddef>
+#include <functional>
+
+#include "cyclops/common/thread_pool.hpp"
+
+namespace cyclops {
+
+/// Runs fn(executor_index) once per executor (possibly really in parallel on
+/// the pool) and returns the maximum per-executor wall time in seconds.
+double timed_executors(ThreadPool& pool, std::size_t executors,
+                       const std::function<void(std::size_t)>& fn);
+
+/// Splits [0, n) into `executors` contiguous chunks, runs fn(begin, end) per
+/// chunk, and returns the maximum per-chunk wall time in seconds.
+double timed_chunks(ThreadPool& pool, std::size_t n, std::size_t executors,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// Chunk boundaries used by timed_chunks (exposed for deterministic tests).
+struct ChunkRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+[[nodiscard]] ChunkRange chunk_range(std::size_t n, std::size_t chunks, std::size_t index);
+
+}  // namespace cyclops

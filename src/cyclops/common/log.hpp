@@ -1,0 +1,42 @@
+#pragma once
+// Minimal leveled logging. Engines log at Info by default; tests silence it.
+
+#include <sstream>
+#include <string_view>
+
+namespace cyclops {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) noexcept : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace cyclops
+
+#define CYCLOPS_LOG(level)                                       \
+  if (::cyclops::LogLevel::level < ::cyclops::log_level()) {     \
+  } else                                                         \
+    ::cyclops::detail::LogLine(::cyclops::LogLevel::level)

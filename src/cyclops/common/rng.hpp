@@ -1,0 +1,105 @@
+#pragma once
+// Deterministic, seedable random number generation. Every stochastic choice
+// in the repository (generators, partitioners, workload sweeps) flows through
+// these so runs are reproducible bit-for-bit.
+
+#include <cmath>
+#include <cstdint>
+
+#include "cyclops/common/check.hpp"
+
+namespace cyclops {
+
+/// SplitMix64: used to expand a single user seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** — fast, high-quality generator for bulk use.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x1234abcdULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    CYCLOPS_DCHECK(bound > 0);
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool next_bool(double p) noexcept { return next_double() < p; }
+
+  /// Standard normal via Box–Muller (fresh pair each call; no cached state so
+  /// interleaved streams stay reproducible).
+  double next_normal() noexcept {
+    double u1 = next_double();
+    while (u1 <= 1e-300) u1 = next_double();
+    const double u2 = next_double();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Log-normal with the given underlying normal parameters. The paper uses
+  /// mu=0.4, sigma=1.2 (Facebook interaction weights) for RoadCA edge weights.
+  double next_lognormal(double mu, double sigma) noexcept {
+    return std::exp(mu + sigma * next_normal());
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+/// Stable 64-bit mix for hash partitioning (avoids std::hash's identity on
+/// integers, which would make "hash partition" a range partition).
+inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 33)) * 0xff51afd7ed558ccdULL;
+  x = (x ^ (x >> 33)) * 0xc4ceb9fe1a85ec53ULL;
+  return x ^ (x >> 33);
+}
+
+}  // namespace cyclops

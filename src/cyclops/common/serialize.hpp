@@ -1,0 +1,94 @@
+#pragma once
+// Byte-buffer serialization for the simulated fabric and for checkpoints.
+// Messages crossing simulated machine boundaries really are serialized and
+// deserialized, so per-byte communication cost is honest work, not a model.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "cyclops/common/check.hpp"
+
+namespace cyclops {
+
+class ByteWriter {
+ public:
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write(const T& value) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  void write_bytes(std::span<const std::uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  void write_string(const std::string& s) {
+    write(static_cast<std::uint64_t>(s.size()));
+    const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
+    buf_.insert(buf_.end(), p, p + s.size());
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write_vector(const std::vector<T>& v) {
+    write(static_cast<std::uint64_t>(v.size()));
+    const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+    buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+  void clear() noexcept { buf_.clear(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) noexcept : bytes_(bytes) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T read() {
+    CYCLOPS_CHECK(pos_ + sizeof(T) <= bytes_.size());
+    T value;
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::string read_string() {
+    const auto n = read<std::uint64_t>();
+    CYCLOPS_CHECK(pos_ + n <= bytes_.size());
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> read_vector() {
+    const auto n = read<std::uint64_t>();
+    CYCLOPS_CHECK(pos_ + n * sizeof(T) <= bytes_.size());
+    std::vector<T> v(n);
+    std::memcpy(v.data(), bytes_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return v;
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == bytes_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cyclops

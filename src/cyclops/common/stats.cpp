@@ -1,0 +1,54 @@
+#include "cyclops/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cyclops {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double sum = 0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+  double sq = 0;
+  for (double v : sorted) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = s.count > 1 ? std::sqrt(sq / static_cast<double>(s.count - 1)) : 0.0;
+  auto pct = [&](double p) {
+    const auto idx = static_cast<std::size_t>(p * static_cast<double>(s.count - 1));
+    return sorted[idx];
+  };
+  s.p50 = pct(0.50);
+  s.p90 = pct(0.90);
+  s.p99 = pct(0.99);
+  return s;
+}
+
+void LogHistogram::add(double value) {
+  std::size_t bucket = 0;
+  if (value >= 1.0) {
+    bucket = static_cast<std::size_t>(std::ilogb(value)) + 1;
+  }
+  if (bucket >= buckets_.size()) buckets_.resize(bucket + 1, 0);
+  ++buckets_[bucket];
+  ++total_;
+}
+
+double imbalance(std::span<const double> values) {
+  if (values.empty()) return 1.0;
+  double sum = 0;
+  double max = values[0];
+  for (double v : values) {
+    sum += v;
+    max = std::max(max, v);
+  }
+  const double mean = sum / static_cast<double>(values.size());
+  return mean > 0 ? max / mean : 1.0;
+}
+
+}  // namespace cyclops

@@ -1,0 +1,43 @@
+#pragma once
+// Summary statistics and fixed-bucket histograms used by graph stats,
+// partition quality reports, and benchmark output.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cyclops {
+
+/// Five-number-ish summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+};
+
+/// Computes a Summary; sorts a copy of the data (O(n log n)).
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// Logarithmically bucketed histogram (bucket i holds values in
+/// [2^i, 2^(i+1))); value 0 lands in bucket 0.
+class LogHistogram {
+ public:
+  void add(double value);
+  [[nodiscard]] const std::vector<std::size_t>& buckets() const noexcept { return buckets_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+ private:
+  std::vector<std::size_t> buckets_;
+  std::size_t total_ = 0;
+};
+
+/// Coefficient of variation-style balance metric: max/mean of the sample.
+/// 1.0 means perfectly balanced partitions.
+[[nodiscard]] double imbalance(std::span<const double> values);
+
+}  // namespace cyclops

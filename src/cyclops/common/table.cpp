@@ -1,0 +1,61 @@
+#include "cyclops/common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "cyclops/common/check.hpp"
+
+namespace cyclops {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  CYCLOPS_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  CYCLOPS_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::fmt_int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string Table::render(const std::string& title) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  if (!title.empty()) out << "== " << title << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << row[c];
+      out << std::string(width[c] - row[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  std::size_t total = 1;
+  for (std::size_t w : width) total += w + 3;
+  const std::string rule(total, '-');
+  out << rule << "\n";
+  emit_row(header_);
+  out << rule << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  out << rule << "\n";
+  return out.str();
+}
+
+}  // namespace cyclops

@@ -1,0 +1,32 @@
+#pragma once
+// ASCII table rendering for benchmark output. Benches print the same rows and
+// series the paper's figures/tables report, so everything funnels through
+// this one formatter.
+
+#include <string>
+#include <vector>
+
+namespace cyclops {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience cell formatters.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+
+  /// Renders with aligned columns, a header rule, and an optional title.
+  [[nodiscard]] std::string render(const std::string& title = {}) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cyclops

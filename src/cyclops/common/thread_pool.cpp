@@ -1,0 +1,93 @@
+#include "cyclops/common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "cyclops/common/check.hpp"
+
+namespace cyclops {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (threads == 1) return;  // run everything inline
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      fn = job_.fn;
+    }
+    for (;;) {
+      std::size_t task;
+      {
+        std::lock_guard lock(mutex_);
+        if (next_task_ >= job_.tasks) break;
+        task = next_task_++;
+      }
+      (*fn)(task);
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_tasks(std::size_t tasks, const std::function<void(std::size_t)>& fn) {
+  if (tasks == 0) return;
+  if (workers_.empty() || tasks == 1) {
+    for (std::size_t i = 0; i < tasks; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    CYCLOPS_CHECK(pending_ == 0);  // no nested/concurrent pool use
+    job_ = Job{&fn, tasks};
+    next_task_ = 0;
+    pending_ = workers_.size();
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  std::unique_lock lock(mutex_);
+  cv_done_.wait(lock, [&] { return pending_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t threads = workers_.empty() ? 1 : workers_.size();
+  if (threads == 1) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t chunks = std::min(n, threads * 4);
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  std::function<void(std::size_t)> task = [&](std::size_t c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin < end) fn(begin, end);
+  };
+  parallel_tasks(chunks, task);
+}
+
+}  // namespace cyclops

@@ -1,0 +1,53 @@
+#pragma once
+// Fixed-size thread pool with a blocking run-to-completion parallel_for.
+// Engines use one pool per run; phases submit chunked index ranges. The pool
+// is deliberately simple (no work stealing) so execution stays deterministic
+// when chunk assignment is static.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cyclops {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers. threads == 0 means hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs fn(chunk_begin, chunk_end) over [0, n) split into static chunks,
+  /// one chunk stream per worker; blocks until every chunk is done. Runs
+  /// inline when the pool has one thread (keeps single-core hosts cheap).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Runs fn(worker_index) once on each of `tasks` logical tasks in parallel.
+  void parallel_tasks(std::size_t tasks, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t tasks = 0;
+  };
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Job job_;
+  std::size_t next_task_ = 0;
+  std::size_t pending_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace cyclops

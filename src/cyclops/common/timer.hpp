@@ -1,0 +1,40 @@
+#pragma once
+// Wall-clock timing helpers used for phase breakdowns.
+
+#include <chrono>
+
+namespace cyclops {
+
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_s() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_us() const noexcept { return elapsed_s() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed seconds into a double on destruction — used to
+/// attribute time to a named phase (CMP/SND/PRS/SYN).
+class ScopedAccum {
+ public:
+  explicit ScopedAccum(double& sink) noexcept : sink_(sink) {}
+  ScopedAccum(const ScopedAccum&) = delete;
+  ScopedAccum& operator=(const ScopedAccum&) = delete;
+  ~ScopedAccum() { sink_ += timer_.elapsed_s(); }
+
+ private:
+  double& sink_;
+  Timer timer_;
+};
+
+}  // namespace cyclops

@@ -1,0 +1,31 @@
+#pragma once
+// Fundamental identifier types shared by every subsystem.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace cyclops {
+
+/// Global vertex identifier. Graphs are re-labelled densely at ingress, so
+/// 32 bits covers every dataset in the evaluation (largest is Wiki-scale).
+using VertexId = std::uint32_t;
+
+/// Index of a logical worker (one graph partition per worker).
+using WorkerId = std::uint32_t;
+
+/// Index of a simulated machine; workers are placed round-robin on machines.
+using MachineId = std::uint32_t;
+
+/// Superstep counter (0-based).
+using Superstep = std::uint32_t;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+inline constexpr WorkerId kInvalidWorker = std::numeric_limits<WorkerId>::max();
+
+/// Unit type for algorithms that carry no edge data.
+struct Empty {
+  friend bool operator==(Empty, Empty) noexcept { return true; }
+};
+
+}  // namespace cyclops

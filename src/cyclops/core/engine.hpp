@@ -1,0 +1,582 @@
+#pragma once
+// The Cyclops engine — synchronous vertex-oriented computation over the
+// distributed immutable view (§3). Per superstep:
+//   CMP  active masters run compute(), reading neighbor data from local
+//        shared memory (masters or read-only replicas). activate_neighbors()
+//        stages the vertex's new exposed data; local out-neighbors are
+//        activated immediately with a lock-free bitset write (§5).
+//   SND  each dirty master applies its staged data locally and sends exactly
+//        one unidirectional message per replica: (slot, payload). No
+//        combining, no parsing, no receive-side locks — each replica slot has
+//        exactly one writer (§3.4), so receivers update in place, in
+//        parallel, and perform distributed activation via the replica's
+//        local out-edges.
+//   SYN  global (or hierarchical, §5) barrier; active sets swap.
+// There is no PRS phase — that is the point.
+//
+// Program concept:
+//   struct P {
+//     using Value;    // master-private state
+//     using Message;  // replicated shared data (what neighbors read); POD
+//     Value init(VertexId v, const graph::Csr& g) const;
+//     Message init_shared(VertexId v, const graph::Csr& g) const;
+//     bool initially_active(VertexId v, const graph::Csr& g) const;
+//     template <typename Ctx> void compute(Ctx& ctx) const;
+//   };
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "cyclops/common/bitset.hpp"
+#include "cyclops/common/check.hpp"
+#include "cyclops/common/exec.hpp"
+#include "cyclops/common/serialize.hpp"
+#include "cyclops/common/thread_pool.hpp"
+#include "cyclops/common/timer.hpp"
+#include "cyclops/core/engine_base.hpp"
+#include "cyclops/core/layout.hpp"
+#include "cyclops/graph/csr.hpp"
+#include "cyclops/metrics/memory_model.hpp"
+#include "cyclops/metrics/superstep_stats.hpp"
+#include "cyclops/partition/partition.hpp"
+#include "cyclops/sim/fabric.hpp"
+
+namespace cyclops::core {
+
+template <typename Program>
+class Engine {
+ public:
+  using Value = typename Program::Value;
+  using Message = typename Program::Message;
+  static_assert(std::is_trivially_copyable_v<Message>,
+                "replica sync payloads cross simulated machines; must be POD");
+
+  /// The per-vertex view handed to Program::compute — read-only access to
+  /// all in-neighbors through the distributed immutable view.
+  class Context {
+   public:
+    Context(Engine& engine, WorkerId worker, std::uint32_t master_idx) noexcept
+        : engine_(engine),
+          worker_(worker),
+          master_idx_(master_idx),
+          layout_(engine.layout_.workers[worker]) {}
+
+    [[nodiscard]] VertexId vertex() const noexcept { return layout_.masters[master_idx_]; }
+    [[nodiscard]] VertexId num_vertices() const noexcept {
+      return engine_.graph_->num_vertices();
+    }
+    [[nodiscard]] Superstep superstep() const noexcept { return engine_.superstep_; }
+
+    [[nodiscard]] const Value& value() const noexcept {
+      return engine_.values_[worker_][master_idx_];
+    }
+    void set_value(const Value& v) noexcept { engine_.values_[worker_][master_idx_] = v; }
+
+    /// The immutable view: in-edges resolved to local shared-data slots.
+    [[nodiscard]] std::span<const SlotAdj> in_edges() const noexcept {
+      return {layout_.in_adj.data() + layout_.in_offsets[master_idx_],
+              layout_.in_adj.data() + layout_.in_offsets[master_idx_ + 1]};
+    }
+    /// Read-only neighbor data (previous superstep's exposed value).
+    [[nodiscard]] const Message& data(Slot slot) const noexcept {
+      return engine_.shared_data_[worker_][slot];
+    }
+    [[nodiscard]] std::size_t num_in_edges() const noexcept { return in_edges().size(); }
+
+    [[nodiscard]] std::size_t out_degree() const noexcept {
+      return engine_.graph_->out_degree(vertex());
+    }
+
+    /// Publishes `msg` as this vertex's shared data for the next superstep
+    /// and activates all out-neighbors (local ones immediately and lock-free;
+    /// remote ones via the single unidirectional replica-sync message).
+    void activate_neighbors(const Message& msg) {
+      engine_.pending_[worker_][master_idx_] = msg;
+      engine_.dirty_[worker_].set(master_idx_);
+      const auto& lo = layout_.lout_offsets;
+      for (std::size_t e = lo[master_idx_]; e < lo[master_idx_ + 1]; ++e) {
+        engine_.next_active_[worker_].set(layout_.lout_adj[e]);
+      }
+    }
+
+    /// Fine-grained convergence bookkeeping (§4.4).
+    void mark_converged(bool converged) noexcept {
+      if (converged) {
+        engine_.converged_[worker_].set(master_idx_);
+      } else {
+        engine_.converged_[worker_].clear(master_idx_);
+      }
+    }
+
+   private:
+    Engine& engine_;
+    WorkerId worker_;
+    std::uint32_t master_idx_;
+    const WorkerLayout& layout_;
+  };
+
+  Engine(const graph::Csr& g, const partition::EdgeCutPartition& part, Program program,
+         Config config)
+      : graph_(&g),
+        program_(std::move(program)),
+        config_(config),
+        pool_(config.pool_threads),
+        fabric_(config.topo, config.cost,
+                /*lanes=*/std::max(1u, config.compute_threads)) {
+    CYCLOPS_CHECK(part.num_parts() == config.topo.total_workers());
+    CYCLOPS_CHECK(g.num_vertices() == part.num_vertices());
+    Timer ingress;
+    layout_ = build_layout(g, part);
+    init_state();
+    ingress_s_ = ingress.elapsed_s();
+  }
+
+  metrics::RunStats run() {
+    metrics::RunStats stats;
+    stats.ingress_s = ingress_s_;
+    bool done = false;
+    while (!done) {
+      metrics::SuperstepStats step;
+      step.superstep = superstep_;
+      done = run_superstep(step);
+      stats.supersteps.push_back(step);
+      stats.peak_buffered_bytes = std::max(stats.peak_buffered_bytes, peak_buffered_);
+      if (observer_) observer_(step, *this);
+      ++superstep_;
+      if (superstep_ >= config_.max_supersteps) done = true;
+    }
+    stats.elapsed_s = simulated_elapsed_s_;
+    return stats;
+  }
+
+  /// Gathers master values into one globally-indexed vector.
+  [[nodiscard]] std::vector<Value> values() const {
+    std::vector<Value> out(graph_->num_vertices());
+    for (WorkerId w = 0; w < layout_.workers.size(); ++w) {
+      const WorkerLayout& wl = layout_.workers[w];
+      for (std::uint32_t i = 0; i < wl.num_masters(); ++i) {
+        out[wl.masters[i]] = values_[w][i];
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] const Layout& layout() const noexcept { return layout_; }
+  [[nodiscard]] const sim::Fabric& fabric() const noexcept { return fabric_; }
+  [[nodiscard]] Superstep superstep() const noexcept { return superstep_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] std::uint64_t converged_count() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& c : converged_) total += c.count();
+    return total;
+  }
+
+  void set_observer(std::function<void(const metrics::SuperstepStats&, const Engine&)> fn) {
+    observer_ = std::move(fn);
+  }
+
+  /// Raises the superstep cap so run() can be called again to continue an
+  /// already-finished computation (e.g. after a topology mutation).
+  void extend_max_supersteps(Superstep additional) {
+    config_.max_supersteps += additional;
+  }
+
+  /// Memory behaviour for Table 2. Replica bytes are the price of the view;
+  /// message churn is what Cyclops *avoids* relative to Hama.
+  [[nodiscard]] metrics::MemoryReport memory_report() const noexcept {
+    metrics::MemoryReport r;
+    for (WorkerId w = 0; w < layout_.workers.size(); ++w) {
+      const WorkerLayout& wl = layout_.workers[w];
+      r.vertex_state_bytes += wl.num_masters() * (sizeof(Value) + sizeof(Message));
+      r.vertex_state_bytes += wl.in_adj.size() * sizeof(SlotAdj) +
+                              wl.lout_adj.size() * sizeof(std::uint32_t);
+      r.replica_bytes += wl.num_replicas() * sizeof(Message);
+    }
+    r.peak_message_bytes = peak_buffered_;
+    r.message_churn_bytes = churn_bytes_;
+    r.message_alloc_count = total_sync_messages_;
+    return r;
+  }
+
+  // --- Checkpointing (§3.6): masters only — no replicas, no messages. ---
+  void checkpoint(ByteWriter& out) const {
+    out.write(superstep_);
+    for (WorkerId w = 0; w < layout_.workers.size(); ++w) {
+      const WorkerLayout& wl = layout_.workers[w];
+      out.write_vector(values_[w]);
+      // Master shared data: first num_masters() slots.
+      std::vector<Message> master_shared(shared_data_[w].begin(),
+                                         shared_data_[w].begin() + wl.num_masters());
+      out.write_vector(master_shared);
+      std::vector<std::uint8_t> flags(wl.num_masters());
+      for (std::uint32_t i = 0; i < wl.num_masters(); ++i) {
+        flags[i] = static_cast<std::uint8_t>((cur_active_[w].test(i) ? 1 : 0) |
+                                             (converged_[w].test(i) ? 2 : 0));
+      }
+      out.write_vector(flags);
+    }
+  }
+
+  void restore(ByteReader& in) {
+    superstep_ = in.read<Superstep>();
+    for (WorkerId w = 0; w < layout_.workers.size(); ++w) {
+      const WorkerLayout& wl = layout_.workers[w];
+      values_[w] = in.read_vector<Value>();
+      CYCLOPS_CHECK(values_[w].size() == wl.num_masters());
+      const auto master_shared = in.read_vector<Message>();
+      CYCLOPS_CHECK(master_shared.size() == wl.num_masters());
+      std::copy(master_shared.begin(), master_shared.end(), shared_data_[w].begin());
+      const auto flags = in.read_vector<std::uint8_t>();
+      cur_active_[w].clear_all();
+      converged_[w].clear_all();
+      for (std::uint32_t i = 0; i < wl.num_masters(); ++i) {
+        if (flags[i] & 1) cur_active_[w].set(i);
+        if (flags[i] & 2) converged_[w].set(i);
+      }
+      next_active_[w].clear_all();
+      dirty_[w].clear_all();
+    }
+    resync_replicas();
+  }
+
+  /// Invariant check: every replica's shared data equals its master's
+  /// (bitwise). Holds at every superstep boundary.
+  [[nodiscard]] bool replicas_consistent() const {
+    for (WorkerId w = 0; w < layout_.workers.size(); ++w) {
+      const WorkerLayout& wl = layout_.workers[w];
+      for (std::uint32_t i = 0; i < wl.num_masters(); ++i) {
+        const Message& master_data = shared_data_[w][i];
+        for (std::size_t r = wl.rep_offsets[i]; r < wl.rep_offsets[i + 1]; ++r) {
+          const ReplicaRef ref = wl.rep_targets[r];
+          if (std::memcmp(&shared_data_[ref.worker][ref.slot], &master_data,
+                          sizeof(Message)) != 0) {
+            return false;
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Externally re-activates a vertex (by global id) for the next superstep
+  /// executed — used after topology mutation so affected vertices recompute.
+  void activate(VertexId v) {
+    CYCLOPS_CHECK(v < graph_->num_vertices());
+    for (WorkerId w = 0; w < layout_.workers.size(); ++w) {
+      const auto& masters = layout_.workers[w].masters;
+      const auto it = std::lower_bound(masters.begin(), masters.end(), v);
+      if (it != masters.end() && *it == v) {
+        cur_active_[w].set(static_cast<std::size_t>(it - masters.begin()));
+        return;
+      }
+    }
+    CYCLOPS_CHECK(false);  // vertex must be mastered somewhere
+  }
+
+  /// Topology mutation (§8 future work; see core/mutation.hpp): re-targets
+  /// the engine at a mutated graph + partition, carrying all master state
+  /// (values, shared data, activity, convergence marks) across by vertex id.
+  /// New vertices are initialized by the program; replicas are rebuilt and
+  /// resynchronized (they are derived state). Both arguments must outlive
+  /// the engine. Returns the ingress time of the rebuild.
+  double rebuild(const graph::Csr& new_graph, const partition::EdgeCutPartition& new_part) {
+    CYCLOPS_CHECK(new_part.num_parts() == config_.topo.total_workers());
+    CYCLOPS_CHECK(new_graph.num_vertices() == new_part.num_vertices());
+    Timer timer;
+    const VertexId old_n = graph_->num_vertices();
+
+    // Save master state keyed by global id.
+    std::vector<Value> old_values(old_n);
+    std::vector<Message> old_shared(old_n);
+    std::vector<std::uint8_t> old_flags(old_n, 0);
+    for (WorkerId w = 0; w < layout_.workers.size(); ++w) {
+      const WorkerLayout& wl = layout_.workers[w];
+      for (std::uint32_t i = 0; i < wl.num_masters(); ++i) {
+        const VertexId v = wl.masters[i];
+        old_values[v] = values_[w][i];
+        old_shared[v] = shared_data_[w][i];
+        old_flags[v] = static_cast<std::uint8_t>((cur_active_[w].test(i) ? 1 : 0) |
+                                                 (converged_[w].test(i) ? 2 : 0) |
+                                                 (next_active_[w].test(i) ? 4 : 0));
+      }
+    }
+
+    graph_ = &new_graph;
+    layout_ = build_layout(new_graph, new_part);
+    init_state();
+
+    // Restore carried state over the fresh initialization; vertices that are
+    // new to the graph keep the program's init state (including its
+    // initially_active decision).
+    for (WorkerId w = 0; w < layout_.workers.size(); ++w) {
+      const WorkerLayout& wl = layout_.workers[w];
+      for (std::uint32_t i = 0; i < wl.num_masters(); ++i) {
+        const VertexId v = wl.masters[i];
+        if (v >= old_n) continue;
+        values_[w][i] = old_values[v];
+        shared_data_[w][i] = old_shared[v];
+        if (old_flags[v] & 1) {
+          cur_active_[w].set(i);
+        } else {
+          cur_active_[w].clear(i);
+        }
+        if (old_flags[v] & 2) converged_[w].set(i);
+        if (old_flags[v] & 4) next_active_[w].set(i);
+      }
+    }
+    resync_replicas();
+    const double elapsed = timer.elapsed_s();
+    ingress_s_ += elapsed;
+    return elapsed;
+  }
+
+  /// Rebuilds every replica from its master's shared data (used after
+  /// restore; replicas are derived state and are never checkpointed).
+  void resync_replicas() {
+    for (WorkerId w = 0; w < layout_.workers.size(); ++w) {
+      const WorkerLayout& wl = layout_.workers[w];
+      for (std::uint32_t i = 0; i < wl.num_masters(); ++i) {
+        const Message& msg = shared_data_[w][i];
+        for (std::size_t r = wl.rep_offsets[i]; r < wl.rep_offsets[i + 1]; ++r) {
+          const ReplicaRef ref = wl.rep_targets[r];
+          shared_data_[ref.worker][ref.slot] = msg;
+        }
+      }
+    }
+  }
+
+ private:
+  struct WireRecord {
+    Slot slot;
+    Message payload;
+  };
+
+  void init_state() {
+    const WorkerId workers = config_.topo.total_workers();
+    shared_data_.resize(workers);
+    values_.resize(workers);
+    pending_.resize(workers);
+    cur_active_.resize(workers);
+    next_active_.resize(workers);
+    dirty_.resize(workers);
+    converged_.resize(workers);
+    for (WorkerId w = 0; w < workers; ++w) {
+      const WorkerLayout& wl = layout_.workers[w];
+      shared_data_[w].resize(wl.num_slots());
+      values_[w].resize(wl.num_masters());
+      pending_[w].resize(wl.num_masters());
+      cur_active_[w].resize(wl.num_masters());
+      next_active_[w].resize(wl.num_masters());
+      dirty_[w].resize(wl.num_masters());
+      converged_[w].resize(wl.num_masters());
+      for (std::uint32_t i = 0; i < wl.num_masters(); ++i) {
+        const VertexId v = wl.masters[i];
+        values_[w][i] = program_.init(v, *graph_);
+        shared_data_[w][i] = program_.init_shared(v, *graph_);
+        if (program_.initially_active(v, *graph_)) cur_active_[w].set(i);
+      }
+      for (std::uint32_t i = 0; i < wl.num_replicas(); ++i) {
+        shared_data_[w][wl.num_masters() + i] =
+            program_.init_shared(wl.replica_globals[i], *graph_);
+      }
+    }
+    if (config_.track_redundant) {
+      last_hash_.resize(workers);
+      for (WorkerId w = 0; w < workers; ++w) {
+        last_hash_[w].assign(layout_.workers[w].num_masters(), 0);
+      }
+    }
+  }
+
+  static std::uint64_t payload_hash(const Message& m) noexcept {
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&m);
+    for (std::size_t i = 0; i < sizeof(Message); ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+    return h == 0 ? 1 : h;
+  }
+
+  bool run_superstep(metrics::SuperstepStats& step) {
+    const WorkerId workers = config_.topo.total_workers();
+    const unsigned T = std::max(1u, config_.compute_threads);
+    const unsigned R = std::max(1u, config_.receiver_threads);
+
+    const sim::SoftwareModel& sw = config_.software;
+
+    // --- CMP: active masters compute over the immutable view, chunked
+    // across the worker's simulated compute threads. Deterministic time:
+    // max over (worker, thread) chunks of counted work x per-op rates. ---
+    std::vector<std::uint64_t> computed(static_cast<std::size_t>(workers) * T, 0);
+    std::vector<std::uint64_t> scanned(static_cast<std::size_t>(workers) * T, 0);
+    pool_.parallel_tasks(static_cast<std::size_t>(workers) * T, [&](std::size_t e) {
+      const WorkerId w = static_cast<WorkerId>(e / T);
+      const unsigned t = static_cast<unsigned>(e % T);
+      const WorkerLayout& wl = layout_.workers[w];
+      const ChunkRange r = chunk_range(wl.num_masters(), T, t);
+      for (std::size_t i = r.begin; i < r.end; ++i) {
+        if (!config_.force_all_active && !cur_active_[w].test(i)) continue;
+        Context ctx(*this, w, static_cast<std::uint32_t>(i));
+        program_.compute(ctx);
+        ++computed[e];
+        scanned[e] += wl.in_offsets[i + 1] - wl.in_offsets[i];
+      }
+    });
+    {
+      double cmp_max = 0;
+      for (std::size_t e = 0; e < computed.size(); ++e) {
+        step.active_vertices += computed[e];
+        const double us =
+            static_cast<double>(computed[e]) * sw.vertex_op_us *
+                sim::vertex_op_weight<Program>() +
+            static_cast<double>(scanned[e]) * sw.edge_op_us * sim::edge_op_weight<Program>();
+        cmp_max = std::max(cmp_max, us);
+      }
+      step.phases.cmp_s = cmp_max * 1e-6;
+    }
+    step.computed_vertices = step.active_vertices;
+
+    // --- SND: apply staged data locally and send one message per replica of
+    // each dirty master. CyclopsMT parallelizes the send path with private
+    // per-thread out-queues (fabric lanes), §5 — each compute thread
+    // serializes the sync messages of its own master chunk. ---
+    std::vector<std::uint64_t> redundant(static_cast<std::size_t>(workers) * T, 0);
+    std::vector<std::uint64_t> emitted(static_cast<std::size_t>(workers) * T, 0);
+    pool_.parallel_tasks(static_cast<std::size_t>(workers) * T, [&](std::size_t e) {
+      const WorkerId w = static_cast<WorkerId>(e / T);
+      const unsigned t = static_cast<unsigned>(e % T);
+      const WorkerLayout& wl = layout_.workers[w];
+      sim::OutBox& box = fabric_.outbox(w, t);
+      ByteWriter writer;
+      const ChunkRange range = chunk_range(wl.num_masters(), T, t);
+      for (std::size_t i = range.begin; i < range.end; ++i) {
+        if (!dirty_[w].test(i)) continue;
+        const Message& msg = pending_[w][i];
+        if (config_.track_redundant) {
+          const std::uint64_t h = payload_hash(msg);
+          const std::size_t reps = wl.rep_offsets[i + 1] - wl.rep_offsets[i];
+          if (last_hash_[w][i] == h) redundant[e] += reps;
+          last_hash_[w][i] = h;
+        }
+        shared_data_[w][i] = msg;  // local apply: visible next superstep
+        for (std::size_t r = wl.rep_offsets[i]; r < wl.rep_offsets[i + 1]; ++r) {
+          const ReplicaRef ref = wl.rep_targets[r];
+          writer.clear();
+          writer.write(WireRecord{ref.slot, msg});
+          box.send(ref.worker, writer.bytes());
+          ++emitted[e];
+        }
+      }
+    });
+    for (WorkerId w = 0; w < workers; ++w) dirty_[w].clear_all();
+    for (auto r : redundant) step.redundant_messages += r;
+    std::uint64_t emitted_max = 0;
+    for (auto e : emitted) emitted_max = std::max(emitted_max, e);
+
+    // Barrier participants: hierarchical (§5) synchronizes machines only
+    // (threads wait on a local barrier); a flat barrier involves every
+    // last-level execution unit.
+    const sim::ExchangeStats xstats = fabric_.exchange(
+        config_.hierarchical_barrier ? config_.topo.machines
+                                     : static_cast<std::size_t>(workers) * T);
+    peak_buffered_ = std::max(peak_buffered_, xstats.peak_buffered_bytes);
+    churn_bytes_ += xstats.net.total_bytes();
+    total_sync_messages_ += xstats.net.total_messages();
+
+    // --- Receive: lock-free in-place replica update + distributed
+    // activation, chunked across the worker's simulated receiver threads.
+    // No parsing phase, no queue, no locks: each replica slot has exactly
+    // one writer. ---
+    std::vector<std::uint64_t> received(static_cast<std::size_t>(workers) * R, 0);
+    pool_.parallel_tasks(static_cast<std::size_t>(workers) * R, [&](std::size_t e) {
+      const WorkerId w = static_cast<WorkerId>(e / R);
+      const unsigned rth = static_cast<unsigned>(e % R);
+      const WorkerLayout& wl = layout_.workers[w];
+      const auto packages = fabric_.incoming(w);
+      const ChunkRange pr = chunk_range(packages.size(), R, rth);
+      for (std::size_t pi = pr.begin; pi < pr.end; ++pi) {
+        ByteReader reader(packages[pi].bytes);
+        while (!reader.exhausted()) {
+          const auto rec = reader.read<WireRecord>();
+          shared_data_[w][rec.slot] = rec.payload;
+          ++received[e];
+          for (std::size_t o = wl.lout_offsets[rec.slot];
+               o < wl.lout_offsets[rec.slot + 1]; ++o) {
+            next_active_[w].set(wl.lout_adj[o]);
+          }
+        }
+      }
+    });
+    for (WorkerId w = 0; w < workers; ++w) fabric_.clear_incoming(w);
+    std::uint64_t received_max = 0;
+    for (auto r : received) received_max = std::max(received_max, r);
+    step.phases.snd_s =
+        (static_cast<double>(emitted_max) *
+             (sw.msg_serialize_us + sizeof(WireRecord) * sw.msg_byte_us) +
+         static_cast<double>(received_max) *
+             (sw.msg_deliver_us + 0.5 * sizeof(WireRecord) * sw.msg_byte_us)) *
+        1e-6;
+    step.net = xstats.net;
+    step.modeled_comm_s = xstats.modeled_comm_s;
+    step.modeled_barrier_s = xstats.modeled_barrier_s;
+
+    // --- SYN: swap active sets, decide termination. ---
+    Timer syn_timer;
+    bool any_active = false;
+    // Fine-grained convergence (§4.4): a vertex counts as converged when its
+    // last compute reported a sub-epsilon error (mark_converged) OR when it
+    // is inactive — a deactivated vertex cannot change until reactivated.
+    std::uint64_t active_unconverged = 0;
+    std::uint64_t total_masters = 0;
+    for (WorkerId w = 0; w < workers; ++w) {
+      cur_active_[w].swap(next_active_[w]);
+      next_active_[w].clear_all();
+      any_active = any_active || cur_active_[w].any();
+      total_masters += layout_.workers[w].num_masters();
+      cur_active_[w].for_each([&](std::size_t i) {
+        if (!converged_[w].test(i)) ++active_unconverged;
+      });
+    }
+    step.phases.syn_s = syn_timer.elapsed_s();
+    simulated_elapsed_s_ += step.phases.total_s();
+    step.converged_vertices = total_masters - active_unconverged;
+    bool done = !any_active;
+    if (config_.stop_converged_fraction < 1.0 && graph_->num_vertices() > 0) {
+      const double frac = static_cast<double>(step.converged_vertices) /
+                          static_cast<double>(graph_->num_vertices());
+      if (frac >= config_.stop_converged_fraction) done = true;
+    }
+    return done;
+  }
+
+  const graph::Csr* graph_;
+  Program program_;
+  Config config_;
+  ThreadPool pool_;
+  sim::Fabric fabric_;
+  Layout layout_;
+
+  std::vector<std::vector<Message>> shared_data_;  // [worker][slot]
+  std::vector<std::vector<Value>> values_;         // [worker][master idx]
+  std::vector<std::vector<Message>> pending_;      // staged activate payloads
+  std::vector<DenseBitset> cur_active_;
+  std::vector<DenseBitset> next_active_;
+  std::vector<DenseBitset> dirty_;
+  std::vector<DenseBitset> converged_;
+  std::vector<std::vector<std::uint64_t>> last_hash_;
+
+  Superstep superstep_ = 0;
+  double simulated_elapsed_s_ = 0;
+  double ingress_s_ = 0;
+  std::uint64_t peak_buffered_ = 0;
+  std::uint64_t churn_bytes_ = 0;
+  std::uint64_t total_sync_messages_ = 0;
+  std::function<void(const metrics::SuperstepStats&, const Engine&)> observer_;
+};
+
+}  // namespace cyclops::core

@@ -1,0 +1,5 @@
+#include "cyclops/core/engine_base.hpp"
+
+namespace cyclops::core {
+static_assert(sizeof(Config) > 0);
+}  // namespace cyclops::core

@@ -1,0 +1,64 @@
+#pragma once
+// Cyclops engine configuration. One Config type drives both execution models:
+//   * Cyclops   — one single-threaded worker per partition
+//                 (topo.workers_per_machine > 1, compute_threads == 1);
+//   * CyclopsMT — one worker per machine, decomposed into compute_threads
+//                 computation threads and receiver_threads message receivers,
+//                 with the hierarchical barrier (§5).
+
+#include <cstdint>
+
+#include "cyclops/common/types.hpp"
+#include "cyclops/sim/cost_model.hpp"
+#include "cyclops/sim/software_model.hpp"
+
+namespace cyclops::core {
+
+struct Config {
+  sim::Topology topo;  ///< total_workers() == number of graph partitions
+  sim::CostModel cost = sim::CostModel::cyclops_sync();
+  std::size_t pool_threads = 1;  ///< host threads executing the simulation
+  Superstep max_supersteps = 100;
+
+  unsigned compute_threads = 1;   ///< simulated threads per worker (T in MxWxT/R)
+  unsigned receiver_threads = 1;  ///< simulated message receivers per worker (R)
+  bool hierarchical_barrier = false;  ///< barrier over machines, not workers
+
+  bool track_redundant = false;
+
+  /// Deterministic per-operation software costs (see sim/software_model.hpp).
+  /// Cyclops runs on the same JVM as Hama (§6.12 notes the language gap
+  /// against C++ PowerGraph), so compute rates match Hama's while messaging
+  /// rates reflect the bundled lock-free sync path.
+  sim::SoftwareModel software = sim::SoftwareModel::cyclops_java();
+
+  /// Fine-grained convergence detection (§4.4): stop once this fraction of
+  /// vertices is converged. 1.0 disables it (run until no activations).
+  double stop_converged_fraction = 1.0;
+
+  /// Ablation switch: disable dynamic computation by forcing every master
+  /// active in every superstep (the immutable view and unidirectional sync
+  /// remain). Isolates how much of Cyclops' win comes from skipping
+  /// converged vertices vs. from the messaging redesign.
+  bool force_all_active = false;
+
+  /// Plain Cyclops: M machines × W workers each.
+  [[nodiscard]] static Config cyclops(MachineId machines, WorkerId workers_per_machine) {
+    Config c;
+    c.topo = sim::Topology{machines, workers_per_machine};
+    return c;
+  }
+
+  /// CyclopsMT: M machines × 1 worker with T compute / R receiver threads.
+  [[nodiscard]] static Config cyclops_mt(MachineId machines, unsigned threads,
+                                         unsigned receivers) {
+    Config c;
+    c.topo = sim::Topology{machines, 1};
+    c.compute_threads = threads;
+    c.receiver_threads = receivers;
+    c.hierarchical_barrier = true;
+    return c;
+  }
+};
+
+}  // namespace cyclops::core

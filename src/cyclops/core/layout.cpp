@@ -1,0 +1,147 @@
+#include "cyclops/core/layout.hpp"
+
+#include <algorithm>
+
+#include "cyclops/common/check.hpp"
+#include "cyclops/common/timer.hpp"
+
+namespace cyclops::core {
+
+Layout build_layout(const graph::Csr& g, const partition::EdgeCutPartition& p) {
+  CYCLOPS_CHECK(g.num_vertices() == p.num_vertices());
+  const VertexId n = g.num_vertices();
+  const WorkerId workers = p.num_parts();
+
+  Layout layout;
+  layout.workers.resize(workers);
+  layout.master_index.assign(n, 0);
+
+  // --- Masters. ---
+  for (VertexId v = 0; v < n; ++v) {
+    WorkerLayout& wl = layout.workers[p.owner(v)];
+    layout.master_index[v] = static_cast<std::uint32_t>(wl.masters.size());
+    wl.masters.push_back(v);
+  }
+
+  // --- REP phase: replica discovery (this is the extra ingress superstep
+  // §4.3 describes: each vertex "sends" along its out-edges; a remote worker
+  // creates the replica on first receipt). ---
+  Timer rep_timer;
+  std::vector<std::vector<VertexId>> replica_sets(workers);
+  for (VertexId v = 0; v < n; ++v) {
+    const WorkerId home = p.owner(v);
+    for (const graph::Adj& a : g.out_neighbors(v)) {
+      const WorkerId w = p.owner(a.neighbor);
+      if (w != home) replica_sets[w].push_back(v);
+    }
+  }
+  // Per-worker slot map: global id -> slot. Masters first, then replicas
+  // sorted by (owner, id) — the §4.1 locality grouping.
+  std::vector<std::unordered_map<VertexId, Slot>> slot_of(workers);
+  for (WorkerId w = 0; w < workers; ++w) {
+    WorkerLayout& wl = layout.workers[w];
+    auto& reps = replica_sets[w];
+    std::sort(reps.begin(), reps.end());
+    reps.erase(std::unique(reps.begin(), reps.end()), reps.end());
+    std::sort(reps.begin(), reps.end(), [&](VertexId a, VertexId b) {
+      return p.owner(a) != p.owner(b) ? p.owner(a) < p.owner(b) : a < b;
+    });
+    wl.replica_globals = reps;
+    wl.replica_owner.resize(reps.size());
+    slot_of[w].reserve(wl.masters.size() + reps.size());
+    for (Slot s = 0; s < wl.num_masters(); ++s) slot_of[w].emplace(wl.masters[s], s);
+    for (Slot i = 0; i < wl.num_replicas(); ++i) {
+      wl.replica_owner[i] = p.owner(reps[i]);
+      slot_of[w].emplace(reps[i], wl.num_masters() + i);
+    }
+    layout.total_replicas += reps.size();
+  }
+  layout.replicate_s = rep_timer.elapsed_s();
+
+  // --- INIT phase: in-edges, local out-edges, replica sync targets. ---
+  Timer init_timer;
+  for (WorkerId w = 0; w < workers; ++w) {
+    WorkerLayout& wl = layout.workers[w];
+    const auto& slots = slot_of[w];
+
+    // In-edges of each master, resolved to local slots. Every in-neighbor is
+    // either a local master or has a replica here (it has an out-edge to a
+    // vertex we own — this master).
+    wl.in_offsets.assign(wl.masters.size() + 1, 0);
+    for (std::uint32_t i = 0; i < wl.num_masters(); ++i) {
+      wl.in_offsets[i + 1] = wl.in_offsets[i] + g.in_degree(wl.masters[i]);
+    }
+    wl.in_adj.resize(wl.in_offsets.back());
+    for (std::uint32_t i = 0; i < wl.num_masters(); ++i) {
+      std::size_t cursor = wl.in_offsets[i];
+      for (const graph::Adj& a : g.in_neighbors(wl.masters[i])) {
+        const auto it = slots.find(a.neighbor);
+        CYCLOPS_CHECK(it != slots.end());
+        wl.in_adj[cursor++] = SlotAdj{it->second, a.weight};
+      }
+    }
+
+    // Local out-edges per slot (two-pass CSR fill).
+    wl.lout_offsets.assign(wl.num_slots() + 1, 0);
+    auto count_lout = [&](Slot slot, VertexId global) {
+      for (const graph::Adj& a : g.out_neighbors(global)) {
+        if (p.owner(a.neighbor) == w) ++wl.lout_offsets[slot + 1];
+      }
+    };
+    for (Slot s = 0; s < wl.num_slots(); ++s) count_lout(s, wl.slot_global(s));
+    for (std::size_t i = 1; i < wl.lout_offsets.size(); ++i) {
+      wl.lout_offsets[i] += wl.lout_offsets[i - 1];
+    }
+    wl.lout_adj.resize(wl.lout_offsets.back());
+    std::vector<std::size_t> cursor(wl.lout_offsets.begin(), wl.lout_offsets.end() - 1);
+    auto fill_lout = [&](Slot slot, VertexId global) {
+      for (const graph::Adj& a : g.out_neighbors(global)) {
+        if (p.owner(a.neighbor) == w) {
+          wl.lout_adj[cursor[slot]++] = layout.master_index[a.neighbor];
+        }
+      }
+    };
+    for (Slot s = 0; s < wl.num_slots(); ++s) fill_lout(s, wl.slot_global(s));
+  }
+
+  // Replica sync targets: invert the replica lists onto each master.
+  for (WorkerId w = 0; w < workers; ++w) {
+    WorkerLayout& wl = layout.workers[w];
+    wl.rep_offsets.assign(wl.masters.size() + 1, 0);
+  }
+  for (WorkerId w = 0; w < workers; ++w) {
+    const WorkerLayout& wl = layout.workers[w];
+    for (Slot i = 0; i < wl.num_replicas(); ++i) {
+      const VertexId v = wl.replica_globals[i];
+      WorkerLayout& home = layout.workers[wl.replica_owner[i]];
+      ++home.rep_offsets[layout.master_index[v] + 1];
+    }
+  }
+  for (WorkerId w = 0; w < workers; ++w) {
+    WorkerLayout& wl = layout.workers[w];
+    for (std::size_t i = 1; i < wl.rep_offsets.size(); ++i) {
+      wl.rep_offsets[i] += wl.rep_offsets[i - 1];
+    }
+    wl.rep_targets.resize(wl.rep_offsets.back());
+  }
+  std::vector<std::vector<std::size_t>> rep_cursor(workers);
+  for (WorkerId w = 0; w < workers; ++w) {
+    const WorkerLayout& wl = layout.workers[w];
+    rep_cursor[w].assign(wl.rep_offsets.begin(), wl.rep_offsets.end() - 1);
+  }
+  for (WorkerId w = 0; w < workers; ++w) {
+    const WorkerLayout& wl = layout.workers[w];
+    for (Slot i = 0; i < wl.num_replicas(); ++i) {
+      const VertexId v = wl.replica_globals[i];
+      const WorkerId home_w = wl.replica_owner[i];
+      WorkerLayout& home = layout.workers[home_w];
+      const std::uint32_t mi = layout.master_index[v];
+      home.rep_targets[rep_cursor[home_w][mi]++] =
+          ReplicaRef{w, static_cast<Slot>(wl.num_masters() + i)};
+    }
+  }
+  layout.init_s = init_timer.elapsed_s();
+  return layout;
+}
+
+}  // namespace cyclops::core

@@ -1,0 +1,38 @@
+#include "cyclops/core/mutation.hpp"
+
+#include <algorithm>
+
+namespace cyclops::core {
+
+void TopologyDelta::apply(graph::EdgeList& edges) const {
+  auto& list = edges.edges();
+  if (!removes_.empty()) {
+    auto removed = [&](const graph::Edge& e) {
+      return std::any_of(removes_.begin(), removes_.end(), [&](const graph::Edge& r) {
+        return r.src == e.src && r.dst == e.dst;
+      });
+    };
+    list.erase(std::remove_if(list.begin(), list.end(), removed), list.end());
+  }
+  for (const graph::Edge& e : adds_) {
+    edges.add(e.src, e.dst, e.weight);
+  }
+}
+
+std::vector<VertexId> TopologyDelta::touched_vertices() const {
+  std::vector<VertexId> touched;
+  touched.reserve(2 * (adds_.size() + removes_.size()));
+  for (const graph::Edge& e : adds_) {
+    touched.push_back(e.src);
+    touched.push_back(e.dst);
+  }
+  for (const graph::Edge& e : removes_) {
+    touched.push_back(e.src);
+    touched.push_back(e.dst);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  return touched;
+}
+
+}  // namespace cyclops::core

@@ -1,0 +1,48 @@
+#pragma once
+// Topology mutation for Cyclops — the paper's stated future work (§8: "no
+// support for topology mutation yet... we plan to add such support").
+//
+// Semantics follow Pregel's: mutations requested during an epoch are applied
+// at a superstep boundary. This implementation takes the robust route the
+// checkpointing design (§3.6) enables for free: replicas and in-edge slots
+// are *derived* state, so applying a batch of edge mutations rebuilds the
+// layout from the mutated graph and carries master state (values, shared
+// data, activity, convergence marks) across by vertex id. The cost is one
+// extra ingress (REP+INIT) per mutation epoch — appropriate for the bulk
+// topology changes graph systems see in practice (crawl deltas, daily
+// snapshots), and honest about what incremental replica maintenance would
+// have to beat.
+
+#include <vector>
+
+#include "cyclops/graph/edge_list.hpp"
+
+namespace cyclops::core {
+
+/// A batch of edge additions and removals to apply between supersteps.
+class TopologyDelta {
+ public:
+  void add_edge(VertexId src, VertexId dst, double weight = 1.0) {
+    adds_.push_back(graph::Edge{src, dst, weight});
+  }
+  /// Removes every (src, dst) edge regardless of weight.
+  void remove_edge(VertexId src, VertexId dst) {
+    removes_.push_back(graph::Edge{src, dst, 0.0});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return adds_.empty() && removes_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return adds_.size() + removes_.size(); }
+
+  /// Applies the delta to an edge list (adds may grow the vertex count).
+  void apply(graph::EdgeList& edges) const;
+
+  /// Vertices incident to any mutated edge — the set a caller typically
+  /// re-activates so the algorithm reacts to the new topology.
+  [[nodiscard]] std::vector<VertexId> touched_vertices() const;
+
+ private:
+  std::vector<graph::Edge> adds_;
+  std::vector<graph::Edge> removes_;
+};
+
+}  // namespace cyclops::core

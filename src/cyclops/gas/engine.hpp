@@ -1,0 +1,371 @@
+#pragma once
+// PowerGraph-style synchronous GAS engine (§2.3): computation over a vertex
+// cut is *distributed* across a vertex's copies, which costs the bidirectional
+// master↔mirror message pattern the paper counts — per active mirror and
+// iteration: gather request + gather partial (2), apply update (1), scatter
+// request + activation reply (2). Contrast with Cyclops' single
+// unidirectional sync message per replica.
+//
+// Program concept:
+//   struct P {
+//     using Value;   // replicated vertex data, POD
+//     using Gather;  // gather accumulator, POD
+//     Value init(VertexId v, std::size_t out_degree, std::size_t in_degree) const;
+//     Gather gather_zero() const;
+//     Gather gather(const Value& self, const Value& nbr, double w) const;  // in-edges
+//     Gather merge(const Gather&, const Gather&) const;
+//     Value apply(const Value& old, const Gather& acc) const;
+//     bool scatter_activates(const Value& old, const Value& next) const;
+//   };
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "cyclops/common/bitset.hpp"
+#include "cyclops/common/check.hpp"
+#include "cyclops/common/exec.hpp"
+#include "cyclops/common/serialize.hpp"
+#include "cyclops/common/thread_pool.hpp"
+#include "cyclops/common/timer.hpp"
+#include "cyclops/gas/gas_layout.hpp"
+#include "cyclops/metrics/superstep_stats.hpp"
+#include "cyclops/sim/fabric.hpp"
+#include "cyclops/sim/software_model.hpp"
+
+namespace cyclops::gas {
+
+struct Config {
+  sim::Topology topo;
+  sim::CostModel cost = sim::CostModel::boost_cpp();
+  sim::SoftwareModel software = sim::SoftwareModel::powergraph_cpp();
+  std::size_t pool_threads = 1;
+  Superstep max_iterations = 100;
+
+  [[nodiscard]] static Config workers(WorkerId w) {
+    Config c;
+    c.topo = sim::Topology{w, 1};
+    return c;
+  }
+};
+
+template <typename Program>
+class Engine {
+ public:
+  using Value = typename Program::Value;
+  using Gather = typename Program::Gather;
+  static_assert(std::is_trivially_copyable_v<Value>);
+  static_assert(std::is_trivially_copyable_v<Gather>);
+
+  Engine(const graph::EdgeList& edges, const partition::VertexCutPartition& part,
+         Program program, Config config)
+      : edges_(&edges),
+        program_(std::move(program)),
+        config_(config),
+        pool_(config.pool_threads),
+        fabric_(config.topo, config.cost) {
+    CYCLOPS_CHECK(part.num_parts() == config.topo.total_workers());
+    Timer ingress;
+    layout_ = build_gas_layout(edges, part);
+    init_state();
+    ingress_s_ = ingress.elapsed_s();
+  }
+
+  metrics::RunStats run() {
+    metrics::RunStats stats;
+    stats.ingress_s = ingress_s_;
+    bool done = false;
+    while (!done) {
+      metrics::SuperstepStats step;
+      step.superstep = iteration_;
+      done = run_iteration(step);
+      stats.supersteps.push_back(step);
+      stats.peak_buffered_bytes = std::max(stats.peak_buffered_bytes, peak_buffered_);
+      ++iteration_;
+      if (iteration_ >= config_.max_iterations) done = true;
+    }
+    stats.elapsed_s = simulated_elapsed_s_;
+    return stats;
+  }
+
+  /// Master values gathered into one globally-indexed vector.
+  [[nodiscard]] std::vector<Value> values() const {
+    std::vector<Value> out(edges_->num_vertices());
+    for (VertexId v = 0; v < edges_->num_vertices(); ++v) {
+      const MirrorRef m = layout_.master_ref[v];
+      out[v] = values_[m.worker][m.copy];
+    }
+    return out;
+  }
+
+  [[nodiscard]] const GasLayout& layout() const noexcept { return layout_; }
+  [[nodiscard]] const sim::Fabric& fabric() const noexcept { return fabric_; }
+
+ private:
+  struct ReqRecord {
+    Copy copy;
+  };
+  struct AccRecord {
+    Copy copy;
+    Gather acc;
+  };
+  struct ValRecord {
+    Copy copy;
+    Value value;
+  };
+
+  void init_state() {
+    const WorkerId workers = config_.topo.total_workers();
+    // Global degrees for init().
+    std::vector<std::size_t> out_deg(edges_->num_vertices(), 0);
+    std::vector<std::size_t> in_deg(edges_->num_vertices(), 0);
+    for (const graph::Edge& e : edges_->edges()) {
+      ++out_deg[e.src];
+      ++in_deg[e.dst];
+    }
+    values_.resize(workers);
+    partial_.resize(workers);
+    gathered_.resize(workers);
+    active_copies_.resize(workers);
+    activated_copies_.resize(workers);
+    next_active_masters_.resize(workers);
+    old_values_.resize(workers);
+    for (WorkerId w = 0; w < workers; ++w) {
+      const GasWorkerLayout& wl = layout_.workers[w];
+      values_[w].resize(wl.num_copies());
+      old_values_[w].resize(wl.num_copies());
+      partial_[w].resize(wl.num_copies());
+      gathered_[w].resize(wl.num_copies());
+      active_copies_[w].resize(wl.num_copies());
+      activated_copies_[w].resize(wl.num_copies());
+      next_active_masters_[w].resize(wl.num_copies());
+      for (Copy c = 0; c < wl.num_copies(); ++c) {
+        const VertexId v = wl.copy_globals[c];
+        values_[w][c] = program_.init(v, out_deg[v], in_deg[v]);
+        if (wl.is_master[c]) next_active_masters_[w].set(c);  // all start active
+      }
+    }
+  }
+
+  template <typename Rec>
+  void send_record(sim::OutBox& box, WorkerId to, const Rec& rec, ByteWriter& writer) {
+    writer.clear();
+    writer.write(rec);
+    box.send(to, writer.bytes());
+  }
+
+  bool run_iteration(metrics::SuperstepStats& step) {
+    const WorkerId workers = config_.topo.total_workers();
+    const sim::SoftwareModel& sw = config_.software;
+    // Deterministic per-worker work accounting (see sim/software_model.hpp):
+    // each lambda adds the operations it performed for its worker; phase time
+    // is the max across workers.
+    std::vector<double> cmp_us(workers, 0.0);
+    std::vector<double> snd_us(workers, 0.0);
+    ByteWriter writer;
+
+    // Promote next_active_masters -> active copies of masters.
+    std::uint64_t active = 0;
+    for (WorkerId w = 0; w < workers; ++w) {
+      active_copies_[w].clear_all();
+      activated_copies_[w].clear_all();
+      next_active_masters_[w].for_each([&](std::size_t c) {
+        active_copies_[w].set(c);
+        ++active;
+      });
+      next_active_masters_[w].clear_all();
+    }
+    step.active_vertices = active;
+    step.computed_vertices = active;
+    if (active == 0) return true;
+
+    // --- Exchange 1: gather requests master -> mirrors. ---
+    pool_.parallel_tasks(workers, [&](std::size_t w) {
+      const GasWorkerLayout& wl = layout_.workers[w];
+      sim::OutBox& box = fabric_.outbox(static_cast<WorkerId>(w));
+      ByteWriter lw;
+      active_copies_[w].for_each([&](std::size_t c) {
+        if (!wl.is_master[c]) return;
+        for (std::size_t m = wl.mirror_offsets[c]; m < wl.mirror_offsets[c + 1]; ++m) {
+          send_record(box, wl.mirrors[m].worker, ReqRecord{wl.mirrors[m].copy}, lw);
+          snd_us[w] += sw.msg_serialize_us;
+        }
+      });
+    });
+    accumulate_exchange(step, workers);
+    pool_.parallel_tasks(workers, [&](std::size_t w) {
+      for (const sim::Package& pkg : fabric_.incoming(static_cast<WorkerId>(w))) {
+        ByteReader reader(pkg.bytes);
+        while (!reader.exhausted()) {
+          active_copies_[w].set(reader.read<ReqRecord>().copy);
+          snd_us[w] += sw.msg_deliver_us;
+        }
+      }
+      fabric_.clear_incoming(static_cast<WorkerId>(w));
+    });
+
+    // --- Local gather over in-edges, then exchange 2: partials -> master. ---
+    pool_.parallel_tasks(workers, [&](std::size_t w) {
+      const GasWorkerLayout& wl = layout_.workers[w];
+      active_copies_[w].for_each([&](std::size_t c) {
+        Gather acc = program_.gather_zero();
+        for (std::size_t e = wl.in_offsets[c]; e < wl.in_offsets[c + 1]; ++e) {
+          const LocalEdge& edge = wl.edges[wl.in_edge_ids[e]];
+          acc = program_.merge(
+              acc, program_.gather(values_[w][c], values_[w][edge.src], edge.weight));
+        }
+        partial_[w][c] = acc;
+        gathered_[w][c] = 1;
+        cmp_us[w] += static_cast<double>(wl.in_offsets[c + 1] - wl.in_offsets[c]) *
+                     sw.edge_op_us * sim::edge_op_weight<Program>();
+      });
+    });
+    pool_.parallel_tasks(workers, [&](std::size_t w) {
+      const GasWorkerLayout& wl = layout_.workers[w];
+      sim::OutBox& box = fabric_.outbox(static_cast<WorkerId>(w));
+      ByteWriter lw;
+      active_copies_[w].for_each([&](std::size_t c) {
+        if (wl.is_master[c]) return;
+        const MirrorRef master = wl.master_of[c];
+        send_record(box, master.worker, AccRecord{master.copy, partial_[w][c]}, lw);
+        snd_us[w] += sw.msg_serialize_us;
+      });
+    });
+    accumulate_exchange(step, workers);
+    pool_.parallel_tasks(workers, [&](std::size_t w) {
+      for (const sim::Package& pkg : fabric_.incoming(static_cast<WorkerId>(w))) {
+        ByteReader reader(pkg.bytes);
+        while (!reader.exhausted()) {
+          const auto rec = reader.read<AccRecord>();
+          partial_[w][rec.copy] = program_.merge(partial_[w][rec.copy], rec.acc);
+          snd_us[w] += sw.msg_deliver_us;
+        }
+      }
+      fabric_.clear_incoming(static_cast<WorkerId>(w));
+    });
+
+    // --- Apply on masters; exchange 3: new value + scatter request to
+    // mirrors (two messages, matching the paper's 1 apply + 1 scatter-side
+    // request). ---
+    pool_.parallel_tasks(workers, [&](std::size_t w) {
+      const GasWorkerLayout& wl = layout_.workers[w];
+      active_copies_[w].for_each([&](std::size_t c) {
+        if (!wl.is_master[c]) return;
+        old_values_[w][c] = values_[w][c];
+        values_[w][c] = program_.apply(values_[w][c], partial_[w][c]);
+        cmp_us[w] += sw.vertex_op_us * sim::vertex_op_weight<Program>();
+      });
+    });
+    pool_.parallel_tasks(workers, [&](std::size_t w) {
+      const GasWorkerLayout& wl = layout_.workers[w];
+      sim::OutBox& box = fabric_.outbox(static_cast<WorkerId>(w));
+      ByteWriter lw;
+      active_copies_[w].for_each([&](std::size_t c) {
+        if (!wl.is_master[c]) return;
+        for (std::size_t m = wl.mirror_offsets[c]; m < wl.mirror_offsets[c + 1]; ++m) {
+          send_record(box, wl.mirrors[m].worker, ValRecord{wl.mirrors[m].copy, values_[w][c]},
+                      lw);
+          send_record(box, wl.mirrors[m].worker, ReqRecord{wl.mirrors[m].copy}, lw);
+          snd_us[w] += 2.0 * sw.msg_serialize_us;
+        }
+      });
+    });
+    accumulate_exchange(step, workers);
+    pool_.parallel_tasks(workers, [&](std::size_t w) {
+      for (const sim::Package& pkg : fabric_.incoming(static_cast<WorkerId>(w))) {
+        ByteReader reader(pkg.bytes);
+        while (!reader.exhausted()) {
+          const auto rec = reader.read<ValRecord>();
+          old_values_[w][rec.copy] = values_[w][rec.copy];
+          values_[w][rec.copy] = rec.value;
+          (void)reader.read<ReqRecord>();  // scatter request
+          snd_us[w] += 2.0 * sw.msg_deliver_us;
+        }
+      }
+      fabric_.clear_incoming(static_cast<WorkerId>(w));
+    });
+
+    // --- Scatter on every copy; exchange 4: activation replies to masters. ---
+    pool_.parallel_tasks(workers, [&](std::size_t w) {
+      const GasWorkerLayout& wl = layout_.workers[w];
+      active_copies_[w].for_each([&](std::size_t c) {
+        cmp_us[w] += sw.vertex_op_us;  // scatter predicate evaluation
+        if (!program_.scatter_activates(old_values_[w][c], values_[w][c])) return;
+        for (std::size_t e = wl.out_offsets[c]; e < wl.out_offsets[c + 1]; ++e) {
+          activated_copies_[w].set(wl.edges[wl.out_edge_ids[e]].dst);
+          cmp_us[w] += sw.edge_op_us;
+        }
+      });
+    });
+    pool_.parallel_tasks(workers, [&](std::size_t w) {
+      const GasWorkerLayout& wl = layout_.workers[w];
+      sim::OutBox& box = fabric_.outbox(static_cast<WorkerId>(w));
+      ByteWriter lw;
+      activated_copies_[w].for_each([&](std::size_t c) {
+        if (wl.is_master[c]) {
+          next_active_masters_[w].set(c);
+        } else {
+          const MirrorRef master = wl.master_of[c];
+          send_record(box, master.worker, ReqRecord{master.copy}, lw);
+          snd_us[w] += sw.msg_serialize_us;
+        }
+      });
+    });
+    accumulate_exchange(step, workers);
+    pool_.parallel_tasks(workers, [&](std::size_t w) {
+      for (const sim::Package& pkg : fabric_.incoming(static_cast<WorkerId>(w))) {
+        ByteReader reader(pkg.bytes);
+        while (!reader.exhausted()) {
+          next_active_masters_[w].set(reader.read<ReqRecord>().copy);
+          snd_us[w] += sw.msg_deliver_us;
+        }
+      }
+      fabric_.clear_incoming(static_cast<WorkerId>(w));
+    });
+
+    double cmp_max = 0, snd_max = 0;
+    for (WorkerId w = 0; w < workers; ++w) {
+      cmp_max = std::max(cmp_max, cmp_us[w]);
+      snd_max = std::max(snd_max, snd_us[w]);
+    }
+    step.phases.cmp_s = cmp_max * 1e-6;
+    step.phases.snd_s = snd_max * 1e-6;
+    simulated_elapsed_s_ += step.phases.total_s();
+    (void)writer;
+    bool any_next = false;
+    for (WorkerId w = 0; w < workers && !any_next; ++w) {
+      any_next = next_active_masters_[w].any();
+    }
+    return !any_next;
+  }
+
+  void accumulate_exchange(metrics::SuperstepStats& step, WorkerId workers) {
+    const sim::ExchangeStats x = fabric_.exchange(workers);
+    step.net += x.net;
+    step.modeled_comm_s += x.modeled_comm_s;
+    step.modeled_barrier_s += x.modeled_barrier_s;
+    peak_buffered_ = std::max(peak_buffered_, x.peak_buffered_bytes);
+  }
+
+  const graph::EdgeList* edges_;
+  Program program_;
+  Config config_;
+  ThreadPool pool_;
+  sim::Fabric fabric_;
+  GasLayout layout_;
+
+  std::vector<std::vector<Value>> values_;      // [worker][copy]
+  std::vector<std::vector<Value>> old_values_;  // previous value per copy
+  std::vector<std::vector<Gather>> partial_;
+  std::vector<std::vector<std::uint8_t>> gathered_;
+  std::vector<DenseBitset> active_copies_;
+  std::vector<DenseBitset> activated_copies_;
+  std::vector<DenseBitset> next_active_masters_;
+
+  Superstep iteration_ = 0;
+  double simulated_elapsed_s_ = 0;
+  double ingress_s_ = 0;
+  std::uint64_t peak_buffered_ = 0;
+};
+
+}  // namespace cyclops::gas

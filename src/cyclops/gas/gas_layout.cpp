@@ -1,0 +1,111 @@
+#include "cyclops/gas/gas_layout.hpp"
+
+#include <algorithm>
+
+#include "cyclops/common/check.hpp"
+#include "cyclops/common/timer.hpp"
+
+namespace cyclops::gas {
+
+GasLayout build_gas_layout(const graph::EdgeList& edges,
+                           const partition::VertexCutPartition& p) {
+  Timer timer;
+  const VertexId n = edges.num_vertices();
+  const WorkerId workers = p.num_parts();
+  GasLayout layout;
+  layout.workers.resize(workers);
+  layout.master_ref.assign(n, MirrorRef{});
+
+  // Copy discovery: a worker holds a copy of v if it hosts an edge incident
+  // to v, or if it is v's designated master.
+  std::vector<std::vector<VertexId>> copy_sets(workers);
+  for (std::size_t e = 0; e < edges.num_edges(); ++e) {
+    const graph::Edge& edge = edges.edges()[e];
+    const WorkerId w = p.edge_owner(e);
+    copy_sets[w].push_back(edge.src);
+    copy_sets[w].push_back(edge.dst);
+  }
+  for (VertexId v = 0; v < n; ++v) copy_sets[p.master(v)].push_back(v);
+
+  std::vector<std::unordered_map<VertexId, Copy>> copy_of(workers);
+  for (WorkerId w = 0; w < workers; ++w) {
+    auto& set = copy_sets[w];
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+    GasWorkerLayout& wl = layout.workers[w];
+    wl.copy_globals = set;
+    wl.is_master.assign(set.size(), 0);
+    wl.master_of.assign(set.size(), MirrorRef{});
+    copy_of[w].reserve(set.size());
+    for (Copy c = 0; c < wl.num_copies(); ++c) {
+      copy_of[w].emplace(set[c], c);
+      if (p.master(set[c]) == w) {
+        wl.is_master[c] = 1;
+        layout.master_ref[set[c]] = MirrorRef{w, c};
+      }
+    }
+    layout.total_copies += set.size();
+  }
+
+  // master_of per copy, and mirror lists per master.
+  std::vector<std::vector<std::vector<MirrorRef>>> mirror_lists(workers);
+  for (WorkerId w = 0; w < workers; ++w) {
+    mirror_lists[w].resize(layout.workers[w].num_copies());
+  }
+  for (WorkerId w = 0; w < workers; ++w) {
+    GasWorkerLayout& wl = layout.workers[w];
+    for (Copy c = 0; c < wl.num_copies(); ++c) {
+      const MirrorRef master = layout.master_ref[wl.copy_globals[c]];
+      wl.master_of[c] = master;
+      if (!wl.is_master[c]) {
+        mirror_lists[master.worker][master.copy].push_back(MirrorRef{w, c});
+      }
+    }
+  }
+  for (WorkerId w = 0; w < workers; ++w) {
+    GasWorkerLayout& wl = layout.workers[w];
+    wl.mirror_offsets.assign(wl.num_copies() + 1, 0);
+    for (Copy c = 0; c < wl.num_copies(); ++c) {
+      wl.mirror_offsets[c + 1] = wl.mirror_offsets[c] + mirror_lists[w][c].size();
+    }
+    wl.mirrors.resize(wl.mirror_offsets.back());
+    for (Copy c = 0; c < wl.num_copies(); ++c) {
+      std::copy(mirror_lists[w][c].begin(), mirror_lists[w][c].end(),
+                wl.mirrors.begin() + static_cast<std::ptrdiff_t>(wl.mirror_offsets[c]));
+    }
+  }
+
+  // Local edges + per-copy in/out CSR.
+  for (std::size_t e = 0; e < edges.num_edges(); ++e) {
+    const graph::Edge& edge = edges.edges()[e];
+    const WorkerId w = p.edge_owner(e);
+    GasWorkerLayout& wl = layout.workers[w];
+    wl.edges.push_back(LocalEdge{copy_of[w].at(edge.src), copy_of[w].at(edge.dst),
+                                 edge.weight});
+  }
+  for (WorkerId w = 0; w < workers; ++w) {
+    GasWorkerLayout& wl = layout.workers[w];
+    wl.in_offsets.assign(wl.num_copies() + 1, 0);
+    wl.out_offsets.assign(wl.num_copies() + 1, 0);
+    for (const LocalEdge& e : wl.edges) {
+      ++wl.out_offsets[e.src + 1];
+      ++wl.in_offsets[e.dst + 1];
+    }
+    for (Copy c = 0; c < wl.num_copies(); ++c) {
+      wl.out_offsets[c + 1] += wl.out_offsets[c];
+      wl.in_offsets[c + 1] += wl.in_offsets[c];
+    }
+    wl.out_edge_ids.resize(wl.edges.size());
+    wl.in_edge_ids.resize(wl.edges.size());
+    std::vector<std::size_t> out_cursor(wl.out_offsets.begin(), wl.out_offsets.end() - 1);
+    std::vector<std::size_t> in_cursor(wl.in_offsets.begin(), wl.in_offsets.end() - 1);
+    for (std::uint32_t e = 0; e < wl.edges.size(); ++e) {
+      wl.out_edge_ids[out_cursor[wl.edges[e].src]++] = e;
+      wl.in_edge_ids[in_cursor[wl.edges[e].dst]++] = e;
+    }
+  }
+  layout.build_s = timer.elapsed_s();
+  return layout;
+}
+
+}  // namespace cyclops::gas

@@ -1,0 +1,58 @@
+#pragma once
+// Compressed-sparse-row graph with both out- and in-adjacency, the immutable
+// runtime representation every engine computes over. Edge weights are stored
+// once per direction so in-edge iteration (the Cyclops pull pattern) is
+// cache-friendly.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cyclops/common/types.hpp"
+#include "cyclops/graph/edge_list.hpp"
+
+namespace cyclops::graph {
+
+/// One adjacency entry: the neighbor and the weight of the connecting edge.
+struct Adj {
+  VertexId neighbor = 0;
+  double weight = 1.0;
+
+  friend bool operator==(const Adj&, const Adj&) = default;
+};
+
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Builds from an edge list. Edges keep their multiplicity; adjacency is
+  /// sorted by neighbor id within each vertex for determinism.
+  static Csr build(const EdgeList& edges);
+
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return static_cast<VertexId>(out_offsets_.empty() ? 0 : out_offsets_.size() - 1);
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return out_adj_.size(); }
+
+  [[nodiscard]] std::span<const Adj> out_neighbors(VertexId v) const noexcept {
+    return {out_adj_.data() + out_offsets_[v], out_adj_.data() + out_offsets_[v + 1]};
+  }
+  [[nodiscard]] std::span<const Adj> in_neighbors(VertexId v) const noexcept {
+    return {in_adj_.data() + in_offsets_[v], in_adj_.data() + in_offsets_[v + 1]};
+  }
+
+  [[nodiscard]] std::size_t out_degree(VertexId v) const noexcept {
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+  [[nodiscard]] std::size_t in_degree(VertexId v) const noexcept {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+ private:
+  std::vector<std::size_t> out_offsets_;
+  std::vector<Adj> out_adj_;
+  std::vector<std::size_t> in_offsets_;
+  std::vector<Adj> in_adj_;
+};
+
+}  // namespace cyclops::graph

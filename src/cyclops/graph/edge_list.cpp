@@ -1,0 +1,36 @@
+#include "cyclops/graph/edge_list.hpp"
+
+#include <algorithm>
+
+#include "cyclops/common/check.hpp"
+
+namespace cyclops::graph {
+
+void EdgeList::add(VertexId src, VertexId dst, double weight) {
+  ensure_vertex(src);
+  ensure_vertex(dst);
+  edges_.push_back(Edge{src, dst, weight});
+}
+
+void EdgeList::add_undirected(VertexId src, VertexId dst, double weight) {
+  add(src, dst, weight);
+  if (src != dst) edges_.push_back(Edge{dst, src, weight});
+}
+
+void EdgeList::ensure_vertex(VertexId id) {
+  CYCLOPS_CHECK(id != kInvalidVertex);
+  if (id >= num_vertices_) num_vertices_ = id + 1;
+}
+
+void EdgeList::sort_and_dedup() {
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                           [](const Edge& a, const Edge& b) {
+                             return a.src == b.src && a.dst == b.dst;
+                           }),
+               edges_.end());
+}
+
+}  // namespace cyclops::graph

@@ -1,0 +1,50 @@
+#pragma once
+// Edge-list container: the ingress-time representation of a graph, before it
+// is finalized into CSR form for the engines.
+
+#include <cstdint>
+#include <vector>
+
+#include "cyclops/common/types.hpp"
+
+namespace cyclops::graph {
+
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  double weight = 1.0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Mutable edge list plus the vertex-count bound. Self-loops are allowed;
+/// duplicate edges are allowed (finalize() can optionally dedup).
+class EdgeList {
+ public:
+  EdgeList() = default;
+  explicit EdgeList(VertexId num_vertices) : num_vertices_(num_vertices) {}
+
+  void add(VertexId src, VertexId dst, double weight = 1.0);
+
+  /// Adds both (src,dst) and (dst,src) — used by algorithms that treat the
+  /// graph as undirected (ALS, CD).
+  void add_undirected(VertexId src, VertexId dst, double weight = 1.0);
+
+  /// Grows the vertex-count bound to cover id.
+  void ensure_vertex(VertexId id);
+
+  /// Sorts by (src, dst) and removes exact duplicate (src, dst) pairs,
+  /// keeping the first weight.
+  void sort_and_dedup();
+
+  [[nodiscard]] VertexId num_vertices() const noexcept { return num_vertices_; }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept { return edges_; }
+  [[nodiscard]] std::vector<Edge>& edges() noexcept { return edges_; }
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace cyclops::graph

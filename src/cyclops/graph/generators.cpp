@@ -1,0 +1,196 @@
+#include "cyclops/graph/generators.hpp"
+
+#include <algorithm>
+
+#include "cyclops/common/check.hpp"
+#include "cyclops/common/rng.hpp"
+
+namespace cyclops::graph::gen {
+
+EdgeList erdos_renyi(VertexId n, std::size_t m, std::uint64_t seed) {
+  CYCLOPS_CHECK(n > 0);
+  Rng rng(seed);
+  EdgeList edges(n);
+  edges.edges().reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto src = static_cast<VertexId>(rng.next_below(n));
+    const auto dst = static_cast<VertexId>(rng.next_below(n));
+    edges.add(src, dst);
+  }
+  return edges;
+}
+
+EdgeList rmat(unsigned scale, std::size_t m, std::uint64_t seed, const RmatParams& p) {
+  CYCLOPS_CHECK(scale > 0 && scale < 31);
+  const double total = p.a + p.b + p.c + p.d;
+  CYCLOPS_CHECK(total > 0.99 && total < 1.01);
+  const VertexId n = VertexId{1} << scale;
+  Rng rng(seed);
+  EdgeList edges(n);
+  edges.edges().reserve(m);
+  // Slight per-level parameter noise avoids the grid artifacts of pure R-MAT.
+  for (std::size_t i = 0; i < m; ++i) {
+    VertexId src = 0;
+    VertexId dst = 0;
+    for (unsigned level = 0; level < scale; ++level) {
+      const double noise = 0.95 + 0.1 * rng.next_double();
+      const double a = p.a * noise;
+      const double b = p.b;
+      const double c = p.c;
+      const double r = rng.next_double() * (a + b + c + p.d);
+      src <<= 1;
+      dst <<= 1;
+      if (r < a) {
+        // top-left quadrant: neither bit set
+      } else if (r < a + b) {
+        dst |= 1;
+      } else if (r < a + b + c) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    edges.add(src, dst);
+  }
+  edges.sort_and_dedup();
+  return edges;
+}
+
+EdgeList web_graph(const WebSpec& spec, std::uint64_t seed) {
+  CYCLOPS_CHECK(spec.scale > 0 && spec.scale < 31);
+  CYCLOPS_CHECK(spec.locality >= 0.0 && spec.locality <= 1.0);
+  CYCLOPS_CHECK(spec.block_size > 1);
+  const VertexId n = VertexId{1} << spec.scale;
+  const auto global_edges =
+      static_cast<std::size_t>(static_cast<double>(spec.edges) * (1.0 - spec.locality));
+  EdgeList edges = rmat(spec.scale, global_edges, seed, spec.skew);
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  const std::size_t local_edges = spec.edges - global_edges;
+  for (std::size_t i = 0; i < local_edges; ++i) {
+    // Skew local-edge sources like the R-MAT hubs (low ids): most vertices
+    // keep a small out-degree, which keeps the hash-partition replication
+    // factor realistic (paper Table 4: 2.4-3.9 despite avg degree 8-23).
+    const double u = rng.next_double();
+    auto src = static_cast<VertexId>(static_cast<double>(n) * u * u * u);
+    if (src >= n) src = n - 1;
+    const VertexId base = (src / spec.block_size) * spec.block_size;
+    VertexId dst = base + static_cast<VertexId>(rng.next_below(spec.block_size));
+    if (dst >= n) dst = n - 1;
+    if (dst == src) dst = base + (src - base + 1) % spec.block_size;
+    edges.add(src, dst);
+  }
+  edges.sort_and_dedup();
+  return edges;
+}
+
+EdgeList preferential_attachment(VertexId n, unsigned attach, std::uint64_t seed) {
+  CYCLOPS_CHECK(n > attach && attach > 0);
+  Rng rng(seed);
+  EdgeList edges(n);
+  // Repeated-endpoint list makes sampling proportional to degree O(1).
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(2 * static_cast<std::size_t>(n) * attach);
+  // Seed clique over the first attach+1 vertices.
+  for (VertexId v = 0; v <= attach; ++v) {
+    for (VertexId u = v + 1; u <= attach; ++u) {
+      edges.add_undirected(v, u);
+      endpoints.push_back(v);
+      endpoints.push_back(u);
+    }
+  }
+  for (VertexId v = attach + 1; v < n; ++v) {
+    for (unsigned k = 0; k < attach; ++k) {
+      const VertexId target = endpoints[rng.next_below(endpoints.size())];
+      edges.add_undirected(v, target);
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  return edges;
+}
+
+EdgeList bipartite_ratings(const BipartiteSpec& spec, std::uint64_t seed) {
+  CYCLOPS_CHECK(spec.users > 0 && spec.items > 0 && spec.ratings_per_user > 0);
+  Rng rng(seed);
+  EdgeList edges(spec.users + spec.items);
+  // Zipf-ish item popularity: square a uniform draw toward low item ids.
+  auto popular_item = [&]() -> VertexId {
+    const double u = rng.next_double();
+    const double skew = u * u;
+    return spec.users + static_cast<VertexId>(skew * spec.items);
+  };
+  std::vector<VertexId> seen;
+  for (VertexId user = 0; user < spec.users; ++user) {
+    seen.clear();
+    for (unsigned k = 0; k < spec.ratings_per_user; ++k) {
+      VertexId item = popular_item();
+      if (item >= spec.users + spec.items) item = spec.users + spec.items - 1;
+      // A user rates an item at most once (duplicates would make the ALS
+      // normal equations ambiguous); retry a few draws, then skip.
+      bool fresh = false;
+      for (int attempt = 0; attempt < 4 && !fresh; ++attempt) {
+        if (std::find(seen.begin(), seen.end(), item) == seen.end()) {
+          fresh = true;
+          break;
+        }
+        item = popular_item();
+        if (item >= spec.users + spec.items) item = spec.users + spec.items - 1;
+      }
+      if (!fresh && std::find(seen.begin(), seen.end(), item) != seen.end()) continue;
+      seen.push_back(item);
+      const double rating = 1.0 + static_cast<double>(rng.next_below(5));
+      edges.add_undirected(user, item, rating);
+    }
+  }
+  return edges;
+}
+
+EdgeList planted_communities(const CommunitySpec& spec, std::uint64_t seed) {
+  CYCLOPS_CHECK(spec.communities > 0 && spec.group_size > 1);
+  CYCLOPS_CHECK(spec.p_internal >= 0.0 && spec.p_internal <= 1.0);
+  Rng rng(seed);
+  const VertexId n = spec.communities * spec.group_size;
+  EdgeList edges(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId community = v / spec.group_size;
+    const VertexId base = community * spec.group_size;
+    for (unsigned k = 0; k < spec.degree; ++k) {
+      VertexId u;
+      if (rng.next_bool(spec.p_internal)) {
+        u = base + static_cast<VertexId>(rng.next_below(spec.group_size));
+      } else {
+        u = static_cast<VertexId>(rng.next_below(n));
+      }
+      if (u == v) u = (u + 1) % n;
+      edges.add_undirected(v, u);
+    }
+  }
+  return edges;
+}
+
+EdgeList road_grid(const RoadSpec& spec, std::uint64_t seed) {
+  CYCLOPS_CHECK(spec.rows > 1 && spec.cols > 1);
+  Rng rng(seed);
+  const VertexId n = spec.rows * spec.cols;
+  EdgeList edges(n);
+  auto id = [&](VertexId r, VertexId c) { return r * spec.cols + c; };
+  auto weight = [&]() { return rng.next_lognormal(spec.mu, spec.sigma); };
+  for (VertexId r = 0; r < spec.rows; ++r) {
+    for (VertexId c = 0; c < spec.cols; ++c) {
+      if (c + 1 < spec.cols) edges.add_undirected(id(r, c), id(r, c + 1), weight());
+      if (r + 1 < spec.rows) edges.add_undirected(id(r, c), id(r + 1, c), weight());
+    }
+  }
+  const auto lattice_edges = edges.num_edges() / 2;
+  const auto shortcuts =
+      static_cast<std::size_t>(spec.shortcut_fraction * static_cast<double>(lattice_edges));
+  for (std::size_t i = 0; i < shortcuts; ++i) {
+    const auto a = static_cast<VertexId>(rng.next_below(n));
+    const auto b = static_cast<VertexId>(rng.next_below(n));
+    if (a != b) edges.add_undirected(a, b, weight() * 4.0);
+  }
+  return edges;
+}
+
+}  // namespace cyclops::graph::gen

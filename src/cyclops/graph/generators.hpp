@@ -1,0 +1,82 @@
+#pragma once
+// Synthetic graph generators standing in for the paper's datasets (see
+// DESIGN.md substitution table). Each generator matches the *structural*
+// property the corresponding experiment depends on: degree skew for the web
+// graphs, bipartite structure for ALS, planted communities for CD, and a
+// high-diameter weighted lattice for SSSP. All are deterministic in the seed.
+
+#include <cstdint>
+
+#include "cyclops/graph/edge_list.hpp"
+
+namespace cyclops::graph::gen {
+
+/// G(n, m) Erdős–Rényi digraph: m directed edges drawn uniformly.
+[[nodiscard]] EdgeList erdos_renyi(VertexId n, std::size_t m, std::uint64_t seed);
+
+/// R-MAT power-law digraph (Kronecker recursive quadrant sampling) over
+/// 2^scale vertices with ~m edges. Defaults are the canonical (0.57, 0.19,
+/// 0.19, 0.05) web-like parameters; duplicates are removed.
+struct RmatParams {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+};
+[[nodiscard]] EdgeList rmat(unsigned scale, std::size_t m, std::uint64_t seed,
+                            const RmatParams& params = {});
+
+/// Web-graph stand-in with both degree skew and locality: a fraction
+/// `locality` of edges stay within contiguous blocks of `block_size` vertices
+/// (host-level link locality real web/social graphs exhibit, which is what
+/// lets Metis-style partitioners shine — Figure 11), the rest are R-MAT
+/// power-law edges (hubs). Duplicates removed.
+struct WebSpec {
+  unsigned scale = 14;          ///< 2^scale vertices
+  std::size_t edges = 100000;
+  double locality = 0.75;       ///< fraction of block-internal edges
+  VertexId block_size = 64;
+  RmatParams skew;
+};
+[[nodiscard]] EdgeList web_graph(const WebSpec& spec, std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment (undirected edges stored in both
+/// directions): each new vertex attaches to `attach` existing vertices.
+[[nodiscard]] EdgeList preferential_attachment(VertexId n, unsigned attach,
+                                               std::uint64_t seed);
+
+/// Bipartite users×items ratings graph for ALS: vertices [0, users) are
+/// users, [users, users+items) are items. Each user rates ratings_per_user
+/// items (power-law item popularity); weights are ratings in [1, 5]. Edges
+/// are stored in both directions, as ALS alternates sides.
+struct BipartiteSpec {
+  VertexId users = 0;
+  VertexId items = 0;
+  unsigned ratings_per_user = 10;
+};
+[[nodiscard]] EdgeList bipartite_ratings(const BipartiteSpec& spec, std::uint64_t seed);
+
+/// Planted-partition community graph for CD: `communities` groups of
+/// `group_size` vertices; each vertex gets ~degree edges, a fraction
+/// `p_internal` of which stay inside its community. Undirected storage.
+struct CommunitySpec {
+  VertexId communities = 0;
+  VertexId group_size = 0;
+  unsigned degree = 8;
+  double p_internal = 0.9;
+};
+[[nodiscard]] EdgeList planted_communities(const CommunitySpec& spec, std::uint64_t seed);
+
+/// Road-network analog for SSSP: rows×cols 4-neighbor lattice (undirected
+/// storage) with a small fraction of extra "highway" shortcuts, weighted by
+/// the paper's log-normal distribution (mu=0.4, sigma=1.2 by default).
+struct RoadSpec {
+  VertexId rows = 0;
+  VertexId cols = 0;
+  double shortcut_fraction = 0.01;  ///< extra edges relative to lattice edges
+  double mu = 0.4;
+  double sigma = 1.2;
+};
+[[nodiscard]] EdgeList road_grid(const RoadSpec& spec, std::uint64_t seed);
+
+}  // namespace cyclops::graph::gen

@@ -1,0 +1,79 @@
+#include "cyclops/graph/gstats.hpp"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace cyclops::graph {
+
+GraphStats compute_stats(const Csr& g) {
+  GraphStats s;
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  std::vector<double> out_deg(s.num_vertices);
+  std::vector<double> in_deg(s.num_vertices);
+  std::size_t max_out = 0;
+  for (VertexId v = 0; v < s.num_vertices; ++v) {
+    out_deg[v] = static_cast<double>(g.out_degree(v));
+    in_deg[v] = static_cast<double>(g.in_degree(v));
+    if (g.out_degree(v) > max_out) {
+      max_out = g.out_degree(v);
+      s.max_out_degree_vertex = v;
+    }
+    if (g.out_degree(v) == 0 && g.in_degree(v) == 0) ++s.isolated_vertices;
+  }
+  s.out_degree = summarize(out_deg);
+  s.in_degree = summarize(in_deg);
+  s.avg_degree = s.num_vertices > 0
+                     ? static_cast<double>(s.num_edges) / static_cast<double>(s.num_vertices)
+                     : 0.0;
+  return s;
+}
+
+double powerlaw_exponent(const Csr& g) {
+  std::map<std::size_t, std::size_t> counts;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::size_t d = g.out_degree(v);
+    if (d > 0) ++counts[d];
+  }
+  // Least-squares fit of log(count) against log(degree).
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t n = 0;
+  for (const auto& [degree, count] : counts) {
+    if (degree < 2) continue;  // skip the head; fit the tail
+    const double x = std::log(static_cast<double>(degree));
+    const double y = std::log(static_cast<double>(count));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  if (n < 3) return 0.0;
+  const double nn = static_cast<double>(n);
+  const double denom = nn * sxx - sx * sx;
+  return denom != 0.0 ? (nn * sxy - sx * sy) / denom : 0.0;
+}
+
+std::size_t reachable_from(const Csr& g, VertexId src) {
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::vector<VertexId> frontier{src};
+  seen[src] = true;
+  std::size_t count = 1;
+  while (!frontier.empty()) {
+    std::vector<VertexId> next;
+    for (VertexId v : frontier) {
+      for (const Adj& a : g.out_neighbors(v)) {
+        if (!seen[a.neighbor]) {
+          seen[a.neighbor] = true;
+          ++count;
+          next.push_back(a.neighbor);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return count;
+}
+
+}  // namespace cyclops::graph

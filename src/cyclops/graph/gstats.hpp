@@ -1,0 +1,29 @@
+#pragma once
+// Structural statistics over a CSR graph, used to validate that generated
+// stand-in datasets match the properties the experiments rely on.
+
+#include "cyclops/common/stats.hpp"
+#include "cyclops/graph/csr.hpp"
+
+namespace cyclops::graph {
+
+struct GraphStats {
+  VertexId num_vertices = 0;
+  std::size_t num_edges = 0;
+  Summary out_degree;
+  Summary in_degree;
+  double avg_degree = 0;
+  VertexId max_out_degree_vertex = 0;
+  std::size_t isolated_vertices = 0;  ///< no in- and no out-edges
+};
+
+[[nodiscard]] GraphStats compute_stats(const Csr& g);
+
+/// Fits log(count) ~ alpha * log(degree) over the out-degree distribution
+/// tail; skewed web-like graphs have alpha roughly in [-3, -1.5].
+[[nodiscard]] double powerlaw_exponent(const Csr& g);
+
+/// Reachable-vertex count from src following out-edges (BFS).
+[[nodiscard]] std::size_t reachable_from(const Csr& g, VertexId src);
+
+}  // namespace cyclops::graph

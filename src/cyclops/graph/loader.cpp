@@ -1,0 +1,141 @@
+#include "cyclops/graph/loader.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace cyclops::graph {
+
+EdgeList load_edge_list(std::istream& in, const LoadOptions& opts) {
+  EdgeList edges;
+  std::unordered_map<std::uint64_t, VertexId> remap;
+  auto densify = [&](std::uint64_t raw) -> VertexId {
+    if (!opts.densify_ids) {
+      if (raw > kInvalidVertex - 1) throw std::runtime_error("vertex id overflows 32 bits");
+      return static_cast<VertexId>(raw);
+    }
+    auto [it, inserted] = remap.try_emplace(raw, static_cast<VertexId>(remap.size()));
+    return it->second;
+  };
+
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t raw_src = 0;
+    std::uint64_t raw_dst = 0;
+    if (!(ls >> raw_src >> raw_dst)) {
+      throw std::runtime_error("malformed edge at line " + std::to_string(lineno));
+    }
+    double weight = opts.default_weight;
+    if (double w = 0; ls >> w) {
+      if (!std::isfinite(w)) {
+        throw std::runtime_error("non-finite weight at line " + std::to_string(lineno));
+      }
+      weight = w;
+    }
+    const VertexId src = densify(raw_src);
+    const VertexId dst = densify(raw_dst);
+    if (opts.undirected) {
+      edges.add_undirected(src, dst, weight);
+    } else {
+      edges.add(src, dst, weight);
+    }
+  }
+  return edges;
+}
+
+EdgeList load_edge_list_file(const std::string& path, const LoadOptions& opts) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open graph file: " + path);
+  return load_edge_list(in, opts);
+}
+
+void save_edge_list(std::ostream& out, const EdgeList& edges) {
+  bool uniform = true;
+  for (const Edge& e : edges.edges()) {
+    if (e.weight != 1.0) {
+      uniform = false;
+      break;
+    }
+  }
+  out << "# cyclops edge list: " << edges.num_vertices() << " vertices, "
+      << edges.num_edges() << " edges\n";
+  for (const Edge& e : edges.edges()) {
+    out << e.src << ' ' << e.dst;
+    if (!uniform) out << ' ' << e.weight;
+    out << '\n';
+  }
+}
+
+void save_edge_list_file(const std::string& path, const EdgeList& edges) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write graph file: " + path);
+  save_edge_list(out, edges);
+}
+
+namespace {
+constexpr char kMagic[4] = {'C', 'Y', 'G', 'R'};
+constexpr std::uint32_t kBinaryVersion = 1;
+
+struct BinaryEdge {
+  VertexId src;
+  VertexId dst;
+  double weight;
+};
+}  // namespace
+
+void save_binary_file(const std::string& path, const EdgeList& edges) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write graph file: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint32_t version = kBinaryVersion;
+  const std::uint32_t n = edges.num_vertices();
+  const std::uint64_t m = edges.num_edges();
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  for (const Edge& e : edges.edges()) {
+    const BinaryEdge rec{e.src, e.dst, e.weight};
+    out.write(reinterpret_cast<const char*>(&rec), sizeof(rec));
+  }
+  if (!out) throw std::runtime_error("short write to graph file: " + path);
+}
+
+EdgeList load_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open graph file: " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("not a cyclops binary graph: " + path);
+  }
+  std::uint32_t version = 0;
+  std::uint32_t n = 0;
+  std::uint64_t m = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&m), sizeof(m));
+  if (!in || version != kBinaryVersion) {
+    throw std::runtime_error("unsupported binary graph version in " + path);
+  }
+  EdgeList edges(n);
+  edges.edges().reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    BinaryEdge rec;
+    in.read(reinterpret_cast<char*>(&rec), sizeof(rec));
+    if (!in) throw std::runtime_error("truncated binary graph: " + path);
+    if (rec.src >= n || rec.dst >= n) {
+      throw std::runtime_error("corrupt binary graph (edge out of range): " + path);
+    }
+    edges.add(rec.src, rec.dst, rec.weight);
+  }
+  return edges;
+}
+
+}  // namespace cyclops::graph

@@ -1,0 +1,40 @@
+#include "cyclops/metrics/convergence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cyclops/common/check.hpp"
+
+namespace cyclops::metrics {
+
+ConvergenceTracker::ConvergenceTracker(std::vector<double> reference)
+    : reference_(std::move(reference)) {}
+
+double ConvergenceTracker::l1_distance(std::span<const double> a, std::span<const double> b) {
+  CYCLOPS_CHECK(a.size() == b.size());
+  double total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) total += std::abs(a[i] - b[i]);
+  return total;
+}
+
+void ConvergenceTracker::sample(double elapsed_s, std::span<const double> values) {
+  points_.push_back(Point{elapsed_s, l1_distance(reference_, values)});
+}
+
+std::vector<std::pair<std::uint32_t, double>> ranked_errors(
+    std::span<const double> reference, std::span<const double> values) {
+  CYCLOPS_CHECK(reference.size() == values.size());
+  std::vector<std::pair<std::uint32_t, double>> out(reference.size());
+  std::vector<std::uint32_t> order(reference.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return reference[a] != reference[b] ? reference[a] > reference[b] : a < b;
+  });
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const std::uint32_t v = order[rank];
+    out[rank] = {v, std::abs(values[v] - reference[v])};
+  }
+  return out;
+}
+
+}  // namespace cyclops::metrics

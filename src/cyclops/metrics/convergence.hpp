@@ -1,0 +1,39 @@
+#pragma once
+// Convergence measurement: L1-norm distance to a reference solution over
+// time (Figure 13(3)) and per-vertex final-error distributions (Figure 3(3)).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cyclops::metrics {
+
+/// Records (elapsed seconds, L1 distance to reference) samples, one per
+/// superstep; engines invoke the tracker via their per-superstep observer.
+class ConvergenceTracker {
+ public:
+  explicit ConvergenceTracker(std::vector<double> reference);
+
+  void sample(double elapsed_s, std::span<const double> values);
+
+  struct Point {
+    double elapsed_s = 0;
+    double l1 = 0;
+  };
+  [[nodiscard]] const std::vector<Point>& points() const noexcept { return points_; }
+
+  [[nodiscard]] static double l1_distance(std::span<const double> a,
+                                          std::span<const double> b);
+
+ private:
+  std::vector<double> reference_;
+  std::vector<Point> points_;
+};
+
+/// Per-vertex |final - reference| errors, ranked by reference value
+/// descending (the paper sorts by rank importance). Entry .second is the
+/// error; .first the vertex id.
+[[nodiscard]] std::vector<std::pair<std::uint32_t, double>> ranked_errors(
+    std::span<const double> reference, std::span<const double> values);
+
+}  // namespace cyclops::metrics

@@ -1,0 +1,5 @@
+#include "cyclops/metrics/memory_model.hpp"
+
+namespace cyclops::metrics {
+static_assert(sizeof(MemoryReport) > 0);
+}  // namespace cyclops::metrics

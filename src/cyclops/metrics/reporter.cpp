@@ -1,0 +1,52 @@
+#include "cyclops/metrics/reporter.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace cyclops::metrics {
+
+std::string phase_breakdown_row(const std::string& label, const RunStats& run,
+                                bool normalized) {
+  const PhaseTimes t = run.phase_totals();
+  // Attribution matches the paper's phases: SND includes the (modeled) wire
+  // time of message transfer; SYN includes the (modeled) barrier wait.
+  const double syn = t.syn_s + run.modeled_barrier_s();
+  const double snd = t.snd_s + run.modeled_wire_s();
+  const double total = t.prs_s + t.cmp_s + snd + syn;
+  char buf[256];
+  if (normalized && total > 0) {
+    std::snprintf(buf, sizeof(buf), "%-24s SYN %5.1f%%  PRS %5.1f%%  CMP %5.1f%%  SND %5.1f%%",
+                  label.c_str(), 100 * syn / total, 100 * t.prs_s / total,
+                  100 * t.cmp_s / total, 100 * snd / total);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "%-24s SYN %7.3fs  PRS %7.3fs  CMP %7.3fs  SND %7.3fs  total %7.3fs",
+                  label.c_str(), syn, t.prs_s, t.cmp_s, snd, total);
+  }
+  return buf;
+}
+
+std::string superstep_series_csv(const RunStats& run) {
+  std::ostringstream out;
+  out << "superstep,active_vertices,messages,redundant_messages,converged\n";
+  for (const auto& s : run.supersteps) {
+    out << s.superstep << ',' << s.active_vertices << ',' << s.net.total_messages() << ','
+        << s.redundant_messages << ',' << s.converged_vertices << '\n';
+  }
+  return out.str();
+}
+
+std::string run_summary(const std::string& label, const RunStats& run) {
+  const auto net = run.net_totals();
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s: %zu supersteps, %.3fs total (%.3fs measured + %.3fs modeled comm), "
+                "%llu messages (%llu remote)",
+                label.c_str(), run.supersteps.size(), run.total_time_s(), run.elapsed_s,
+                run.modeled_comm_total_s(),
+                static_cast<unsigned long long>(net.total_messages()),
+                static_cast<unsigned long long>(net.remote_messages));
+  return buf;
+}
+
+}  // namespace cyclops::metrics

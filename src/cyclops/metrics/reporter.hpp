@@ -1,0 +1,21 @@
+#pragma once
+// Rendering of RunStats into the paper's reporting shapes: phase-breakdown
+// rows (Figure 10/12), per-superstep series (Figures 3/10), and CSV export.
+
+#include <string>
+
+#include "cyclops/metrics/superstep_stats.hpp"
+
+namespace cyclops::metrics {
+
+/// One "SYN | PRS | CMP | SND" breakdown line, normalized or absolute.
+[[nodiscard]] std::string phase_breakdown_row(const std::string& label, const RunStats& run,
+                                              bool normalized);
+
+/// Per-superstep series "superstep, active, messages" — Figure 10(2)/(3).
+[[nodiscard]] std::string superstep_series_csv(const RunStats& run);
+
+/// Short one-line summary used by examples.
+[[nodiscard]] std::string run_summary(const std::string& label, const RunStats& run);
+
+}  // namespace cyclops::metrics

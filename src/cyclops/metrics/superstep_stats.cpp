@@ -1,0 +1,5 @@
+#include "cyclops/metrics/superstep_stats.hpp"
+
+namespace cyclops::metrics {
+static_assert(sizeof(SuperstepStats) > 0);
+}  // namespace cyclops::metrics

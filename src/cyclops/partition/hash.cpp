@@ -1,0 +1,29 @@
+#include "cyclops/partition/hash.hpp"
+
+#include "cyclops/common/check.hpp"
+#include "cyclops/common/rng.hpp"
+
+namespace cyclops::partition {
+
+EdgeCutPartition HashPartitioner::partition(const graph::Csr& g, WorkerId num_parts) const {
+  CYCLOPS_CHECK(num_parts > 0);
+  std::vector<WorkerId> owner(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    owner[v] = static_cast<WorkerId>(mix64(v) % num_parts);
+  }
+  return EdgeCutPartition(std::move(owner), num_parts);
+}
+
+EdgeCutPartition RangePartitioner::partition(const graph::Csr& g, WorkerId num_parts) const {
+  CYCLOPS_CHECK(num_parts > 0);
+  const VertexId n = g.num_vertices();
+  std::vector<WorkerId> owner(n);
+  const VertexId chunk = (n + num_parts - 1) / num_parts;
+  for (VertexId v = 0; v < n; ++v) {
+    owner[v] = std::min<WorkerId>(static_cast<WorkerId>(v / std::max<VertexId>(chunk, 1)),
+                                  num_parts - 1);
+  }
+  return EdgeCutPartition(std::move(owner), num_parts);
+}
+
+}  // namespace cyclops::partition

@@ -1,0 +1,24 @@
+#pragma once
+// The default Hama/Pregel partitioner: owner(v) = hash(v) mod parts.
+
+#include "cyclops/partition/partition.hpp"
+
+namespace cyclops::partition {
+
+class HashPartitioner final : public EdgeCutPartitioner {
+ public:
+  [[nodiscard]] EdgeCutPartition partition(const graph::Csr& g,
+                                           WorkerId num_parts) const override;
+  [[nodiscard]] const char* name() const noexcept override { return "hash"; }
+};
+
+/// Contiguous ranges of vertex ids — cheap baseline with good locality on
+/// generated lattices, poor on shuffled ids.
+class RangePartitioner final : public EdgeCutPartitioner {
+ public:
+  [[nodiscard]] EdgeCutPartition partition(const graph::Csr& g,
+                                           WorkerId num_parts) const override;
+  [[nodiscard]] const char* name() const noexcept override { return "range"; }
+};
+
+}  // namespace cyclops::partition

@@ -1,0 +1,306 @@
+#include "cyclops/partition/multilevel.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "cyclops/common/check.hpp"
+#include "cyclops/common/rng.hpp"
+
+namespace cyclops::partition {
+
+namespace {
+
+/// Undirected weighted working graph used across coarsening levels.
+struct WGraph {
+  std::vector<std::size_t> offsets;  // size n+1
+  std::vector<VertexId> adj;
+  std::vector<double> eweight;
+  std::vector<double> vweight;
+
+  [[nodiscard]] VertexId n() const noexcept {
+    return static_cast<VertexId>(vweight.size());
+  }
+  [[nodiscard]] std::size_t degree(VertexId v) const noexcept {
+    return offsets[v + 1] - offsets[v];
+  }
+};
+
+/// Symmetrizes a directed CSR into a weighted undirected graph, merging
+/// parallel edges by summing weights (edge weight = #directed edges between
+/// the endpoints; the partitioner should value heavily-connected pairs).
+WGraph symmetrize(const graph::Csr& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<std::unordered_map<VertexId, double>> nbr(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (const graph::Adj& a : g.out_neighbors(v)) {
+      if (a.neighbor == v) continue;
+      nbr[v][a.neighbor] += 1.0;
+      nbr[a.neighbor][v] += 1.0;
+    }
+  }
+  WGraph w;
+  w.vweight.assign(n, 1.0);
+  w.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  std::size_t total = 0;
+  for (VertexId v = 0; v < n; ++v) total += nbr[v].size();
+  w.adj.reserve(total);
+  w.eweight.reserve(total);
+  for (VertexId v = 0; v < n; ++v) {
+    std::vector<std::pair<VertexId, double>> sorted(nbr[v].begin(), nbr[v].end());
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto& [u, wt] : sorted) {
+      w.adj.push_back(u);
+      w.eweight.push_back(wt);
+    }
+    w.offsets[v + 1] = w.adj.size();
+  }
+  return w;
+}
+
+/// Heavy-edge matching: pairs each unmatched vertex with its unmatched
+/// neighbor of maximum edge weight. Returns coarse-vertex ids per vertex and
+/// the number of coarse vertices.
+std::pair<std::vector<VertexId>, VertexId> heavy_edge_matching(const WGraph& g, Rng& rng) {
+  const VertexId n = g.n();
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  for (VertexId i = n; i > 1; --i) {  // Fisher–Yates
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+  std::vector<VertexId> match(n, kInvalidVertex);
+  for (VertexId v : order) {
+    if (match[v] != kInvalidVertex) continue;
+    VertexId best = kInvalidVertex;
+    double best_w = -1.0;
+    for (std::size_t e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
+      const VertexId u = g.adj[e];
+      if (u == v || match[u] != kInvalidVertex) continue;
+      if (g.eweight[e] > best_w) {
+        best_w = g.eweight[e];
+        best = u;
+      }
+    }
+    if (best != kInvalidVertex) {
+      match[v] = best;
+      match[best] = v;
+    } else {
+      match[v] = v;  // stays single
+    }
+  }
+  std::vector<VertexId> coarse_id(n, kInvalidVertex);
+  VertexId next = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (coarse_id[v] != kInvalidVertex) continue;
+    coarse_id[v] = next;
+    if (match[v] != v) coarse_id[match[v]] = next;
+    ++next;
+  }
+  return {std::move(coarse_id), next};
+}
+
+/// Contracts g along coarse_id into a graph with nc vertices.
+WGraph contract(const WGraph& g, const std::vector<VertexId>& coarse_id, VertexId nc) {
+  std::vector<std::unordered_map<VertexId, double>> nbr(nc);
+  WGraph c;
+  c.vweight.assign(nc, 0.0);
+  for (VertexId v = 0; v < g.n(); ++v) {
+    const VertexId cv = coarse_id[v];
+    c.vweight[cv] += g.vweight[v];
+    for (std::size_t e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
+      const VertexId cu = coarse_id[g.adj[e]];
+      if (cu == cv) continue;
+      nbr[cv][cu] += g.eweight[e];
+    }
+  }
+  c.offsets.assign(static_cast<std::size_t>(nc) + 1, 0);
+  std::size_t total = 0;
+  for (VertexId v = 0; v < nc; ++v) total += nbr[v].size();
+  c.adj.reserve(total);
+  c.eweight.reserve(total);
+  for (VertexId v = 0; v < nc; ++v) {
+    std::vector<std::pair<VertexId, double>> sorted(nbr[v].begin(), nbr[v].end());
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto& [u, wt] : sorted) {
+      c.adj.push_back(u);
+      c.eweight.push_back(wt);
+    }
+    c.offsets[v + 1] = c.adj.size();
+  }
+  return c;
+}
+
+/// Greedy graph growing: grows k balanced regions by BFS from high-degree
+/// seeds on the coarsest graph.
+std::vector<WorkerId> initial_partition(const WGraph& g, WorkerId k, Rng& rng) {
+  const VertexId n = g.n();
+  std::vector<WorkerId> part(n, kInvalidWorker);
+  const double total_weight =
+      std::accumulate(g.vweight.begin(), g.vweight.end(), 0.0);
+  const double target = total_weight / static_cast<double>(k);
+
+  std::vector<VertexId> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), VertexId{0});
+  std::sort(by_degree.begin(), by_degree.end(), [&](VertexId a, VertexId b) {
+    return g.degree(a) != g.degree(b) ? g.degree(a) > g.degree(b) : a < b;
+  });
+
+  std::size_t seed_cursor = 0;
+  std::vector<double> part_weight(k, 0.0);
+  for (WorkerId p = 0; p + 1 < k; ++p) {  // last part takes the remainder
+    // Seed: heaviest-degree unassigned vertex.
+    while (seed_cursor < n && part[by_degree[seed_cursor]] != kInvalidWorker) ++seed_cursor;
+    if (seed_cursor >= n) break;
+    std::vector<VertexId> frontier{by_degree[seed_cursor]};
+    part[by_degree[seed_cursor]] = p;
+    part_weight[p] += g.vweight[by_degree[seed_cursor]];
+    std::size_t head = 0;
+    while (part_weight[p] < target && head < frontier.size()) {
+      const VertexId v = frontier[head++];
+      for (std::size_t e = g.offsets[v]; e < g.offsets[v + 1] && part_weight[p] < target; ++e) {
+        const VertexId u = g.adj[e];
+        if (part[u] != kInvalidWorker) continue;
+        part[u] = p;
+        part_weight[p] += g.vweight[u];
+        frontier.push_back(u);
+      }
+    }
+    // If BFS exhausted a disconnected region before reaching target weight,
+    // jump to a fresh random unassigned seed.
+    while (part_weight[p] < target) {
+      VertexId v = static_cast<VertexId>(rng.next_below(n));
+      bool found = false;
+      for (VertexId probe = 0; probe < n; ++probe) {
+        const VertexId candidate = static_cast<VertexId>((v + probe) % n);
+        if (part[candidate] == kInvalidWorker) {
+          v = candidate;
+          found = true;
+          break;
+        }
+      }
+      if (!found) break;
+      part[v] = p;
+      part_weight[p] += g.vweight[v];
+      std::vector<VertexId> extra{v};
+      std::size_t h2 = 0;
+      while (part_weight[p] < target && h2 < extra.size()) {
+        const VertexId x = extra[h2++];
+        for (std::size_t e = g.offsets[x]; e < g.offsets[x + 1] && part_weight[p] < target;
+             ++e) {
+          const VertexId u = g.adj[e];
+          if (part[u] != kInvalidWorker) continue;
+          part[u] = p;
+          part_weight[p] += g.vweight[u];
+          extra.push_back(u);
+        }
+      }
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (part[v] == kInvalidWorker) part[v] = k - 1;
+  }
+  return part;
+}
+
+/// One greedy boundary refinement sweep; returns number of moves.
+std::size_t refine_pass(const WGraph& g, std::vector<WorkerId>& part, WorkerId k,
+                        std::vector<double>& part_weight, double max_weight, Rng& rng) {
+  const VertexId n = g.n();
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  for (VertexId i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+  std::vector<double> gain(k, 0.0);
+  std::vector<WorkerId> touched;
+  std::size_t moves = 0;
+  for (VertexId v : order) {
+    const WorkerId home = part[v];
+    touched.clear();
+    double internal = 0.0;
+    for (std::size_t e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
+      const WorkerId p = part[g.adj[e]];
+      if (p == home) {
+        internal += g.eweight[e];
+      } else {
+        if (gain[p] == 0.0) touched.push_back(p);
+        gain[p] += g.eweight[e];
+      }
+    }
+    WorkerId best = home;
+    double best_gain = 0.0;
+    for (WorkerId p : touched) {
+      if (gain[p] - internal > best_gain &&
+          part_weight[p] + g.vweight[v] <= max_weight) {
+        best_gain = gain[p] - internal;
+        best = p;
+      }
+      gain[p] = 0.0;
+    }
+    if (best != home) {
+      part[v] = best;
+      part_weight[home] -= g.vweight[v];
+      part_weight[best] += g.vweight[v];
+      ++moves;
+    }
+  }
+  return moves;
+}
+
+}  // namespace
+
+EdgeCutPartition MultilevelPartitioner::partition(const graph::Csr& g,
+                                                  WorkerId num_parts) const {
+  CYCLOPS_CHECK(num_parts > 0);
+  const VertexId n = g.num_vertices();
+  if (num_parts == 1 || n == 0) {
+    return EdgeCutPartition(std::vector<WorkerId>(n, 0), std::max<WorkerId>(num_parts, 1));
+  }
+
+  Rng rng(config_.seed);
+
+  // Phase 1: coarsen.
+  std::vector<WGraph> levels;
+  std::vector<std::vector<VertexId>> maps;  // maps[i]: level i vertex -> level i+1
+  levels.push_back(symmetrize(g));
+  const VertexId stop_at =
+      std::max<VertexId>(config_.coarsen_target, 8 * static_cast<VertexId>(num_parts));
+  while (levels.back().n() > stop_at) {
+    auto [coarse_id, nc] = heavy_edge_matching(levels.back(), rng);
+    if (static_cast<double>(nc) >
+        config_.min_shrink * static_cast<double>(levels.back().n())) {
+      break;  // matching stalled (e.g. star graphs) — stop coarsening
+    }
+    WGraph next = contract(levels.back(), coarse_id, nc);
+    maps.push_back(std::move(coarse_id));
+    levels.push_back(std::move(next));
+  }
+
+  // Phase 2: initial partition on the coarsest level.
+  std::vector<WorkerId> part = initial_partition(levels.back(), num_parts, rng);
+
+  // Phase 3: uncoarsen with refinement at every level.
+  const double total_weight =
+      std::accumulate(levels.front().vweight.begin(), levels.front().vweight.end(), 0.0);
+  const double max_weight =
+      (1.0 + config_.balance_epsilon) * total_weight / static_cast<double>(num_parts);
+  for (std::size_t level = levels.size(); level-- > 0;) {
+    const WGraph& wg = levels[level];
+    std::vector<double> part_weight(num_parts, 0.0);
+    for (VertexId v = 0; v < wg.n(); ++v) part_weight[part[v]] += wg.vweight[v];
+    for (unsigned pass = 0; pass < config_.refine_passes; ++pass) {
+      if (refine_pass(wg, part, num_parts, part_weight, max_weight, rng) == 0) break;
+    }
+    if (level > 0) {
+      // Project to the finer level.
+      const std::vector<VertexId>& map = maps[level - 1];
+      std::vector<WorkerId> finer(levels[level - 1].n());
+      for (VertexId v = 0; v < levels[level - 1].n(); ++v) finer[v] = part[map[v]];
+      part = std::move(finer);
+    }
+  }
+  return EdgeCutPartition(std::move(part), num_parts);
+}
+
+}  // namespace cyclops::partition

@@ -1,0 +1,76 @@
+#pragma once
+// Vertex-cut partitioning for the PowerGraph-style GAS engine: each *edge*
+// lives on exactly one worker; a vertex is replicated on every worker hosting
+// one of its edges, and one replica is designated master. Implements random
+// edge placement and PowerGraph's coordinated greedy heuristic.
+
+#include <cstdint>
+#include <vector>
+
+#include "cyclops/common/types.hpp"
+#include "cyclops/graph/csr.hpp"
+#include "cyclops/graph/edge_list.hpp"
+
+namespace cyclops::partition {
+
+class VertexCutPartition {
+ public:
+  VertexCutPartition(std::vector<WorkerId> edge_owner, std::vector<WorkerId> master,
+                     WorkerId num_parts);
+
+  [[nodiscard]] WorkerId edge_owner(std::size_t edge_index) const noexcept {
+    return edge_owner_[edge_index];
+  }
+  [[nodiscard]] WorkerId master(VertexId v) const noexcept { return master_[v]; }
+  [[nodiscard]] WorkerId num_parts() const noexcept { return num_parts_; }
+  [[nodiscard]] const std::vector<WorkerId>& edge_owners() const noexcept {
+    return edge_owner_;
+  }
+
+ private:
+  std::vector<WorkerId> edge_owner_;  // parallel to the EdgeList order
+  std::vector<WorkerId> master_;
+  WorkerId num_parts_ = 0;
+};
+
+struct VertexCutQuality {
+  /// Average number of replicas (including the master copy) per vertex.
+  double replication_factor = 1.0;
+  std::size_t total_replicas = 0;
+  double edge_imbalance = 1.0;  ///< max/mean edges per part
+};
+
+[[nodiscard]] VertexCutQuality evaluate(const graph::EdgeList& edges,
+                                        const VertexCutPartition& p);
+
+class VertexCutPartitioner {
+ public:
+  virtual ~VertexCutPartitioner() = default;
+  [[nodiscard]] virtual VertexCutPartition partition(const graph::EdgeList& edges,
+                                                     WorkerId num_parts) const = 0;
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+/// Random hashing of (src, dst) pairs — PowerGraph's default.
+class RandomVertexCut final : public VertexCutPartitioner {
+ public:
+  [[nodiscard]] VertexCutPartition partition(const graph::EdgeList& edges,
+                                             WorkerId num_parts) const override;
+  [[nodiscard]] const char* name() const noexcept override { return "random-vcut"; }
+};
+
+/// Coordinated greedy placement (Gonzalez et al., OSDI'12): place each edge
+/// on a worker already hosting both endpoints if possible, else one endpoint,
+/// else the least-loaded worker. Sequential/coordinated variant.
+class GreedyVertexCut final : public VertexCutPartitioner {
+ public:
+  explicit GreedyVertexCut(std::uint64_t seed = 42) : seed_(seed) {}
+  [[nodiscard]] VertexCutPartition partition(const graph::EdgeList& edges,
+                                             WorkerId num_parts) const override;
+  [[nodiscard]] const char* name() const noexcept override { return "greedy-vcut"; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace cyclops::partition

@@ -1,0 +1,9 @@
+#include "cyclops/sim/cost_model.hpp"
+
+// Header-only arithmetic; this TU anchors the library target and pins the
+// (trivial) type definitions to one object file.
+
+namespace cyclops::sim {
+static_assert(sizeof(CostModel) > 0);
+static_assert(sizeof(Topology) > 0);
+}  // namespace cyclops::sim

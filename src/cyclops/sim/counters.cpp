@@ -1,0 +1,5 @@
+#include "cyclops/sim/counters.hpp"
+
+namespace cyclops::sim {
+static_assert(sizeof(NetCounters) > 0);
+}  // namespace cyclops::sim

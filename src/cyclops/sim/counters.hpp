@@ -1,0 +1,83 @@
+#pragma once
+// Communication accounting. Every engine reports through these counters so
+// "#Messages" columns in Tables 3/4 and Figure 10(3) come from one source of
+// truth.
+
+#include <atomic>
+#include <cstdint>
+
+namespace cyclops::sim {
+
+/// Plain snapshot (copyable, arithmetic-friendly).
+struct NetSnapshot {
+  std::uint64_t remote_messages = 0;
+  std::uint64_t local_messages = 0;   ///< cross-worker but same machine
+  std::uint64_t remote_bytes = 0;
+  std::uint64_t local_bytes = 0;
+  std::uint64_t packages = 0;         ///< bundled (src worker, dst worker) transfers
+
+  [[nodiscard]] std::uint64_t total_messages() const noexcept {
+    return remote_messages + local_messages;
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return remote_bytes + local_bytes;
+  }
+
+  NetSnapshot& operator+=(const NetSnapshot& o) noexcept {
+    remote_messages += o.remote_messages;
+    local_messages += o.local_messages;
+    remote_bytes += o.remote_bytes;
+    local_bytes += o.local_bytes;
+    packages += o.packages;
+    return *this;
+  }
+  friend NetSnapshot operator-(NetSnapshot a, const NetSnapshot& b) noexcept {
+    a.remote_messages -= b.remote_messages;
+    a.local_messages -= b.local_messages;
+    a.remote_bytes -= b.remote_bytes;
+    a.local_bytes -= b.local_bytes;
+    a.packages -= b.packages;
+    return a;
+  }
+};
+
+/// Thread-safe accumulating counters.
+class NetCounters {
+ public:
+  void add_remote(std::uint64_t msgs, std::uint64_t bytes) noexcept {
+    remote_messages_.fetch_add(msgs, std::memory_order_relaxed);
+    remote_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void add_local(std::uint64_t msgs, std::uint64_t bytes) noexcept {
+    local_messages_.fetch_add(msgs, std::memory_order_relaxed);
+    local_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void add_package() noexcept { packages_.fetch_add(1, std::memory_order_relaxed); }
+
+  [[nodiscard]] NetSnapshot snapshot() const noexcept {
+    NetSnapshot s;
+    s.remote_messages = remote_messages_.load(std::memory_order_relaxed);
+    s.local_messages = local_messages_.load(std::memory_order_relaxed);
+    s.remote_bytes = remote_bytes_.load(std::memory_order_relaxed);
+    s.local_bytes = local_bytes_.load(std::memory_order_relaxed);
+    s.packages = packages_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void reset() noexcept {
+    remote_messages_.store(0, std::memory_order_relaxed);
+    local_messages_.store(0, std::memory_order_relaxed);
+    remote_bytes_.store(0, std::memory_order_relaxed);
+    local_bytes_.store(0, std::memory_order_relaxed);
+    packages_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> remote_messages_{0};
+  std::atomic<std::uint64_t> local_messages_{0};
+  std::atomic<std::uint64_t> remote_bytes_{0};
+  std::atomic<std::uint64_t> local_bytes_{0};
+  std::atomic<std::uint64_t> packages_{0};
+};
+
+}  // namespace cyclops::sim

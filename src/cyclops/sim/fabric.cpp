@@ -1,0 +1,71 @@
+#include "cyclops/sim/fabric.hpp"
+
+#include <algorithm>
+
+namespace cyclops::sim {
+
+Fabric::Fabric(Topology topo, CostModel model, std::size_t lanes_per_worker)
+    : topo_(topo), model_(model), lanes_(std::max<std::size_t>(1, lanes_per_worker)) {
+  CYCLOPS_CHECK(topo_.total_workers() > 0);
+  outboxes_.resize(static_cast<std::size_t>(topo_.total_workers()) * lanes_);
+  for (auto& box : outboxes_) box.init(topo_.total_workers());
+  inboxes_.resize(topo_.total_workers());
+}
+
+ExchangeStats Fabric::exchange(std::size_t barrier_participants) {
+  ExchangeStats stats;
+  const WorkerId workers = topo_.total_workers();
+  for (auto& inbox : inboxes_) inbox.clear();
+
+  // Per-machine wire accounting: each machine's NIC serializes its own
+  // outbound and inbound traffic; the superstep's comm time is the slowest
+  // machine (they all overlap).
+  std::vector<double> machine_cost_us(topo_.machines, 0.0);
+
+  std::uint64_t buffered = 0;
+  for (const OutBox& box : outboxes_) buffered += box.pending_bytes();
+  stats.peak_buffered_bytes = buffered;
+
+  for (WorkerId from = 0; from < workers; ++from) {
+    for (std::size_t lane = 0; lane < lanes_; ++lane) {
+      OutBox& box = outboxes_[from * lanes_ + lane];
+      for (WorkerId to = 0; to < workers; ++to) {
+        OutBox::Buffer& buf = box.buffers_[to];
+        if (buf.messages == 0 && buf.bytes.empty()) continue;
+        const bool local = topo_.same_machine(from, to);
+        const std::uint64_t msgs = buf.messages;
+        const std::uint64_t bytes = buf.bytes.size();
+        if (local) {
+          counters_.add_local(msgs, bytes);
+          stats.net.local_messages += msgs;
+          stats.net.local_bytes += bytes;
+          const double cost = model_.local_cost_us(msgs, bytes);
+          machine_cost_us[topo_.machine_of(from)] += cost;
+        } else {
+          counters_.add_remote(msgs, bytes);
+          stats.net.remote_messages += msgs;
+          stats.net.remote_bytes += bytes;
+          const double cost = model_.remote_cost_us(msgs, bytes);
+          machine_cost_us[topo_.machine_of(from)] += cost;
+          machine_cost_us[topo_.machine_of(to)] += cost * 0.5;  // receive side
+        }
+        counters_.add_package();
+        ++stats.net.packages;
+        inboxes_[to].push_back(Package{from, msgs, std::move(buf.bytes)});
+        buf.bytes = {};
+        buf.messages = 0;
+      }
+    }
+  }
+
+  const double max_machine_us =
+      machine_cost_us.empty() ? 0.0
+                              : *std::max_element(machine_cost_us.begin(), machine_cost_us.end());
+  stats.modeled_comm_s = max_machine_us * 1e-6;
+  stats.modeled_barrier_s = model_.barrier_cost_us(barrier_participants) * 1e-6;
+  modeled_comm_s_ += stats.modeled_comm_s;
+  modeled_barrier_s_ += stats.modeled_barrier_s;
+  return stats;
+}
+
+}  // namespace cyclops::sim

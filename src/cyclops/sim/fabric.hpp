@@ -1,0 +1,112 @@
+#pragma once
+// The simulated cluster interconnect. Workers write logical messages into
+// per-destination outboxes during a superstep; exchange() plays the global
+// barrier: it bundles each non-empty (src, dst) buffer into one package (the
+// Hama bundling optimization, §4.1), delivers packages to the destination
+// worker's inbox, and accrues modeled wire time from the CostModel.
+//
+// Payload bytes really move through std::vector buffers — per-byte work is
+// honest — but no sockets exist; latency/bandwidth are charged by the model.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cyclops/common/check.hpp"
+#include "cyclops/common/types.hpp"
+#include "cyclops/sim/cost_model.hpp"
+#include "cyclops/sim/counters.hpp"
+
+namespace cyclops::sim {
+
+/// A bundle of messages from one worker to another within one superstep.
+struct Package {
+  WorkerId from = 0;
+  std::uint64_t message_count = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Single-writer per lane: an engine gives each sending thread its own lane
+/// (CyclopsMT's private out-queues, §5); a single-threaded worker uses lane 0.
+class OutBox {
+ public:
+  OutBox() = default;
+  void init(WorkerId num_workers) {
+    buffers_.assign(num_workers, Buffer{});
+  }
+
+  /// Appends one logical message for `to`.
+  void send(WorkerId to, std::span<const std::uint8_t> payload) {
+    CYCLOPS_DCHECK(to < buffers_.size());
+    Buffer& b = buffers_[to];
+    b.bytes.insert(b.bytes.end(), payload.begin(), payload.end());
+    ++b.messages;
+  }
+
+  [[nodiscard]] std::uint64_t pending_bytes() const noexcept {
+    std::uint64_t total = 0;
+    for (const Buffer& b : buffers_) total += b.bytes.size();
+    return total;
+  }
+
+ private:
+  friend class Fabric;
+  struct Buffer {
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t messages = 0;
+  };
+  std::vector<Buffer> buffers_;
+};
+
+struct ExchangeStats {
+  NetSnapshot net;                ///< traffic moved by this exchange
+  double modeled_comm_s = 0;      ///< max per-machine wire time
+  double modeled_barrier_s = 0;   ///< barrier cost for the given participants
+  std::uint64_t peak_buffered_bytes = 0;  ///< high-water mark of in-flight bytes
+};
+
+class Fabric {
+ public:
+  /// lanes_per_worker: number of independent sender lanes each worker gets.
+  Fabric(Topology topo, CostModel model, std::size_t lanes_per_worker = 1);
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+  [[nodiscard]] const CostModel& cost_model() const noexcept { return model_; }
+
+  /// Lane `lane` of worker `from`. Each lane must have at most one concurrent
+  /// writer; distinct lanes may be written from distinct threads.
+  [[nodiscard]] OutBox& outbox(WorkerId from, std::size_t lane = 0) noexcept {
+    CYCLOPS_DCHECK(from < topo_.total_workers() && lane < lanes_);
+    return outboxes_[from * lanes_ + lane];
+  }
+
+  /// Global barrier: delivers every pending buffer as packages and charges
+  /// modeled time. `barrier_participants` is the number of parties in the
+  /// barrier protocol (workers for flat BSP, machines for the hierarchical
+  /// CyclopsMT barrier).
+  ExchangeStats exchange(std::size_t barrier_participants);
+
+  /// Packages delivered to `to` by the latest exchange.
+  [[nodiscard]] std::span<const Package> incoming(WorkerId to) const noexcept {
+    CYCLOPS_DCHECK(to < topo_.total_workers());
+    return inboxes_[to];
+  }
+
+  void clear_incoming(WorkerId to) noexcept { inboxes_[to].clear(); }
+
+  [[nodiscard]] NetSnapshot totals() const noexcept { return counters_.snapshot(); }
+  [[nodiscard]] double total_modeled_comm_s() const noexcept { return modeled_comm_s_; }
+  [[nodiscard]] double total_modeled_barrier_s() const noexcept { return modeled_barrier_s_; }
+
+ private:
+  Topology topo_;
+  CostModel model_;
+  std::size_t lanes_ = 1;
+  std::vector<OutBox> outboxes_;             // [worker * lanes_ + lane]
+  std::vector<std::vector<Package>> inboxes_;  // [worker]
+  NetCounters counters_;
+  double modeled_comm_s_ = 0;
+  double modeled_barrier_s_ = 0;
+};
+
+}  // namespace cyclops::sim

@@ -1,0 +1,145 @@
+// Tests for Connected Components: the union-find reference, both engine
+// programs, and cross-engine agreement on assorted undirected graphs.
+
+#include <gtest/gtest.h>
+
+#include "cyclops/algorithms/cc.hpp"
+#include "cyclops/bsp/engine.hpp"
+#include "cyclops/core/engine.hpp"
+#include "cyclops/graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace cyclops::algo {
+namespace {
+
+graph::EdgeList two_cliques_and_isolated() {
+  graph::EdgeList e(9);  // cliques {0..3}, {4..7}; vertex 8 isolated
+  for (VertexId v = 0; v < 4; ++v) {
+    for (VertexId u = v + 1; u < 4; ++u) e.add_undirected(v, u);
+  }
+  for (VertexId v = 4; v < 8; ++v) {
+    for (VertexId u = v + 1; u < 8; ++u) e.add_undirected(v, u);
+  }
+  return e;
+}
+
+TEST(CcReference, LabelsComponentsByMinId) {
+  const graph::Csr g = graph::Csr::build(two_cliques_and_isolated());
+  const auto labels = cc_reference(g);
+  for (VertexId v = 0; v < 4; ++v) EXPECT_EQ(labels[v], 0u);
+  for (VertexId v = 4; v < 8; ++v) EXPECT_EQ(labels[v], 4u);
+  EXPECT_EQ(labels[8], 8u);
+  EXPECT_EQ(count_components(labels), 3u);
+}
+
+TEST(CcReference, SingleChain) {
+  graph::EdgeList e(5);
+  for (VertexId v = 0; v + 1 < 5; ++v) e.add_undirected(v, v + 1);
+  const auto labels = cc_reference(graph::Csr::build(e));
+  EXPECT_EQ(count_components(labels), 1u);
+  for (auto l : labels) EXPECT_EQ(l, 0u);
+}
+
+TEST(CcBsp, MatchesReference) {
+  const graph::Csr g = graph::Csr::build(two_cliques_and_isolated());
+  CcBsp prog;
+  bsp::Config cfg = bsp::Config::workers(3);
+  cfg.max_supersteps = 50;
+  bsp::Engine<CcBsp> engine(g, test::hash_partition(g, 3), prog, cfg);
+  (void)engine.run();
+  const auto reference = cc_reference(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(engine.values()[v], reference[v]) << v;
+  }
+}
+
+TEST(CcCyclops, MatchesReference) {
+  const graph::Csr g = graph::Csr::build(two_cliques_and_isolated());
+  CcCyclops prog;
+  core::Config cfg = core::Config::cyclops(3, 1);
+  cfg.max_supersteps = 50;
+  core::Engine<CcCyclops> engine(g, test::hash_partition(g, 3), prog, cfg);
+  (void)engine.run();
+  const auto reference = cc_reference(g);
+  const auto values = engine.values();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(values[v], reference[v]) << v;
+}
+
+TEST(CcCyclops, ActiveSetCollapsesAfterLabelsSettle) {
+  graph::gen::RoadSpec spec;
+  spec.rows = 12;
+  spec.cols = 12;
+  spec.shortcut_fraction = 0.0;
+  const graph::Csr g = graph::Csr::build(graph::gen::road_grid(spec, 3));
+  CcCyclops prog;
+  core::Config cfg = core::Config::cyclops(4, 1);
+  cfg.max_supersteps = 100;
+  core::Engine<CcCyclops> engine(g, test::hash_partition(g, 4), prog, cfg);
+  const auto stats = engine.run();
+  // Min-label propagation across a 12x12 grid: label 0 sweeps diagonally, so
+  // the frontier (active set) shrinks well below |V| after the start.
+  ASSERT_GT(stats.supersteps.size(), 5u);
+  EXPECT_LT(stats.supersteps[stats.supersteps.size() - 2].active_vertices,
+            g.num_vertices() / 2);
+  // The final superstep only recomputes the trailing frontier.
+  EXPECT_LT(stats.supersteps.back().active_vertices, 12u);
+}
+
+struct CcCase {
+  unsigned kind;
+  WorkerId workers;
+  std::uint64_t seed;
+};
+
+class CcEngines : public ::testing::TestWithParam<CcCase> {};
+
+TEST_P(CcEngines, BspAndCyclopsMatchUnionFind) {
+  const auto [kind, workers, seed] = GetParam();
+  graph::EdgeList edges;
+  switch (kind) {
+    case 0: {
+      // Sparse ER stored undirected: many components.
+      graph::EdgeList base = graph::gen::erdos_renyi(400, 250, seed);
+      edges = graph::EdgeList(400);
+      for (const graph::Edge& e : base.edges()) edges.add_undirected(e.src, e.dst);
+      break;
+    }
+    case 1: {
+      graph::gen::CommunitySpec spec{5, 30, 4, 0.98};
+      edges = graph::gen::planted_communities(spec, seed);
+      break;
+    }
+    default:
+      edges = graph::gen::preferential_attachment(300, 2, seed);
+      break;
+  }
+  const graph::Csr g = graph::Csr::build(edges);
+  const auto reference = cc_reference(g);
+  const auto part = test::hash_partition(g, workers);
+
+  CcBsp bsp_prog;
+  bsp::Config bsp_cfg = bsp::Config::workers(workers);
+  bsp_cfg.max_supersteps = 300;
+  bsp::Engine<CcBsp> bsp_engine(g, part, bsp_prog, bsp_cfg);
+  (void)bsp_engine.run();
+
+  CcCyclops cy_prog;
+  core::Config cy_cfg = core::Config::cyclops(workers, 1);
+  cy_cfg.max_supersteps = 300;
+  core::Engine<CcCyclops> cy_engine(g, part, cy_prog, cy_cfg);
+  (void)cy_engine.run();
+
+  const auto cy_values = cy_engine.values();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(bsp_engine.values()[v], reference[v]) << "bsp vertex " << v;
+    EXPECT_EQ(cy_values[v], reference[v]) << "cyclops vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CcEngines,
+                         ::testing::Values(CcCase{0, 2, 1}, CcCase{0, 5, 2},
+                                           CcCase{1, 3, 3}, CcCase{1, 6, 4},
+                                           CcCase{2, 4, 5}, CcCase{2, 8, 6}));
+
+}  // namespace
+}  // namespace cyclops::algo

@@ -1,0 +1,200 @@
+// Fault-tolerance tests (§3.6): checkpoint/restore under crash injection at
+// arbitrary superstep boundaries, durability through the filesystem, and the
+// paper's claim that Cyclops checkpoints are smaller than Pregel's because
+// replicas and messages are never saved.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "cyclops/algorithms/pagerank.hpp"
+#include "cyclops/algorithms/sssp.hpp"
+#include "cyclops/bsp/engine.hpp"
+#include "cyclops/core/engine.hpp"
+#include "cyclops/graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace cyclops {
+namespace {
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  double m = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+/// Crash-at-superstep-k property: for any k, running k supersteps, saving,
+/// "crashing", restoring into a brand-new engine and finishing must give the
+/// exact result of the uninterrupted run.
+class CrashRecovery : public ::testing::TestWithParam<Superstep> {};
+
+TEST_P(CrashRecovery, BspPageRankSurvivesCrash) {
+  const Superstep crash_at = GetParam();
+  const graph::Csr g = graph::Csr::build(graph::gen::rmat(8, 1600, 2014));
+  const auto part = test::hash_partition(g, 4);
+  algo::PageRankBsp pr;
+  pr.epsilon = 1e-11;
+  bsp::Config cfg = bsp::Config::workers(4);
+  cfg.max_supersteps = 200;
+
+  bsp::Engine<algo::PageRankBsp> full(g, part, pr, cfg);
+  (void)full.run();
+
+  bsp::Config partial = cfg;
+  partial.max_supersteps = crash_at;
+  bsp::Engine<algo::PageRankBsp> victim(g, part, pr, partial);
+  (void)victim.run();
+  ByteWriter snapshot;
+  victim.checkpoint(snapshot);
+  // victim is destroyed here — the "crash".
+
+  bsp::Engine<algo::PageRankBsp> recovered(g, part, pr, cfg);
+  ByteReader reader(snapshot.bytes());
+  recovered.restore(reader);
+  (void)recovered.run();
+  EXPECT_LT(max_abs_diff(recovered.values(), full.values()), 1e-13);
+}
+
+TEST_P(CrashRecovery, CyclopsPageRankSurvivesCrash) {
+  const Superstep crash_at = GetParam();
+  const graph::Csr g = graph::Csr::build(graph::gen::rmat(8, 1600, 2014));
+  const auto part = test::hash_partition(g, 4);
+  algo::PageRankCyclops pr;
+  pr.epsilon = 1e-11;
+  core::Config cfg = core::Config::cyclops(4, 1);
+  cfg.max_supersteps = 200;
+
+  core::Engine<algo::PageRankCyclops> full(g, part, pr, cfg);
+  (void)full.run();
+
+  core::Config partial = cfg;
+  partial.max_supersteps = crash_at;
+  core::Engine<algo::PageRankCyclops> victim(g, part, pr, partial);
+  (void)victim.run();
+  ByteWriter snapshot;
+  victim.checkpoint(snapshot);
+
+  core::Engine<algo::PageRankCyclops> recovered(g, part, pr, cfg);
+  ByteReader reader(snapshot.bytes());
+  recovered.restore(reader);
+  EXPECT_TRUE(recovered.replicas_consistent());  // replicas rebuilt on restore
+  (void)recovered.run();
+  EXPECT_LT(max_abs_diff(recovered.values(), full.values()), 1e-13);
+}
+
+TEST_P(CrashRecovery, CyclopsSsspSurvivesCrash) {
+  const Superstep crash_at = GetParam();
+  graph::gen::RoadSpec spec;
+  spec.rows = 14;
+  spec.cols = 14;
+  const graph::Csr g = graph::Csr::build(graph::gen::road_grid(spec, 3));
+  const auto part = test::hash_partition(g, 3);
+  algo::SsspCyclops sssp;
+  sssp.source = 0;
+  core::Config cfg = core::Config::cyclops(3, 1);
+  cfg.max_supersteps = 400;
+
+  core::Config partial = cfg;
+  partial.max_supersteps = crash_at;
+  core::Engine<algo::SsspCyclops> victim(g, part, sssp, partial);
+  (void)victim.run();
+  ByteWriter snapshot;
+  victim.checkpoint(snapshot);
+
+  core::Engine<algo::SsspCyclops> recovered(g, part, sssp, cfg);
+  ByteReader reader(snapshot.bytes());
+  recovered.restore(reader);
+  (void)recovered.run();
+  const auto reference = algo::sssp_reference(g, 0);
+  const auto values = recovered.values();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(values[v], reference[v], 1e-9) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CrashPoints, CrashRecovery,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u));
+
+TEST(Checkpoint, SurvivesFilesystemRoundTrip) {
+  const graph::Csr g = graph::Csr::build(graph::gen::rmat(8, 1500, 5));
+  const auto part = test::hash_partition(g, 3);
+  algo::PageRankCyclops pr;
+  pr.epsilon = 1e-11;
+  core::Config cfg = core::Config::cyclops(3, 1);
+  cfg.max_supersteps = 10;
+  core::Engine<algo::PageRankCyclops> engine(g, part, pr, cfg);
+  (void)engine.run();
+
+  ByteWriter snapshot;
+  engine.checkpoint(snapshot);
+  const std::string path = ::testing::TempDir() + "/cyclops_ckpt.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(snapshot.bytes().data()),
+              static_cast<std::streamsize>(snapshot.size()));
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  ASSERT_EQ(bytes.size(), snapshot.size());
+
+  core::Config cfg_full = cfg;
+  cfg_full.max_supersteps = 200;
+  core::Engine<algo::PageRankCyclops> restored(g, part, pr, cfg_full);
+  ByteReader reader(bytes);
+  restored.restore(reader);
+  EXPECT_EQ(restored.superstep(), 10u);
+  (void)restored.run();
+  EXPECT_LT(max_abs_diff(restored.values(), algo::pagerank_reference(g)), 1e-7);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, CyclopsSnapshotsSmallerThanBspMidRun) {
+  // §3.6: Cyclops "does not require to save the replicas and messages" — at
+  // a mid-run barrier with messages in flight, the BSP snapshot must be
+  // strictly larger than the Cyclops one for the same graph and progress.
+  const graph::Csr g = graph::Csr::build(graph::gen::rmat(10, 9000, 7));
+  const auto part = test::hash_partition(g, 6);
+
+  algo::PageRankBsp bsp_prog;
+  bsp_prog.epsilon = 1e-11;
+  bsp::Config bsp_cfg = bsp::Config::workers(6);
+  bsp_cfg.max_supersteps = 5;  // mid-run: all vertices alive, wires full
+  bsp::Engine<algo::PageRankBsp> bsp_engine(g, part, bsp_prog, bsp_cfg);
+  (void)bsp_engine.run();
+  ByteWriter bsp_snapshot;
+  bsp_engine.checkpoint(bsp_snapshot);
+
+  algo::PageRankCyclops cy_prog;
+  cy_prog.epsilon = 1e-11;
+  core::Config cy_cfg = core::Config::cyclops(6, 1);
+  cy_cfg.max_supersteps = 5;
+  core::Engine<algo::PageRankCyclops> cy_engine(g, part, cy_prog, cy_cfg);
+  (void)cy_engine.run();
+  ByteWriter cy_snapshot;
+  cy_engine.checkpoint(cy_snapshot);
+
+  EXPECT_LT(cy_snapshot.size(), bsp_snapshot.size());
+}
+
+TEST(Checkpoint, RestoreRejectsWrongGraph) {
+  const graph::Csr g1 = graph::Csr::build(graph::gen::rmat(7, 600, 9));
+  const graph::Csr g2 = graph::Csr::build(graph::gen::rmat(8, 1200, 9));
+  algo::PageRankCyclops pr;
+  core::Config cfg = core::Config::cyclops(2, 1);
+  cfg.max_supersteps = 3;
+  core::Engine<algo::PageRankCyclops> a(g1, test::hash_partition(g1, 2), pr, cfg);
+  (void)a.run();
+  ByteWriter snapshot;
+  a.checkpoint(snapshot);
+
+  core::Engine<algo::PageRankCyclops> b(g2, test::hash_partition(g2, 2), pr, cfg);
+  ByteReader reader(snapshot.bytes());
+  EXPECT_DEATH(b.restore(reader), "CYCLOPS_CHECK");
+}
+
+}  // namespace
+}  // namespace cyclops

@@ -1,0 +1,146 @@
+// Tests for the PowerGraph-style GAS engine: layout invariants, PageRank
+// correctness, and the bidirectional message pattern (~5 messages per mirror
+// per iteration) that Table 4 contrasts with Cyclops.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cyclops/algorithms/pagerank.hpp"
+#include "cyclops/gas/engine.hpp"
+#include "cyclops/graph/generators.hpp"
+#include "cyclops/partition/vertex_cut.hpp"
+#include "test_util.hpp"
+
+namespace cyclops::gas {
+namespace {
+
+using algo::PageRankGas;
+
+TEST(GasLayout, EveryVertexHasExactlyOneMaster) {
+  const graph::EdgeList e = graph::gen::rmat(8, 1500, 3);
+  const auto p = partition::RandomVertexCut{}.partition(e, 4);
+  const GasLayout layout = build_gas_layout(e, p);
+  std::vector<int> masters(e.num_vertices(), 0);
+  for (WorkerId w = 0; w < 4; ++w) {
+    const GasWorkerLayout& wl = layout.workers[w];
+    for (Copy c = 0; c < wl.num_copies(); ++c) {
+      if (wl.is_master[c]) ++masters[wl.copy_globals[c]];
+    }
+  }
+  for (VertexId v = 0; v < e.num_vertices(); ++v) EXPECT_EQ(masters[v], 1) << v;
+}
+
+TEST(GasLayout, EdgesPlacedWhereAssigned) {
+  const graph::EdgeList e = graph::gen::erdos_renyi(100, 500, 5);
+  const auto p = partition::GreedyVertexCut{}.partition(e, 3);
+  const GasLayout layout = build_gas_layout(e, p);
+  std::size_t total_local_edges = 0;
+  for (WorkerId w = 0; w < 3; ++w) total_local_edges += layout.workers[w].edges.size();
+  EXPECT_EQ(total_local_edges, e.num_edges());
+}
+
+TEST(GasLayout, MirrorListsInvertMasterOf) {
+  const graph::EdgeList e = graph::gen::rmat(8, 1200, 7);
+  const auto p = partition::RandomVertexCut{}.partition(e, 5);
+  const GasLayout layout = build_gas_layout(e, p);
+  std::size_t mirrors_total = 0;
+  for (WorkerId w = 0; w < 5; ++w) {
+    const GasWorkerLayout& wl = layout.workers[w];
+    for (Copy c = 0; c < wl.num_copies(); ++c) {
+      for (std::size_t m = wl.mirror_offsets[c]; m < wl.mirror_offsets[c + 1]; ++m) {
+        const MirrorRef ref = wl.mirrors[m];
+        const GasWorkerLayout& mw = layout.workers[ref.worker];
+        EXPECT_EQ(mw.copy_globals[ref.copy], wl.copy_globals[c]);
+        EXPECT_FALSE(mw.is_master[ref.copy]);
+        ++mirrors_total;
+      }
+    }
+  }
+  EXPECT_EQ(mirrors_total + e.num_vertices(), layout.total_copies);
+}
+
+TEST(GasPageRank, MatchesReferenceOnFigure6) {
+  const graph::EdgeList e = test::figure6_graph();
+  const graph::Csr g = graph::Csr::build(e);
+  PageRankGas pr;
+  pr.num_vertices = e.num_vertices();
+  pr.epsilon = 1e-12;
+  Config cfg = Config::workers(3);
+  cfg.max_iterations = 300;
+  Engine<PageRankGas> engine(e, partition::RandomVertexCut{}.partition(e, 3), pr, cfg);
+  (void)engine.run();
+  const auto reference = algo::pagerank_reference(g);
+  const auto values = engine.values();
+  for (VertexId v = 0; v < e.num_vertices(); ++v) {
+    EXPECT_NEAR(values[v].rank, reference[v], 1e-8) << v;
+  }
+}
+
+TEST(GasPageRank, MatchesReferenceOnRmat) {
+  const graph::EdgeList e = graph::gen::rmat(9, 3000, 77);
+  const graph::Csr g = graph::Csr::build(e);
+  PageRankGas pr;
+  pr.num_vertices = e.num_vertices();
+  pr.epsilon = 1e-12;
+  Config cfg = Config::workers(4);
+  cfg.max_iterations = 300;
+  Engine<PageRankGas> engine(e, partition::GreedyVertexCut{}.partition(e, 4), pr, cfg);
+  (void)engine.run();
+  const auto reference = algo::pagerank_reference(g);
+  const auto values = engine.values();
+  double max_diff = 0;
+  for (VertexId v = 0; v < e.num_vertices(); ++v) {
+    max_diff = std::max(max_diff, std::abs(values[v].rank - reference[v]));
+  }
+  EXPECT_LT(max_diff, 1e-8);
+}
+
+TEST(GasPageRank, MessagePatternRoughlyFivePerMirror) {
+  // §2.3 / Table 4: the GAS model costs ~5 messages per replica per
+  // iteration (2 gather + 1 apply + 2 scatter). Check the first iteration,
+  // when every vertex is active.
+  const graph::EdgeList e = graph::gen::rmat(9, 4000, 11);
+  PageRankGas pr;
+  pr.num_vertices = e.num_vertices();
+  pr.epsilon = 1e-12;
+  Config cfg = Config::workers(6);
+  cfg.max_iterations = 3;
+  Engine<PageRankGas> engine(e, partition::RandomVertexCut{}.partition(e, 6), pr, cfg);
+  const auto stats = engine.run();
+  const std::uint64_t mirrors = engine.layout().total_copies - e.num_vertices();
+  ASSERT_GT(mirrors, 0u);
+  const double per_mirror =
+      static_cast<double>(stats.supersteps.front().net.total_messages()) /
+      static_cast<double>(mirrors);
+  EXPECT_GE(per_mirror, 4.0);
+  EXPECT_LE(per_mirror, 6.5);  // + activation replies
+}
+
+TEST(GasPageRank, SingleWorkerSendsNothing) {
+  const graph::EdgeList e = graph::gen::rmat(8, 1000, 13);
+  PageRankGas pr;
+  pr.num_vertices = e.num_vertices();
+  Config cfg = Config::workers(1);
+  cfg.max_iterations = 10;
+  Engine<PageRankGas> engine(e, partition::RandomVertexCut{}.partition(e, 1), pr, cfg);
+  const auto stats = engine.run();
+  EXPECT_EQ(stats.net_totals().total_messages(), 0u);
+}
+
+TEST(GasPageRank, ActiveSetShrinksWithConvergence) {
+  const graph::EdgeList e = graph::gen::rmat(9, 3000, 17);
+  PageRankGas pr;
+  pr.num_vertices = e.num_vertices();
+  pr.epsilon = 1e-8;
+  Config cfg = Config::workers(4);
+  cfg.max_iterations = 80;
+  Engine<PageRankGas> engine(e, partition::RandomVertexCut{}.partition(e, 4), pr, cfg);
+  const auto stats = engine.run();
+  ASSERT_GT(stats.supersteps.size(), 4u);
+  EXPECT_LT(stats.supersteps[stats.supersteps.size() - 2].active_vertices,
+            stats.supersteps.front().active_vertices);
+}
+
+}  // namespace
+}  // namespace cyclops::gas

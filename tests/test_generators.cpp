@@ -1,0 +1,173 @@
+// Tests for the synthetic dataset generators: each must deliver the
+// structural property its experiment depends on (degree skew, bipartite
+// structure, planted communities, lattice + log-normal weights), and be
+// deterministic in the seed.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cyclops/graph/csr.hpp"
+#include "cyclops/graph/generators.hpp"
+#include "cyclops/graph/gstats.hpp"
+
+namespace cyclops::graph::gen {
+namespace {
+
+TEST(ErdosRenyi, SizeAndDeterminism) {
+  const EdgeList a = erdos_renyi(100, 500, 7);
+  const EdgeList b = erdos_renyi(100, 500, 7);
+  EXPECT_EQ(a.num_edges(), 500u);
+  EXPECT_EQ(a.num_vertices(), 100u);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (std::size_t i = 0; i < a.num_edges(); ++i) EXPECT_EQ(a.edges()[i], b.edges()[i]);
+}
+
+TEST(ErdosRenyi, DifferentSeedsDiffer) {
+  const EdgeList a = erdos_renyi(100, 500, 7);
+  const EdgeList b = erdos_renyi(100, 500, 8);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.num_edges(); ++i) same += a.edges()[i] == b.edges()[i];
+  EXPECT_LT(same, 50u);
+}
+
+TEST(Rmat, VertexBoundAndDedup) {
+  const EdgeList e = rmat(10, 5000, 3);
+  EXPECT_LE(e.num_vertices(), 1u << 10);
+  EXPECT_LE(e.num_edges(), 5000u);
+  EXPECT_GT(e.num_edges(), 3000u);  // some dedup loss is expected, not most
+  // No duplicates after dedup.
+  for (std::size_t i = 1; i < e.num_edges(); ++i) {
+    const Edge& prev = e.edges()[i - 1];
+    const Edge& cur = e.edges()[i];
+    EXPECT_FALSE(prev.src == cur.src && prev.dst == cur.dst);
+  }
+}
+
+TEST(Rmat, ProducesSkewedDegrees) {
+  const Csr g = Csr::build(rmat(12, 40000, 5));
+  const GraphStats s = compute_stats(g);
+  // Web-like skew: max out-degree far above the mean.
+  EXPECT_GT(s.out_degree.max, 10.0 * s.out_degree.mean);
+  const double alpha = powerlaw_exponent(g);
+  EXPECT_LT(alpha, -0.8);  // heavy tail slopes downward in log-log
+}
+
+TEST(PreferentialAttachment, HubsEmerge) {
+  const Csr g = Csr::build(preferential_attachment(2000, 3, 11));
+  const GraphStats s = compute_stats(g);
+  EXPECT_GT(s.out_degree.max, 40.0);
+  EXPECT_EQ(s.isolated_vertices, 0u);
+}
+
+TEST(Bipartite, RespectsSides) {
+  BipartiteSpec spec;
+  spec.users = 200;
+  spec.items = 50;
+  spec.ratings_per_user = 5;
+  const EdgeList e = bipartite_ratings(spec, 13);
+  EXPECT_EQ(e.num_vertices(), 250u);
+  for (const Edge& edge : e.edges()) {
+    const bool src_user = edge.src < spec.users;
+    const bool dst_user = edge.dst < spec.users;
+    EXPECT_NE(src_user, dst_user) << "edge crosses sides";
+    EXPECT_GE(edge.weight, 1.0);
+    EXPECT_LE(edge.weight, 5.0);
+  }
+}
+
+TEST(Bipartite, NoDuplicateRatings) {
+  BipartiteSpec spec;
+  spec.users = 100;
+  spec.items = 40;
+  spec.ratings_per_user = 8;
+  EdgeList e = bipartite_ratings(spec, 17);
+  auto& edges = e.edges();
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_FALSE(edges[i - 1].src == edges[i].src && edges[i - 1].dst == edges[i].dst)
+        << "duplicate rating " << edges[i].src << "->" << edges[i].dst;
+  }
+}
+
+TEST(PlantedCommunities, MostEdgesInternal) {
+  CommunitySpec spec;
+  spec.communities = 10;
+  spec.group_size = 50;
+  spec.degree = 8;
+  spec.p_internal = 0.9;
+  const EdgeList e = planted_communities(spec, 19);
+  std::size_t internal = 0;
+  for (const Edge& edge : e.edges()) {
+    if (edge.src / spec.group_size == edge.dst / spec.group_size) ++internal;
+  }
+  const double frac = static_cast<double>(internal) / static_cast<double>(e.num_edges());
+  EXPECT_GT(frac, 0.8);
+  EXPECT_LT(frac, 0.98);
+}
+
+TEST(RoadGrid, LatticeStructureAndWeights) {
+  RoadSpec spec;
+  spec.rows = 20;
+  spec.cols = 30;
+  spec.shortcut_fraction = 0.0;
+  const EdgeList e = road_grid(spec, 23);
+  EXPECT_EQ(e.num_vertices(), 600u);
+  // 4-neighbor lattice: rows*(cols-1) + cols*(rows-1) undirected edges, x2.
+  EXPECT_EQ(e.num_edges(), 2u * (20 * 29 + 30 * 19));
+  for (const Edge& edge : e.edges()) EXPECT_GT(edge.weight, 0.0);
+}
+
+TEST(RoadGrid, ShortcutsAdded) {
+  RoadSpec spec;
+  spec.rows = 30;
+  spec.cols = 30;
+  spec.shortcut_fraction = 0.05;
+  const EdgeList with = road_grid(spec, 29);
+  spec.shortcut_fraction = 0.0;
+  const EdgeList without = road_grid(spec, 29);
+  EXPECT_GT(with.num_edges(), without.num_edges());
+}
+
+TEST(RoadGrid, HighDiameterProperty) {
+  // A road network stands in for RoadCA precisely because its diameter is
+  // large — SSSP needs many supersteps (unlike on web graphs).
+  RoadSpec spec;
+  spec.rows = 25;
+  spec.cols = 25;
+  spec.shortcut_fraction = 0.0;
+  const Csr g = Csr::build(road_grid(spec, 31));
+  // BFS depth from corner is rows+cols-2.
+  EXPECT_EQ(reachable_from(g, 0), 625u);
+}
+
+/// Property sweep: every generator is deterministic in its seed.
+class GeneratorDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorDeterminism, AllGeneratorsStable) {
+  const std::uint64_t seed = GetParam();
+  auto same = [](const EdgeList& a, const EdgeList& b) {
+    if (a.num_edges() != b.num_edges()) return false;
+    for (std::size_t i = 0; i < a.num_edges(); ++i) {
+      if (!(a.edges()[i] == b.edges()[i])) return false;
+    }
+    return true;
+  };
+  EXPECT_TRUE(same(rmat(9, 2000, seed), rmat(9, 2000, seed)));
+  EXPECT_TRUE(same(preferential_attachment(300, 2, seed),
+                   preferential_attachment(300, 2, seed)));
+  BipartiteSpec bp{100, 30, 4};
+  EXPECT_TRUE(same(bipartite_ratings(bp, seed), bipartite_ratings(bp, seed)));
+  CommunitySpec cs{5, 20, 6, 0.85};
+  EXPECT_TRUE(same(planted_communities(cs, seed), planted_communities(cs, seed)));
+  RoadSpec rs{10, 10, 0.02, 0.4, 1.2};
+  EXPECT_TRUE(same(road_grid(rs, seed), road_grid(rs, seed)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorDeterminism,
+                         ::testing::Values(1ull, 42ull, 2014ull, 0xdeadbeefull));
+
+}  // namespace
+}  // namespace cyclops::graph::gen

@@ -1,0 +1,163 @@
+// Unit tests for the graph substrate: edge lists, CSR construction, text
+// loading/saving, structural statistics.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cyclops/graph/csr.hpp"
+#include "cyclops/graph/edge_list.hpp"
+#include "cyclops/graph/gstats.hpp"
+#include "cyclops/graph/loader.hpp"
+#include "test_util.hpp"
+
+namespace cyclops::graph {
+namespace {
+
+TEST(EdgeList, AddGrowsVertexBound) {
+  EdgeList e;
+  e.add(3, 7);
+  EXPECT_EQ(e.num_vertices(), 8u);
+  EXPECT_EQ(e.num_edges(), 1u);
+}
+
+TEST(EdgeList, AddUndirectedMirrors) {
+  EdgeList e;
+  e.add_undirected(0, 1, 2.5);
+  ASSERT_EQ(e.num_edges(), 2u);
+  EXPECT_EQ(e.edges()[0], (Edge{0, 1, 2.5}));
+  EXPECT_EQ(e.edges()[1], (Edge{1, 0, 2.5}));
+}
+
+TEST(EdgeList, SelfLoopNotMirrored) {
+  EdgeList e;
+  e.add_undirected(2, 2);
+  EXPECT_EQ(e.num_edges(), 1u);
+}
+
+TEST(EdgeList, SortAndDedup) {
+  EdgeList e;
+  e.add(1, 0);
+  e.add(0, 1);
+  e.add(1, 0, 9.0);
+  e.sort_and_dedup();
+  ASSERT_EQ(e.num_edges(), 2u);
+  EXPECT_EQ(e.edges()[0].src, 0u);
+  EXPECT_EQ(e.edges()[1].src, 1u);
+}
+
+TEST(Csr, BuildDegreesAndAdjacency) {
+  const Csr g = Csr::build(test::figure6_graph());
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.num_edges(), 10u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(1), 3u);  // from 0, 2, 3
+  EXPECT_EQ(g.out_degree(4), 2u);
+  // Adjacency sorted by neighbor id.
+  const auto n2 = g.out_neighbors(2);
+  ASSERT_EQ(n2.size(), 2u);
+  EXPECT_EQ(n2[0].neighbor, 1u);
+  EXPECT_EQ(n2[1].neighbor, 3u);
+}
+
+TEST(Csr, InOutAreTransposes) {
+  const Csr g = Csr::build(test::figure6_graph());
+  std::size_t in_total = 0, out_total = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    in_total += g.in_degree(v);
+    out_total += g.out_degree(v);
+    for (const Adj& a : g.out_neighbors(v)) {
+      bool found = false;
+      for (const Adj& b : g.in_neighbors(a.neighbor)) found |= b.neighbor == v;
+      EXPECT_TRUE(found) << v << "->" << a.neighbor;
+    }
+  }
+  EXPECT_EQ(in_total, out_total);
+}
+
+TEST(Csr, PreservesWeights) {
+  const Csr g = Csr::build(test::diamond_graph());
+  const auto n0 = g.out_neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_DOUBLE_EQ(n0[0].weight, 1.0);
+  EXPECT_DOUBLE_EQ(n0[1].weight, 4.0);
+}
+
+TEST(Csr, EmptyGraph) {
+  const Csr g = Csr::build(EdgeList{});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Csr, KeepsParallelEdges) {
+  EdgeList e(2);
+  e.add(0, 1);
+  e.add(0, 1);
+  const Csr g = Csr::build(e);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(1), 2u);
+}
+
+TEST(Loader, ParsesCommentsAndWeights) {
+  std::istringstream in("# header\n0 1\n1 2 3.5\n% another comment\n2 0\n");
+  const EdgeList e = load_edge_list(in);
+  EXPECT_EQ(e.num_vertices(), 3u);
+  ASSERT_EQ(e.num_edges(), 3u);
+  EXPECT_DOUBLE_EQ(e.edges()[1].weight, 3.5);
+}
+
+TEST(Loader, DensifiesSparseIds) {
+  std::istringstream in("1000000 2000000\n2000000 1000000\n");
+  const EdgeList e = load_edge_list(in);
+  EXPECT_EQ(e.num_vertices(), 2u);
+  EXPECT_EQ(e.edges()[0].src, 0u);
+  EXPECT_EQ(e.edges()[0].dst, 1u);
+}
+
+TEST(Loader, UndirectedOptionMirrors) {
+  std::istringstream in("0 1\n");
+  LoadOptions opts;
+  opts.undirected = true;
+  const EdgeList e = load_edge_list(in, opts);
+  EXPECT_EQ(e.num_edges(), 2u);
+}
+
+TEST(Loader, ThrowsOnMalformedLine) {
+  std::istringstream in("0 notanumber\n");
+  EXPECT_THROW((void)load_edge_list(in), std::runtime_error);
+}
+
+TEST(Loader, ThrowsOnMissingFile) {
+  EXPECT_THROW((void)load_edge_list_file("/nonexistent/graph.txt"), std::runtime_error);
+}
+
+TEST(Loader, SaveLoadRoundTrip) {
+  EdgeList e(3);
+  e.add(0, 1, 2.0);
+  e.add(1, 2, 0.5);
+  std::ostringstream out;
+  save_edge_list(out, e);
+  std::istringstream in(out.str());
+  const EdgeList back = load_edge_list(in);
+  ASSERT_EQ(back.num_edges(), 2u);
+  EXPECT_EQ(back.edges()[0], e.edges()[0]);
+  EXPECT_EQ(back.edges()[1], e.edges()[1]);
+}
+
+TEST(GStats, ComputesDegreeSummary) {
+  const Csr g = Csr::build(test::figure6_graph());
+  const GraphStats s = compute_stats(g);
+  EXPECT_EQ(s.num_vertices, 6u);
+  EXPECT_EQ(s.num_edges, 10u);
+  EXPECT_EQ(s.isolated_vertices, 0u);
+  EXPECT_NEAR(s.avg_degree, 10.0 / 6.0, 1e-12);
+}
+
+TEST(GStats, ReachabilityBfs) {
+  const Csr g = Csr::build(test::diamond_graph());
+  EXPECT_EQ(reachable_from(g, 0), 4u);
+  EXPECT_EQ(reachable_from(g, 3), 1u);  // sink
+}
+
+}  // namespace
+}  // namespace cyclops::graph

@@ -1,0 +1,237 @@
+// Tests for edge-cut partitioning: hash/range baselines, the multilevel
+// (Metis-like) partitioner, and the quality metrics that drive Figure 11.
+
+#include <gtest/gtest.h>
+
+#include "cyclops/graph/csr.hpp"
+#include "cyclops/graph/generators.hpp"
+#include "cyclops/partition/hash.hpp"
+#include "cyclops/partition/ldg.hpp"
+#include "cyclops/partition/multilevel.hpp"
+#include "cyclops/partition/partition.hpp"
+#include "test_util.hpp"
+
+namespace cyclops::partition {
+namespace {
+
+/// Brute-force replication factor per the Cyclops rule, to validate
+/// evaluate(): replica of v on p iff some out-neighbor of v lives on p.
+double brute_replication(const graph::Csr& g, const EdgeCutPartition& p) {
+  std::uint64_t replicas = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::vector<bool> on(p.num_parts(), false);
+    for (const graph::Adj& a : g.out_neighbors(v)) {
+      const WorkerId w = p.owner(a.neighbor);
+      if (w != p.owner(v)) on[w] = true;
+    }
+    for (bool b : on) replicas += b;
+  }
+  return 1.0 + static_cast<double>(replicas) / g.num_vertices();
+}
+
+TEST(HashPartition, CoversAllParts) {
+  const graph::Csr g = graph::Csr::build(graph::gen::erdos_renyi(1000, 4000, 3));
+  const EdgeCutPartition p = HashPartitioner{}.partition(g, 8);
+  std::vector<std::size_t> count(8, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) ++count[p.owner(v)];
+  for (auto c : count) EXPECT_GT(c, 80u);  // roughly balanced
+}
+
+TEST(HashPartition, SinglePartTrivial) {
+  const graph::Csr g = graph::Csr::build(test::figure6_graph());
+  const EdgeCutPartition p = HashPartitioner{}.partition(g, 1);
+  const EdgeCutQuality q = evaluate(g, p);
+  EXPECT_EQ(q.cut_edges, 0u);
+  EXPECT_DOUBLE_EQ(q.replication_factor, 1.0);
+}
+
+TEST(RangePartition, ContiguousBlocks) {
+  const graph::Csr g = graph::Csr::build(graph::gen::erdos_renyi(100, 200, 5));
+  const EdgeCutPartition p = RangePartitioner{}.partition(g, 4);
+  for (VertexId v = 1; v < g.num_vertices(); ++v) {
+    EXPECT_GE(p.owner(v), p.owner(v - 1));
+  }
+}
+
+TEST(Evaluate, MatchesBruteForceReplication) {
+  const graph::Csr g = graph::Csr::build(graph::gen::rmat(10, 4000, 9));
+  for (WorkerId parts : {2u, 4u, 7u}) {
+    const EdgeCutPartition p = HashPartitioner{}.partition(g, parts);
+    const EdgeCutQuality q = evaluate(g, p);
+    EXPECT_NEAR(q.replication_factor, brute_replication(g, p), 1e-12);
+  }
+}
+
+TEST(Evaluate, CutEdgesCountsDirectedEdges) {
+  const graph::Csr g = graph::Csr::build(test::figure6_graph());
+  // Figure 6 placement: {0,1} w0, {2,3} w1, {4,5} w2.
+  const EdgeCutPartition p = test::owners({0, 0, 1, 1, 2, 2}, 3);
+  const EdgeCutQuality q = evaluate(g, p);
+  // Cut edges: 0->2, 2->1, 3->1, 4->3(w2->w1? 4 on w2, 3 on w1: yes), 5->2.
+  EXPECT_EQ(q.cut_edges, 5u);
+  // Replicas: v0 on w1 (0->2); v2 on w0 (2->1); v3 on w0 (3->1); v4 none
+  // (4->3 puts replica of 4 on w1, 4->5 local): v4 on w1; v5 on w1 (5->2).
+  // Count: v0:1, v2:1, v3:1, v4:1, v5:1 = 5 replicas.
+  EXPECT_EQ(q.total_replicas, 5u);
+  EXPECT_NEAR(q.replication_factor, 1.0 + 5.0 / 6.0, 1e-12);
+}
+
+TEST(Multilevel, SinglePartTrivial) {
+  const graph::Csr g = graph::Csr::build(test::figure6_graph());
+  const EdgeCutPartition p = MultilevelPartitioner{}.partition(g, 1);
+  EXPECT_EQ(evaluate(g, p).cut_edges, 0u);
+}
+
+TEST(Multilevel, RespectsBalance) {
+  const graph::Csr g = graph::Csr::build(graph::gen::erdos_renyi(2000, 10000, 21));
+  MultilevelConfig cfg;
+  cfg.balance_epsilon = 0.05;
+  const EdgeCutPartition p = MultilevelPartitioner{cfg}.partition(g, 8);
+  const EdgeCutQuality q = evaluate(g, p);
+  EXPECT_LE(q.vertex_imbalance, 1.0 + cfg.balance_epsilon + 0.02);
+}
+
+TEST(Multilevel, BeatsHashOnCommunityGraphs) {
+  // The Figure 11 claim: a Metis-like partitioner sharply reduces the cut
+  // (and hence the replication factor) on structured graphs.
+  graph::gen::CommunitySpec spec;
+  spec.communities = 16;
+  spec.group_size = 64;
+  spec.degree = 8;
+  spec.p_internal = 0.95;
+  const graph::Csr g = graph::Csr::build(graph::gen::planted_communities(spec, 33));
+  const EdgeCutQuality hash_q = evaluate(g, HashPartitioner{}.partition(g, 8));
+  const EdgeCutQuality ml_q = evaluate(g, MultilevelPartitioner{}.partition(g, 8));
+  EXPECT_LT(ml_q.cut_fraction, 0.5 * hash_q.cut_fraction);
+  EXPECT_LT(ml_q.replication_factor, hash_q.replication_factor);
+}
+
+TEST(Multilevel, BeatsHashOnLattices) {
+  graph::gen::RoadSpec spec;
+  spec.rows = 40;
+  spec.cols = 40;
+  spec.shortcut_fraction = 0.0;
+  const graph::Csr g = graph::Csr::build(graph::gen::road_grid(spec, 35));
+  const EdgeCutQuality hash_q = evaluate(g, HashPartitioner{}.partition(g, 4));
+  const EdgeCutQuality ml_q = evaluate(g, MultilevelPartitioner{}.partition(g, 4));
+  EXPECT_LT(ml_q.cut_edges, hash_q.cut_edges / 4);
+}
+
+TEST(Multilevel, DeterministicInSeed) {
+  const graph::Csr g = graph::Csr::build(graph::gen::rmat(10, 3000, 41));
+  const EdgeCutPartition a = MultilevelPartitioner{}.partition(g, 6);
+  const EdgeCutPartition b = MultilevelPartitioner{}.partition(g, 6);
+  EXPECT_EQ(a.owners(), b.owners());
+}
+
+TEST(Multilevel, HandlesDisconnectedGraphs) {
+  graph::EdgeList e(40);  // two 20-vertex cliquelets, no connection
+  for (VertexId v = 0; v < 19; ++v) e.add_undirected(v, v + 1);
+  for (VertexId v = 20; v < 39; ++v) e.add_undirected(v, v + 1);
+  const graph::Csr g = graph::Csr::build(e);
+  const EdgeCutPartition p = MultilevelPartitioner{}.partition(g, 2);
+  const EdgeCutQuality q = evaluate(g, p);
+  EXPECT_LE(q.cut_edges, 4u);  // near-perfect split exists
+  EXPECT_LE(q.vertex_imbalance, 1.15);
+}
+
+TEST(Multilevel, HandlesStarGraph) {
+  // Matching stalls on stars — exercises the coarsening bail-out.
+  graph::EdgeList e(101);
+  for (VertexId v = 1; v <= 100; ++v) e.add_undirected(0, v);
+  const graph::Csr g = graph::Csr::build(e);
+  const EdgeCutPartition p = MultilevelPartitioner{}.partition(g, 4);
+  EXPECT_EQ(p.num_parts(), 4u);
+  const EdgeCutQuality q = evaluate(g, p);
+  EXPECT_LE(q.vertex_imbalance, 1.3);
+}
+
+TEST(Ldg, RespectsCapacity) {
+  const graph::Csr g = graph::Csr::build(graph::gen::erdos_renyi(1500, 6000, 61));
+  LdgConfig cfg;
+  cfg.capacity_slack = 1.1;
+  const EdgeCutPartition p = LdgPartitioner{cfg}.partition(g, 6);
+  const EdgeCutQuality q = evaluate(g, p);
+  EXPECT_LE(q.vertex_imbalance, cfg.capacity_slack + 0.05);
+}
+
+TEST(Ldg, BeatsHashOnCommunityGraphs) {
+  graph::gen::CommunitySpec spec{12, 60, 8, 0.92};
+  const graph::Csr g = graph::Csr::build(graph::gen::planted_communities(spec, 63));
+  const EdgeCutQuality hash_q = evaluate(g, HashPartitioner{}.partition(g, 6));
+  const EdgeCutQuality ldg_q = evaluate(g, LdgPartitioner{}.partition(g, 6));
+  EXPECT_LT(ldg_q.cut_edges, hash_q.cut_edges);
+  EXPECT_LT(ldg_q.replication_factor, hash_q.replication_factor);
+}
+
+TEST(Ldg, QualityBetweenHashAndMultilevel) {
+  // The streaming partitioner's value proposition: one pass, quality between
+  // the extremes.
+  graph::gen::WebSpec spec;
+  spec.scale = 12;
+  spec.edges = 30000;
+  const graph::Csr g = graph::Csr::build(graph::gen::web_graph(spec, 65));
+  const double hash_rf = evaluate(g, HashPartitioner{}.partition(g, 8)).replication_factor;
+  const double ldg_rf = evaluate(g, LdgPartitioner{}.partition(g, 8)).replication_factor;
+  const double ml_rf =
+      evaluate(g, MultilevelPartitioner{}.partition(g, 8)).replication_factor;
+  EXPECT_LT(ldg_rf, hash_rf);
+  EXPECT_LE(ml_rf, ldg_rf * 1.2);  // multilevel at least comparable
+}
+
+TEST(Ldg, DeterministicInSeed) {
+  const graph::Csr g = graph::Csr::build(graph::gen::rmat(10, 3000, 67));
+  const EdgeCutPartition a = LdgPartitioner{}.partition(g, 5);
+  const EdgeCutPartition b = LdgPartitioner{}.partition(g, 5);
+  EXPECT_EQ(a.owners(), b.owners());
+}
+
+TEST(Ldg, SinglePartTrivial) {
+  const graph::Csr g = graph::Csr::build(test::figure6_graph());
+  const EdgeCutPartition p = LdgPartitioner{}.partition(g, 1);
+  EXPECT_EQ(evaluate(g, p).cut_edges, 0u);
+}
+
+/// Property sweep: on varied graphs and part counts the multilevel cut never
+/// loses badly to hash (it is allowed to tie on unstructured graphs).
+struct MlCase {
+  unsigned graph_kind;
+  WorkerId parts;
+};
+
+class MultilevelVsHash : public ::testing::TestWithParam<MlCase> {};
+
+TEST_P(MultilevelVsHash, CutNotWorseThanHash) {
+  const auto [kind, parts] = GetParam();
+  graph::EdgeList edges;
+  switch (kind) {
+    case 0:
+      edges = graph::gen::erdos_renyi(800, 4000, 55);
+      break;
+    case 1:
+      edges = graph::gen::rmat(10, 4000, 55);
+      break;
+    case 2: {
+      graph::gen::CommunitySpec cs{8, 80, 6, 0.9};
+      edges = graph::gen::planted_communities(cs, 55);
+      break;
+    }
+    default: {
+      graph::gen::RoadSpec rs{25, 25, 0.01, 0.4, 1.2};
+      edges = graph::gen::road_grid(rs, 55);
+      break;
+    }
+  }
+  const graph::Csr g = graph::Csr::build(edges);
+  const EdgeCutQuality hash_q = evaluate(g, HashPartitioner{}.partition(g, parts));
+  const EdgeCutQuality ml_q = evaluate(g, MultilevelPartitioner{}.partition(g, parts));
+  EXPECT_LE(ml_q.cut_edges, static_cast<std::size_t>(1.05 * hash_q.cut_edges) + 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MultilevelVsHash,
+    ::testing::Values(MlCase{0, 2}, MlCase{0, 8}, MlCase{1, 4}, MlCase{1, 12},
+                      MlCase{2, 4}, MlCase{2, 8}, MlCase{3, 2}, MlCase{3, 6}));
+
+}  // namespace
+}  // namespace cyclops::partition

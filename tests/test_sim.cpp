@@ -1,0 +1,151 @@
+// Tests for the simulated cluster fabric: message delivery, bundling,
+// local/remote accounting, cost model arithmetic, counters.
+
+#include <gtest/gtest.h>
+
+#include "cyclops/common/serialize.hpp"
+#include "cyclops/sim/cost_model.hpp"
+#include "cyclops/sim/counters.hpp"
+#include "cyclops/sim/fabric.hpp"
+
+namespace cyclops::sim {
+namespace {
+
+std::vector<std::uint8_t> payload(std::uint32_t v) {
+  ByteWriter w;
+  w.write(v);
+  return w.take();
+}
+
+TEST(CostModel, RemoteAndLocalCosts) {
+  const CostModel m = CostModel::hama_java();
+  EXPECT_DOUBLE_EQ(m.remote_cost_us(10, 1000),
+                   10 * m.per_remote_msg_us + 1000 * m.per_byte_us);
+  EXPECT_DOUBLE_EQ(m.local_cost_us(10, 1000), m.remote_cost_us(10, 1000) * 0.3);
+  EXPECT_GT(m.barrier_cost_us(48), m.barrier_cost_us(6));
+}
+
+TEST(CostModel, PresetsOrdered) {
+  // Wire-model calibration: batched in-engine RPC dispatch is costliest for
+  // Hama's per-object path, cheapest for Cyclops' bundled primitive arrays.
+  EXPECT_GT(CostModel::hama_java().per_remote_msg_us,
+            CostModel::boost_cpp().per_remote_msg_us);
+  EXPECT_LT(CostModel::cyclops_sync().per_remote_msg_us,
+            CostModel::hama_java().per_remote_msg_us);
+  EXPECT_DOUBLE_EQ(CostModel::zero().remote_cost_us(100, 100), 0.0);
+}
+
+TEST(Topology, MachinePlacement) {
+  const Topology t{3, 4};
+  EXPECT_EQ(t.total_workers(), 12u);
+  EXPECT_EQ(t.machine_of(0), 0u);
+  EXPECT_EQ(t.machine_of(3), 0u);
+  EXPECT_EQ(t.machine_of(4), 1u);
+  EXPECT_TRUE(t.same_machine(8, 11));
+  EXPECT_FALSE(t.same_machine(3, 4));
+}
+
+TEST(NetCounters, SnapshotArithmetic) {
+  NetCounters c;
+  c.add_remote(3, 100);
+  c.add_local(2, 50);
+  c.add_package();
+  const NetSnapshot s = c.snapshot();
+  EXPECT_EQ(s.total_messages(), 5u);
+  EXPECT_EQ(s.total_bytes(), 150u);
+  NetSnapshot sum = s;
+  sum += s;
+  EXPECT_EQ(sum.remote_messages, 6u);
+  EXPECT_EQ((sum - s).remote_messages, 3u);
+  c.reset();
+  EXPECT_EQ(c.snapshot().total_messages(), 0u);
+}
+
+TEST(Fabric, DeliversBundledPackages) {
+  Fabric f(Topology{2, 1}, CostModel::zero());
+  f.outbox(0).send(1, payload(7));
+  f.outbox(0).send(1, payload(9));
+  const ExchangeStats x = f.exchange(2);
+  EXPECT_EQ(x.net.remote_messages, 2u);
+  EXPECT_EQ(x.net.packages, 1u);  // bundled into one transfer
+  const auto in = f.incoming(1);
+  ASSERT_EQ(in.size(), 1u);
+  EXPECT_EQ(in[0].from, 0u);
+  EXPECT_EQ(in[0].message_count, 2u);
+  ByteReader r(in[0].bytes);
+  EXPECT_EQ(r.read<std::uint32_t>(), 7u);
+  EXPECT_EQ(r.read<std::uint32_t>(), 9u);
+}
+
+TEST(Fabric, LocalVsRemoteAccounting) {
+  // 2 machines x 2 workers: worker 0->1 is local, 0->2 crosses machines.
+  Fabric f(Topology{2, 2}, CostModel::hama_java());
+  f.outbox(0).send(1, payload(1));
+  f.outbox(0).send(2, payload(2));
+  const ExchangeStats x = f.exchange(4);
+  EXPECT_EQ(x.net.local_messages, 1u);
+  EXPECT_EQ(x.net.remote_messages, 1u);
+  EXPECT_GT(x.modeled_comm_s, 0.0);
+  EXPECT_GT(x.modeled_barrier_s, 0.0);
+}
+
+TEST(Fabric, SelfSendIsLocal) {
+  Fabric f(Topology{1, 2}, CostModel::zero());
+  f.outbox(0).send(0, payload(5));
+  const ExchangeStats x = f.exchange(2);
+  EXPECT_EQ(x.net.local_messages, 1u);
+  ASSERT_EQ(f.incoming(0).size(), 1u);
+}
+
+TEST(Fabric, ExchangeClearsOutboxes) {
+  Fabric f(Topology{2, 1}, CostModel::zero());
+  f.outbox(0).send(1, payload(1));
+  (void)f.exchange(2);
+  const ExchangeStats x2 = f.exchange(2);
+  EXPECT_EQ(x2.net.total_messages(), 0u);
+  EXPECT_TRUE(f.incoming(1).empty());
+}
+
+TEST(Fabric, LanesAreIndependent) {
+  Fabric f(Topology{2, 1}, CostModel::zero(), /*lanes=*/3);
+  f.outbox(0, 0).send(1, payload(1));
+  f.outbox(0, 2).send(1, payload(2));
+  const ExchangeStats x = f.exchange(2);
+  EXPECT_EQ(x.net.remote_messages, 2u);
+  EXPECT_EQ(f.incoming(1).size(), 2u);  // one package per lane
+}
+
+TEST(Fabric, TotalsAccumulateAcrossExchanges) {
+  Fabric f(Topology{2, 1}, CostModel::boost_cpp());
+  f.outbox(0).send(1, payload(1));
+  (void)f.exchange(2);
+  f.outbox(1).send(0, payload(2));
+  (void)f.exchange(2);
+  EXPECT_EQ(f.totals().remote_messages, 2u);
+  EXPECT_GT(f.total_modeled_comm_s(), 0.0);
+  EXPECT_GT(f.total_modeled_barrier_s(), 0.0);
+}
+
+TEST(Fabric, PeakBufferedBytesReported) {
+  Fabric f(Topology{2, 1}, CostModel::zero());
+  f.outbox(0).send(1, payload(1));
+  f.outbox(0).send(1, payload(2));
+  const ExchangeStats x = f.exchange(2);
+  EXPECT_EQ(x.peak_buffered_bytes, 8u);  // two u32 payloads
+}
+
+TEST(Fabric, MaxMachineCostNotSum) {
+  // Two machines each sending the same volume: modeled time equals one
+  // machine's cost (they overlap), not the sum.
+  const CostModel m = CostModel::boost_cpp();
+  Fabric f(Topology{2, 1}, m);
+  f.outbox(0).send(1, payload(1));
+  const double one_way = f.exchange(2).modeled_comm_s;
+  f.outbox(0).send(1, payload(1));
+  f.outbox(1).send(0, payload(1));
+  const double both_ways = f.exchange(2).modeled_comm_s;
+  EXPECT_LT(both_ways, 2.0 * one_way);
+}
+
+}  // namespace
+}  // namespace cyclops::sim

@@ -1,0 +1,52 @@
+#pragma once
+// Shared helpers for the test suite: tiny canonical graphs and engine
+// convenience wrappers.
+
+#include <vector>
+
+#include "cyclops/graph/csr.hpp"
+#include "cyclops/graph/edge_list.hpp"
+#include "cyclops/partition/hash.hpp"
+#include "cyclops/partition/partition.hpp"
+
+namespace cyclops::test {
+
+/// The 6-vertex sample graph of Figure 6 (ids shifted to 0-based):
+/// 0->1, 0->2, 2->1, 2->3, 3->1, 3->2, 4->3, 4->5, 5->2, 5->4.
+inline graph::EdgeList figure6_graph() {
+  graph::EdgeList e(6);
+  e.add(0, 1);
+  e.add(0, 2);
+  e.add(2, 1);
+  e.add(2, 3);
+  e.add(3, 1);
+  e.add(3, 2);
+  e.add(4, 3);
+  e.add(4, 5);
+  e.add(5, 2);
+  e.add(5, 4);
+  return e;
+}
+
+/// A 4-vertex weighted diamond for SSSP: 0->1 (1), 0->2 (4), 1->2 (1),
+/// 1->3 (5), 2->3 (1). Shortest 0->3 = 3 via 0-1-2-3.
+inline graph::EdgeList diamond_graph() {
+  graph::EdgeList e(4);
+  e.add(0, 1, 1.0);
+  e.add(0, 2, 4.0);
+  e.add(1, 2, 1.0);
+  e.add(1, 3, 5.0);
+  e.add(2, 3, 1.0);
+  return e;
+}
+
+/// Explicit owner assignment helper.
+inline partition::EdgeCutPartition owners(std::vector<WorkerId> o, WorkerId parts) {
+  return partition::EdgeCutPartition(std::move(o), parts);
+}
+
+inline partition::EdgeCutPartition hash_partition(const graph::Csr& g, WorkerId parts) {
+  return partition::HashPartitioner{}.partition(g, parts);
+}
+
+}  // namespace cyclops::test

@@ -1,0 +1,283 @@
+// cyclops-cli — command-line driver for the whole stack: pick an algorithm,
+// an engine, a partitioner, a dataset (file or generator), a cluster shape,
+// and get the run summary (and optionally per-superstep CSV) on stdout.
+//
+//   cyclops-cli --algo pr --engine cyclops --graph gen:gweb --workers 48
+//   cyclops-cli --algo sssp --engine hama --graph road.txt --workers 8
+//   cyclops-cli --algo pr --engine mt --threads 8 --receivers 2
+//               --partitioner multilevel --csv series.csv
+//
+// Run with --help for the full flag list.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "cyclops/algorithms/als.hpp"
+#include "cyclops/algorithms/cc.hpp"
+#include "cyclops/algorithms/cd.hpp"
+#include "cyclops/algorithms/datasets.hpp"
+#include "cyclops/algorithms/pagerank.hpp"
+#include "cyclops/algorithms/sssp.hpp"
+#include "cyclops/bsp/engine.hpp"
+#include "cyclops/core/engine.hpp"
+#include "cyclops/gas/engine.hpp"
+#include "cyclops/graph/gstats.hpp"
+#include "cyclops/graph/loader.hpp"
+#include "cyclops/metrics/reporter.hpp"
+#include "cyclops/partition/hash.hpp"
+#include "cyclops/partition/ldg.hpp"
+#include "cyclops/partition/multilevel.hpp"
+#include "cyclops/partition/vertex_cut.hpp"
+
+namespace {
+
+using namespace cyclops;
+
+struct Options {
+  std::string algo = "pr";          // pr | sssp | cd | cc | als
+  std::string engine = "cyclops";   // hama | cyclops | mt | gas
+  std::string graph = "gen:gweb";   // file path or gen:<name>
+  std::string partitioner = "hash"; // hash | ldg | multilevel
+  WorkerId workers = 8;
+  MachineId machines = 4;
+  unsigned threads = 4;
+  unsigned receivers = 2;
+  double epsilon = 1e-9;
+  Superstep max_supersteps = 100;
+  VertexId source = 0;       // sssp
+  VertexId num_users = 0;    // als (0 = infer for generated datasets)
+  unsigned rounds = 10;      // als
+  double scale = 1.0;        // generator scale factor
+  std::string csv;           // per-superstep series output path
+  bool stats_only = false;   // print graph stats and exit
+};
+
+[[noreturn]] void usage(int code) {
+  std::puts(
+      "cyclops-cli — run a graph algorithm on one of the reproduced engines\n"
+      "\n"
+      "  --algo pr|sssp|cd|cc|als    algorithm (default pr)\n"
+      "  --engine hama|cyclops|mt|gas  engine (default cyclops; gas = PageRank only)\n"
+      "  --graph PATH|gen:NAME       edge-list file, or generator: amazon, gweb,\n"
+      "                              ljournal, wiki, syn-gl, dblp, roadca (default gen:gweb)\n"
+      "  --partitioner hash|ldg|multilevel   edge-cut partitioner (default hash)\n"
+      "  --workers N --machines M    cluster shape (default 8 workers / 4 machines)\n"
+      "  --threads T --receivers R   CyclopsMT thread configuration\n"
+      "  --epsilon E                 convergence epsilon (default 1e-9)\n"
+      "  --max-supersteps N          superstep cap (default 100)\n"
+      "  --source V                  SSSP source vertex (default 0)\n"
+      "  --users N --rounds K        ALS bipartite split / training rounds\n"
+      "  --scale F                   generator scale factor (default 1.0)\n"
+      "  --csv PATH                  write per-superstep series as CSV\n"
+      "  --stats                     print graph statistics and exit\n");
+  std::exit(code);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  auto next = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(2);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--help" || a == "-h") usage(0);
+    else if (a == "--algo") o.algo = next(i);
+    else if (a == "--engine") o.engine = next(i);
+    else if (a == "--graph") o.graph = next(i);
+    else if (a == "--partitioner") o.partitioner = next(i);
+    else if (a == "--workers") o.workers = static_cast<WorkerId>(std::atoi(next(i)));
+    else if (a == "--machines") o.machines = static_cast<MachineId>(std::atoi(next(i)));
+    else if (a == "--threads") o.threads = static_cast<unsigned>(std::atoi(next(i)));
+    else if (a == "--receivers") o.receivers = static_cast<unsigned>(std::atoi(next(i)));
+    else if (a == "--epsilon") o.epsilon = std::atof(next(i));
+    else if (a == "--max-supersteps") o.max_supersteps = static_cast<Superstep>(std::atoi(next(i)));
+    else if (a == "--source") o.source = static_cast<VertexId>(std::atoi(next(i)));
+    else if (a == "--users") o.num_users = static_cast<VertexId>(std::atoi(next(i)));
+    else if (a == "--rounds") o.rounds = static_cast<unsigned>(std::atoi(next(i)));
+    else if (a == "--scale") o.scale = std::atof(next(i));
+    else if (a == "--csv") o.csv = next(i);
+    else if (a == "--stats") o.stats_only = true;
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      usage(2);
+    }
+  }
+  if (o.workers == 0 || o.machines == 0 || o.workers % o.machines != 0) {
+    std::fprintf(stderr, "--workers must be a positive multiple of --machines\n");
+    std::exit(2);
+  }
+  return o;
+}
+
+graph::EdgeList load_graph(Options& o) {
+  if (o.graph.rfind("gen:", 0) != 0) {
+    graph::LoadOptions lo;
+    lo.undirected = (o.algo == "cd" || o.algo == "als");
+    return graph::load_edge_list_file(o.graph, lo);
+  }
+  const std::string name = o.graph.substr(4);
+  algo::DatasetScale scale;
+  scale.factor = o.scale;
+  algo::Dataset d;
+  if (name == "amazon") d = algo::make_amazon(scale);
+  else if (name == "gweb") d = algo::make_gweb(scale);
+  else if (name == "ljournal") d = algo::make_ljournal(scale);
+  else if (name == "wiki") d = algo::make_wiki(scale);
+  else if (name == "syn-gl") d = algo::make_syn_gl(scale);
+  else if (name == "dblp") d = algo::make_dblp(scale);
+  else if (name == "roadca") d = algo::make_road_ca(scale);
+  else {
+    std::fprintf(stderr, "unknown generator '%s'\n", name.c_str());
+    std::exit(2);
+  }
+  if (o.num_users == 0) o.num_users = d.num_users;
+  std::printf("dataset: %s\n", d.describe().c_str());
+  return std::move(d.edges);
+}
+
+partition::EdgeCutPartition make_partition(const Options& o, const graph::Csr& g) {
+  if (o.partitioner == "hash") return partition::HashPartitioner{}.partition(g, o.workers);
+  if (o.partitioner == "ldg") return partition::LdgPartitioner{}.partition(g, o.workers);
+  if (o.partitioner == "multilevel") {
+    return partition::MultilevelPartitioner{}.partition(g, o.workers);
+  }
+  std::fprintf(stderr, "unknown partitioner '%s'\n", o.partitioner.c_str());
+  std::exit(2);
+}
+
+void emit_csv(const Options& o, const metrics::RunStats& stats) {
+  if (o.csv.empty()) return;
+  std::ofstream out(o.csv);
+  out << metrics::superstep_series_csv(stats);
+  std::printf("wrote per-superstep series to %s\n", o.csv.c_str());
+}
+
+template <typename Prog>
+int run_bsp(const Options& o, const graph::Csr& g, Prog prog) {
+  bsp::Config cfg;
+  cfg.topo = sim::Topology{o.machines, o.workers / o.machines};
+  cfg.max_supersteps = o.max_supersteps;
+  bsp::Engine<Prog> engine(g, make_partition(o, g), prog, cfg);
+  const auto stats = engine.run();
+  std::printf("%s\n", metrics::run_summary("hama/" + o.algo, stats).c_str());
+  std::printf("%s\n", metrics::phase_breakdown_row("breakdown", stats, true).c_str());
+  emit_csv(o, stats);
+  return 0;
+}
+
+template <typename Prog>
+int run_cyclops(const Options& o, const graph::Csr& g, Prog prog, bool mt) {
+  core::Config cfg = mt ? core::Config::cyclops_mt(o.machines, o.threads, o.receivers)
+                        : core::Config::cyclops(o.machines, o.workers / o.machines);
+  cfg.max_supersteps = o.max_supersteps;
+  const WorkerId parts = cfg.topo.total_workers();
+  Options po = o;
+  po.workers = parts;
+  core::Engine<Prog> engine(g, make_partition(po, g), prog, cfg);
+  const auto stats = engine.run();
+  std::printf("%s\n", metrics::run_summary((mt ? "cyclops-mt/" : "cyclops/") + o.algo,
+                                           stats)
+                          .c_str());
+  std::printf("replication factor: %.2f, ingress %.3fs\n",
+              engine.layout().replication_factor(g.num_vertices()), stats.ingress_s);
+  std::printf("%s\n", metrics::phase_breakdown_row("breakdown", stats, true).c_str());
+  emit_csv(o, stats);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o = parse(argc, argv);
+  const graph::EdgeList edges = load_graph(o);
+  const graph::Csr g = graph::Csr::build(edges);
+  std::printf("graph: %u vertices, %zu edges\n", g.num_vertices(), g.num_edges());
+
+  if (o.stats_only) {
+    const auto s = graph::compute_stats(g);
+    std::printf("avg degree %.2f | out-degree max %.0f p99 %.0f | isolated %zu | "
+                "power-law slope %.2f\n",
+                s.avg_degree, s.out_degree.max, s.out_degree.p99, s.isolated_vertices,
+                graph::powerlaw_exponent(g));
+    return 0;
+  }
+
+  const bool mt = o.engine == "mt";
+  if (o.algo == "pr") {
+    if (o.engine == "gas") {
+      algo::PageRankGas prog;
+      prog.num_vertices = g.num_vertices();
+      prog.epsilon = o.epsilon;
+      gas::Config cfg;
+      cfg.topo = sim::Topology{o.machines, 1};
+      cfg.max_iterations = o.max_supersteps;
+      gas::Engine<algo::PageRankGas> engine(
+          edges, partition::RandomVertexCut{}.partition(edges, o.machines), prog, cfg);
+      const auto stats = engine.run();
+      std::printf("%s\n", metrics::run_summary("powergraph/pr", stats).c_str());
+      emit_csv(o, stats);
+      return 0;
+    }
+    if (o.engine == "hama") {
+      algo::PageRankBsp prog;
+      prog.epsilon = o.epsilon;
+      return run_bsp(o, g, prog);
+    }
+    algo::PageRankCyclops prog;
+    prog.epsilon = o.epsilon;
+    return run_cyclops(o, g, prog, mt);
+  }
+  if (o.algo == "sssp") {
+    if (o.source >= g.num_vertices()) {
+      std::fprintf(stderr, "--source out of range\n");
+      return 2;
+    }
+    if (o.engine == "hama") {
+      algo::SsspBsp prog;
+      prog.source = o.source;
+      return run_bsp(o, g, prog);
+    }
+    algo::SsspCyclops prog;
+    prog.source = o.source;
+    return run_cyclops(o, g, prog, mt);
+  }
+  if (o.algo == "cd") {
+    if (o.engine == "hama") {
+      algo::CdBsp prog;
+      return run_bsp(o, g, prog);
+    }
+    algo::CdCyclops prog;
+    return run_cyclops(o, g, prog, mt);
+  }
+  if (o.algo == "cc") {
+    if (o.engine == "hama") {
+      algo::CcBsp prog;
+      return run_bsp(o, g, prog);
+    }
+    algo::CcCyclops prog;
+    return run_cyclops(o, g, prog, mt);
+  }
+  if (o.algo == "als") {
+    if (o.num_users == 0) {
+      std::fprintf(stderr, "--users required for ALS on file graphs\n");
+      return 2;
+    }
+    if (o.engine == "hama") {
+      algo::AlsBsp prog;
+      prog.num_users = o.num_users;
+      prog.rounds = o.rounds;
+      return run_bsp(o, g, prog);
+    }
+    algo::AlsCyclops prog;
+    prog.num_users = o.num_users;
+    prog.rounds = o.rounds;
+    return run_cyclops(o, g, prog, mt);
+  }
+  std::fprintf(stderr, "unknown algorithm '%s'\n", o.algo.c_str());
+  return 2;
+}
