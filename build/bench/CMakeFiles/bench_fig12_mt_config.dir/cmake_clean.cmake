@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_mt_config.dir/bench_fig12_mt_config.cpp.o"
+  "CMakeFiles/bench_fig12_mt_config.dir/bench_fig12_mt_config.cpp.o.d"
+  "bench_fig12_mt_config"
+  "bench_fig12_mt_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_mt_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

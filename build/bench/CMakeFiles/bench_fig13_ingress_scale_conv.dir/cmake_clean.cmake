@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_ingress_scale_conv.dir/bench_fig13_ingress_scale_conv.cpp.o"
+  "CMakeFiles/bench_fig13_ingress_scale_conv.dir/bench_fig13_ingress_scale_conv.cpp.o.d"
+  "bench_fig13_ingress_scale_conv"
+  "bench_fig13_ingress_scale_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_ingress_scale_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig13_ingress_scale_conv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig13_ingress_scale_conv.
+# This may be replaced when dependencies are built.

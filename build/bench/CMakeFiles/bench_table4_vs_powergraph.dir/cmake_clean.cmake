@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_vs_powergraph.dir/bench_table4_vs_powergraph.cpp.o"
+  "CMakeFiles/bench_table4_vs_powergraph.dir/bench_table4_vs_powergraph.cpp.o.d"
+  "bench_table4_vs_powergraph"
+  "bench_table4_vs_powergraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_vs_powergraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/communities.dir/communities.cpp.o"
+  "CMakeFiles/communities.dir/communities.cpp.o.d"
+  "communities"
+  "communities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/communities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommend_als.dir/recommend_als.cpp.o"
+  "CMakeFiles/recommend_als.dir/recommend_als.cpp.o.d"
+  "recommend_als"
+  "recommend_als.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommend_als.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cyclops/algorithms/als.cpp" "src/CMakeFiles/cyclops_algorithms.dir/cyclops/algorithms/als.cpp.o" "gcc" "src/CMakeFiles/cyclops_algorithms.dir/cyclops/algorithms/als.cpp.o.d"
+  "/root/repo/src/cyclops/algorithms/cc.cpp" "src/CMakeFiles/cyclops_algorithms.dir/cyclops/algorithms/cc.cpp.o" "gcc" "src/CMakeFiles/cyclops_algorithms.dir/cyclops/algorithms/cc.cpp.o.d"
+  "/root/repo/src/cyclops/algorithms/cd.cpp" "src/CMakeFiles/cyclops_algorithms.dir/cyclops/algorithms/cd.cpp.o" "gcc" "src/CMakeFiles/cyclops_algorithms.dir/cyclops/algorithms/cd.cpp.o.d"
+  "/root/repo/src/cyclops/algorithms/datasets.cpp" "src/CMakeFiles/cyclops_algorithms.dir/cyclops/algorithms/datasets.cpp.o" "gcc" "src/CMakeFiles/cyclops_algorithms.dir/cyclops/algorithms/datasets.cpp.o.d"
+  "/root/repo/src/cyclops/algorithms/pagerank.cpp" "src/CMakeFiles/cyclops_algorithms.dir/cyclops/algorithms/pagerank.cpp.o" "gcc" "src/CMakeFiles/cyclops_algorithms.dir/cyclops/algorithms/pagerank.cpp.o.d"
+  "/root/repo/src/cyclops/algorithms/sssp.cpp" "src/CMakeFiles/cyclops_algorithms.dir/cyclops/algorithms/sssp.cpp.o" "gcc" "src/CMakeFiles/cyclops_algorithms.dir/cyclops/algorithms/sssp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cyclops_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cyclops_bsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cyclops_gas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cyclops_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cyclops_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cyclops_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cyclops_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cyclops_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

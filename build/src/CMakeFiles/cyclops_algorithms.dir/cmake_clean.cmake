@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclops_algorithms.dir/cyclops/algorithms/als.cpp.o"
+  "CMakeFiles/cyclops_algorithms.dir/cyclops/algorithms/als.cpp.o.d"
+  "CMakeFiles/cyclops_algorithms.dir/cyclops/algorithms/cc.cpp.o"
+  "CMakeFiles/cyclops_algorithms.dir/cyclops/algorithms/cc.cpp.o.d"
+  "CMakeFiles/cyclops_algorithms.dir/cyclops/algorithms/cd.cpp.o"
+  "CMakeFiles/cyclops_algorithms.dir/cyclops/algorithms/cd.cpp.o.d"
+  "CMakeFiles/cyclops_algorithms.dir/cyclops/algorithms/datasets.cpp.o"
+  "CMakeFiles/cyclops_algorithms.dir/cyclops/algorithms/datasets.cpp.o.d"
+  "CMakeFiles/cyclops_algorithms.dir/cyclops/algorithms/pagerank.cpp.o"
+  "CMakeFiles/cyclops_algorithms.dir/cyclops/algorithms/pagerank.cpp.o.d"
+  "CMakeFiles/cyclops_algorithms.dir/cyclops/algorithms/sssp.cpp.o"
+  "CMakeFiles/cyclops_algorithms.dir/cyclops/algorithms/sssp.cpp.o.d"
+  "libcyclops_algorithms.a"
+  "libcyclops_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclops_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

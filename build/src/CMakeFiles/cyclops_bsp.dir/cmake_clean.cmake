@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclops_bsp.dir/cyclops/bsp/engine_base.cpp.o"
+  "CMakeFiles/cyclops_bsp.dir/cyclops/bsp/engine_base.cpp.o.d"
+  "libcyclops_bsp.a"
+  "libcyclops_bsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclops_bsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

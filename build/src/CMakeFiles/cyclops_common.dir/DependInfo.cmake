@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cyclops/common/exec.cpp" "src/CMakeFiles/cyclops_common.dir/cyclops/common/exec.cpp.o" "gcc" "src/CMakeFiles/cyclops_common.dir/cyclops/common/exec.cpp.o.d"
+  "/root/repo/src/cyclops/common/log.cpp" "src/CMakeFiles/cyclops_common.dir/cyclops/common/log.cpp.o" "gcc" "src/CMakeFiles/cyclops_common.dir/cyclops/common/log.cpp.o.d"
+  "/root/repo/src/cyclops/common/stats.cpp" "src/CMakeFiles/cyclops_common.dir/cyclops/common/stats.cpp.o" "gcc" "src/CMakeFiles/cyclops_common.dir/cyclops/common/stats.cpp.o.d"
+  "/root/repo/src/cyclops/common/table.cpp" "src/CMakeFiles/cyclops_common.dir/cyclops/common/table.cpp.o" "gcc" "src/CMakeFiles/cyclops_common.dir/cyclops/common/table.cpp.o.d"
+  "/root/repo/src/cyclops/common/thread_pool.cpp" "src/CMakeFiles/cyclops_common.dir/cyclops/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/cyclops_common.dir/cyclops/common/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

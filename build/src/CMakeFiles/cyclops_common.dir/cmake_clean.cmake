@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclops_common.dir/cyclops/common/exec.cpp.o"
+  "CMakeFiles/cyclops_common.dir/cyclops/common/exec.cpp.o.d"
+  "CMakeFiles/cyclops_common.dir/cyclops/common/log.cpp.o"
+  "CMakeFiles/cyclops_common.dir/cyclops/common/log.cpp.o.d"
+  "CMakeFiles/cyclops_common.dir/cyclops/common/stats.cpp.o"
+  "CMakeFiles/cyclops_common.dir/cyclops/common/stats.cpp.o.d"
+  "CMakeFiles/cyclops_common.dir/cyclops/common/table.cpp.o"
+  "CMakeFiles/cyclops_common.dir/cyclops/common/table.cpp.o.d"
+  "CMakeFiles/cyclops_common.dir/cyclops/common/thread_pool.cpp.o"
+  "CMakeFiles/cyclops_common.dir/cyclops/common/thread_pool.cpp.o.d"
+  "libcyclops_common.a"
+  "libcyclops_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclops_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclops_core.dir/cyclops/core/engine_base.cpp.o"
+  "CMakeFiles/cyclops_core.dir/cyclops/core/engine_base.cpp.o.d"
+  "CMakeFiles/cyclops_core.dir/cyclops/core/layout.cpp.o"
+  "CMakeFiles/cyclops_core.dir/cyclops/core/layout.cpp.o.d"
+  "CMakeFiles/cyclops_core.dir/cyclops/core/mutation.cpp.o"
+  "CMakeFiles/cyclops_core.dir/cyclops/core/mutation.cpp.o.d"
+  "libcyclops_core.a"
+  "libcyclops_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclops_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclops_gas.dir/cyclops/gas/gas_layout.cpp.o"
+  "CMakeFiles/cyclops_gas.dir/cyclops/gas/gas_layout.cpp.o.d"
+  "libcyclops_gas.a"
+  "libcyclops_gas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclops_gas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcyclops_gas.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cyclops/graph/csr.cpp" "src/CMakeFiles/cyclops_graph.dir/cyclops/graph/csr.cpp.o" "gcc" "src/CMakeFiles/cyclops_graph.dir/cyclops/graph/csr.cpp.o.d"
+  "/root/repo/src/cyclops/graph/edge_list.cpp" "src/CMakeFiles/cyclops_graph.dir/cyclops/graph/edge_list.cpp.o" "gcc" "src/CMakeFiles/cyclops_graph.dir/cyclops/graph/edge_list.cpp.o.d"
+  "/root/repo/src/cyclops/graph/generators.cpp" "src/CMakeFiles/cyclops_graph.dir/cyclops/graph/generators.cpp.o" "gcc" "src/CMakeFiles/cyclops_graph.dir/cyclops/graph/generators.cpp.o.d"
+  "/root/repo/src/cyclops/graph/gstats.cpp" "src/CMakeFiles/cyclops_graph.dir/cyclops/graph/gstats.cpp.o" "gcc" "src/CMakeFiles/cyclops_graph.dir/cyclops/graph/gstats.cpp.o.d"
+  "/root/repo/src/cyclops/graph/loader.cpp" "src/CMakeFiles/cyclops_graph.dir/cyclops/graph/loader.cpp.o" "gcc" "src/CMakeFiles/cyclops_graph.dir/cyclops/graph/loader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cyclops_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

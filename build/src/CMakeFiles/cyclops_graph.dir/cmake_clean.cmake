@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclops_graph.dir/cyclops/graph/csr.cpp.o"
+  "CMakeFiles/cyclops_graph.dir/cyclops/graph/csr.cpp.o.d"
+  "CMakeFiles/cyclops_graph.dir/cyclops/graph/edge_list.cpp.o"
+  "CMakeFiles/cyclops_graph.dir/cyclops/graph/edge_list.cpp.o.d"
+  "CMakeFiles/cyclops_graph.dir/cyclops/graph/generators.cpp.o"
+  "CMakeFiles/cyclops_graph.dir/cyclops/graph/generators.cpp.o.d"
+  "CMakeFiles/cyclops_graph.dir/cyclops/graph/gstats.cpp.o"
+  "CMakeFiles/cyclops_graph.dir/cyclops/graph/gstats.cpp.o.d"
+  "CMakeFiles/cyclops_graph.dir/cyclops/graph/loader.cpp.o"
+  "CMakeFiles/cyclops_graph.dir/cyclops/graph/loader.cpp.o.d"
+  "libcyclops_graph.a"
+  "libcyclops_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclops_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cyclops/metrics/convergence.cpp" "src/CMakeFiles/cyclops_metrics.dir/cyclops/metrics/convergence.cpp.o" "gcc" "src/CMakeFiles/cyclops_metrics.dir/cyclops/metrics/convergence.cpp.o.d"
+  "/root/repo/src/cyclops/metrics/memory_model.cpp" "src/CMakeFiles/cyclops_metrics.dir/cyclops/metrics/memory_model.cpp.o" "gcc" "src/CMakeFiles/cyclops_metrics.dir/cyclops/metrics/memory_model.cpp.o.d"
+  "/root/repo/src/cyclops/metrics/reporter.cpp" "src/CMakeFiles/cyclops_metrics.dir/cyclops/metrics/reporter.cpp.o" "gcc" "src/CMakeFiles/cyclops_metrics.dir/cyclops/metrics/reporter.cpp.o.d"
+  "/root/repo/src/cyclops/metrics/superstep_stats.cpp" "src/CMakeFiles/cyclops_metrics.dir/cyclops/metrics/superstep_stats.cpp.o" "gcc" "src/CMakeFiles/cyclops_metrics.dir/cyclops/metrics/superstep_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cyclops_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclops_metrics.dir/cyclops/metrics/convergence.cpp.o"
+  "CMakeFiles/cyclops_metrics.dir/cyclops/metrics/convergence.cpp.o.d"
+  "CMakeFiles/cyclops_metrics.dir/cyclops/metrics/memory_model.cpp.o"
+  "CMakeFiles/cyclops_metrics.dir/cyclops/metrics/memory_model.cpp.o.d"
+  "CMakeFiles/cyclops_metrics.dir/cyclops/metrics/reporter.cpp.o"
+  "CMakeFiles/cyclops_metrics.dir/cyclops/metrics/reporter.cpp.o.d"
+  "CMakeFiles/cyclops_metrics.dir/cyclops/metrics/superstep_stats.cpp.o"
+  "CMakeFiles/cyclops_metrics.dir/cyclops/metrics/superstep_stats.cpp.o.d"
+  "libcyclops_metrics.a"
+  "libcyclops_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclops_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

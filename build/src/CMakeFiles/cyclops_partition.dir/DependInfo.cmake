@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cyclops/partition/hash.cpp" "src/CMakeFiles/cyclops_partition.dir/cyclops/partition/hash.cpp.o" "gcc" "src/CMakeFiles/cyclops_partition.dir/cyclops/partition/hash.cpp.o.d"
+  "/root/repo/src/cyclops/partition/ldg.cpp" "src/CMakeFiles/cyclops_partition.dir/cyclops/partition/ldg.cpp.o" "gcc" "src/CMakeFiles/cyclops_partition.dir/cyclops/partition/ldg.cpp.o.d"
+  "/root/repo/src/cyclops/partition/multilevel.cpp" "src/CMakeFiles/cyclops_partition.dir/cyclops/partition/multilevel.cpp.o" "gcc" "src/CMakeFiles/cyclops_partition.dir/cyclops/partition/multilevel.cpp.o.d"
+  "/root/repo/src/cyclops/partition/partition.cpp" "src/CMakeFiles/cyclops_partition.dir/cyclops/partition/partition.cpp.o" "gcc" "src/CMakeFiles/cyclops_partition.dir/cyclops/partition/partition.cpp.o.d"
+  "/root/repo/src/cyclops/partition/vertex_cut.cpp" "src/CMakeFiles/cyclops_partition.dir/cyclops/partition/vertex_cut.cpp.o" "gcc" "src/CMakeFiles/cyclops_partition.dir/cyclops/partition/vertex_cut.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cyclops_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cyclops_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclops_partition.dir/cyclops/partition/hash.cpp.o"
+  "CMakeFiles/cyclops_partition.dir/cyclops/partition/hash.cpp.o.d"
+  "CMakeFiles/cyclops_partition.dir/cyclops/partition/ldg.cpp.o"
+  "CMakeFiles/cyclops_partition.dir/cyclops/partition/ldg.cpp.o.d"
+  "CMakeFiles/cyclops_partition.dir/cyclops/partition/multilevel.cpp.o"
+  "CMakeFiles/cyclops_partition.dir/cyclops/partition/multilevel.cpp.o.d"
+  "CMakeFiles/cyclops_partition.dir/cyclops/partition/partition.cpp.o"
+  "CMakeFiles/cyclops_partition.dir/cyclops/partition/partition.cpp.o.d"
+  "CMakeFiles/cyclops_partition.dir/cyclops/partition/vertex_cut.cpp.o"
+  "CMakeFiles/cyclops_partition.dir/cyclops/partition/vertex_cut.cpp.o.d"
+  "libcyclops_partition.a"
+  "libcyclops_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclops_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

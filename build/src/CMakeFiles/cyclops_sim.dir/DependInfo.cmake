@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cyclops/sim/cost_model.cpp" "src/CMakeFiles/cyclops_sim.dir/cyclops/sim/cost_model.cpp.o" "gcc" "src/CMakeFiles/cyclops_sim.dir/cyclops/sim/cost_model.cpp.o.d"
+  "/root/repo/src/cyclops/sim/counters.cpp" "src/CMakeFiles/cyclops_sim.dir/cyclops/sim/counters.cpp.o" "gcc" "src/CMakeFiles/cyclops_sim.dir/cyclops/sim/counters.cpp.o.d"
+  "/root/repo/src/cyclops/sim/fabric.cpp" "src/CMakeFiles/cyclops_sim.dir/cyclops/sim/fabric.cpp.o" "gcc" "src/CMakeFiles/cyclops_sim.dir/cyclops/sim/fabric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cyclops_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

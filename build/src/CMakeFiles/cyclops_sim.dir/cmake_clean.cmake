@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclops_sim.dir/cyclops/sim/cost_model.cpp.o"
+  "CMakeFiles/cyclops_sim.dir/cyclops/sim/cost_model.cpp.o.d"
+  "CMakeFiles/cyclops_sim.dir/cyclops/sim/counters.cpp.o"
+  "CMakeFiles/cyclops_sim.dir/cyclops/sim/counters.cpp.o.d"
+  "CMakeFiles/cyclops_sim.dir/cyclops/sim/fabric.cpp.o"
+  "CMakeFiles/cyclops_sim.dir/cyclops/sim/fabric.cpp.o.d"
+  "libcyclops_sim.a"
+  "libcyclops_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclops_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

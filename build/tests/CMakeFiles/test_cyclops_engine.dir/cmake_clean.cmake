@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cyclops_engine.dir/test_cyclops_engine.cpp.o"
+  "CMakeFiles/test_cyclops_engine.dir/test_cyclops_engine.cpp.o.d"
+  "test_cyclops_engine"
+  "test_cyclops_engine.pdb"
+  "test_cyclops_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cyclops_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

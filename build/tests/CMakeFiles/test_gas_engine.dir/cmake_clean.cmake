@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gas_engine.dir/test_gas_engine.cpp.o"
+  "CMakeFiles/test_gas_engine.dir/test_gas_engine.cpp.o.d"
+  "test_gas_engine"
+  "test_gas_engine.pdb"
+  "test_gas_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gas_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vertex_cut.dir/test_vertex_cut.cpp.o"
+  "CMakeFiles/test_vertex_cut.dir/test_vertex_cut.cpp.o.d"
+  "test_vertex_cut"
+  "test_vertex_cut.pdb"
+  "test_vertex_cut[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vertex_cut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

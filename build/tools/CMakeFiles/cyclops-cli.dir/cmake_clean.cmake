@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclops-cli.dir/cyclops_cli.cpp.o"
+  "CMakeFiles/cyclops-cli.dir/cyclops_cli.cpp.o.d"
+  "cyclops-cli"
+  "cyclops-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclops-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
