@@ -20,7 +20,6 @@
 // `Message combine(Message, Message) const` enables the Hama combiner.
 
 #include <algorithm>
-#include <atomic>
 #include <functional>
 #include <limits>
 #include <span>
@@ -39,6 +38,9 @@
 #include "cyclops/metrics/memory_model.hpp"
 #include "cyclops/metrics/superstep_stats.hpp"
 #include "cyclops/partition/partition.hpp"
+#include "cyclops/runtime/exchange_accounting.hpp"
+#include "cyclops/runtime/superstep_driver.hpp"
+#include "cyclops/runtime/sync_channel.hpp"
 #include "cyclops/sim/fabric.hpp"
 
 namespace cyclops::bsp {
@@ -74,7 +76,9 @@ class Engine {
     [[nodiscard]] VertexId num_vertices() const noexcept {
       return engine_.graph_->num_vertices();
     }
-    [[nodiscard]] Superstep superstep() const noexcept { return engine_.superstep_; }
+    [[nodiscard]] Superstep superstep() const noexcept {
+      return engine_.driver_.superstep();
+    }
 
     [[nodiscard]] const Value& value() const noexcept { return engine_.values_[vertex_]; }
     void set_value(const Value& v) noexcept { engine_.values_[vertex_] = v; }
@@ -132,25 +136,17 @@ class Engine {
   /// Runs to termination (all halted and no messages in flight, or the
   /// superstep limit).
   metrics::RunStats run() {
-    metrics::RunStats stats;
-    bool done = false;
-    while (!done) {
-      metrics::SuperstepStats step;
-      step.superstep = superstep_;
-      done = run_superstep(step);
-      stats.supersteps.push_back(step);
-      stats.peak_buffered_bytes = std::max(stats.peak_buffered_bytes, peak_buffered_);
-      if (observer_) observer_(step, std::span<const Value>(values_));
-      ++superstep_;
-      if (superstep_ >= config_.max_supersteps) done = true;
-    }
-    stats.elapsed_s = simulated_elapsed_s_;
-    return stats;
+    return driver_.run(
+        config_.max_supersteps, acct_,
+        [this](metrics::SuperstepStats& step) { return run_superstep(step); },
+        [this](const metrics::SuperstepStats& step) {
+          if (observer_) observer_(step, std::span<const Value>(values_));
+        });
   }
 
   [[nodiscard]] std::span<const Value> values() const noexcept { return values_; }
   [[nodiscard]] const sim::Fabric& fabric() const noexcept { return fabric_; }
-  [[nodiscard]] Superstep superstep() const noexcept { return superstep_; }
+  [[nodiscard]] Superstep superstep() const noexcept { return driver_.superstep(); }
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
   /// Per-superstep observer: (stats, values). Used for L1 tracking.
@@ -162,7 +158,7 @@ class Engine {
   // --- Pregel-style checkpointing (§3.6): values + activity + undelivered
   // messages, written after the global barrier. ---
   void checkpoint(ByteWriter& out) const {
-    out.write(superstep_);
+    out.write(driver_.superstep());
     out.write(global_error_);
     out.write_vector(values_);
     const VertexId n = graph_->num_vertices();
@@ -176,7 +172,7 @@ class Engine {
   }
 
   void restore(ByteReader& in) {
-    superstep_ = in.read<Superstep>();
+    driver_.set_superstep(in.read<Superstep>());
     global_error_ = in.read<double>();
     values_ = in.read_vector<Value>();
     const auto flags = in.read_vector<std::uint8_t>();
@@ -193,7 +189,7 @@ class Engine {
   /// Total transient message-buffer bytes allocated over the run (Table 2's
   /// GC-pressure analog).
   [[nodiscard]] std::uint64_t mailbox_churn_bytes() const noexcept {
-    return mailbox_churn_bytes_.load(std::memory_order_relaxed);
+    return acct_.churn_bytes();
   }
 
   /// Memory behaviour for Table 2: resident graph state plus transient
@@ -204,14 +200,14 @@ class Engine {
     r.vertex_state_bytes =
         graph_->num_vertices() * sizeof(Value) + graph_->num_edges() * sizeof(graph::Adj);
     r.replica_bytes = 0;
-    r.peak_message_bytes = peak_buffered_;
-    r.message_churn_bytes = mailbox_churn_bytes();
+    r.peak_message_bytes = acct_.peak_buffered_bytes();
+    r.message_churn_bytes = acct_.churn_bytes();
     r.message_alloc_count = fabric_.totals().total_messages();
     return r;
   }
   /// Messages staged by compute before combining (combiner effectiveness).
   [[nodiscard]] std::uint64_t total_staged_messages() const noexcept {
-    return total_staged_.load(std::memory_order_relaxed);
+    return acct_.staged_messages();
   }
   /// Global in-queue lock acquisitions — the contention §2.2.2 describes.
   [[nodiscard]] std::uint64_t lock_acquisitions() const noexcept {
@@ -225,6 +221,7 @@ class Engine {
     VertexId dst;
     Message payload;
   };
+  using Channel = runtime::SyncChannel<WireRecord>;
 
   struct WorkerAgg {
     double sum = 0;
@@ -260,7 +257,7 @@ class Engine {
   }
 
   void note_sent(WorkerId worker, VertexId src, const Message& msg, std::size_t count) {
-    total_staged_.fetch_add(count, std::memory_order_relaxed);
+    acct_.add_staged(count);
     if (!config_.track_redundant) return;
     if constexpr (HasNearlyEqual<Program>) {
       if (has_last_payload_.test(src) && program_.nearly_equal(last_payload_[src], msg)) {
@@ -326,8 +323,7 @@ class Engine {
         active_.set(rec.dst);
         halted_.clear(rec.dst);
       }
-      mailbox_churn_bytes_.fetch_add(queue.size() * sizeof(WireRecord),
-                                     std::memory_order_relaxed);
+      acct_.add_churn_bytes(queue.size() * sizeof(WireRecord));
       queue.clear();
       queue.shrink_to_fit();
     });
@@ -363,26 +359,26 @@ class Engine {
       step.phases.cmp_s = cmp_max * 1e-6;
     }
 
-    // --- SND: serialize staged messages onto the wire, exchange, then run
-    // the receive side: every record enqueues into the destination worker's
-    // global in-queue under its lock (the §2.2.2 contention point). ---
+    // --- SND: batch staged messages onto the wire through the typed sync
+    // channel (one reserve per destination, one append per record), exchange,
+    // then run the receive side: every record enqueues into the destination
+    // worker's global in-queue under its lock (the §2.2.2 contention point). ---
     pool_.parallel_tasks(workers, [&](std::size_t w) {
-      sim::OutBox& box = fabric_.outbox(static_cast<WorkerId>(w));
-      ByteWriter writer;
+      auto sender = Channel::sender(fabric_, static_cast<WorkerId>(w));
       for (WorkerId to = 0; to < workers; ++to) {
         StageBucket& bucket = staged_[w][to];
-        auto emit = [&](const WireRecord& rec) {
-          writer.clear();
-          writer.write(rec);
-          box.send(to, writer.bytes());
-          ++emitted[w];
-        };
+        const std::size_t n = bucket.combined.size() + bucket.records.size();
+        if (n == 0) continue;
+        sender.reserve(to, n);
         if constexpr (Combinable<Program>) {
-          for (const auto& [dst, msg] : bucket.combined) emit(WireRecord{dst, msg});
+          for (const auto& [dst, msg] : bucket.combined) {
+            sender.send(to, WireRecord{dst, msg});
+          }
           bucket.combined.clear();
         }
-        for (const WireRecord& rec : bucket.records) emit(rec);
+        for (const WireRecord& rec : bucket.records) sender.send(to, rec);
         bucket.records.clear();
+        emitted[w] += n;
       }
     });
     for (auto& r : redundant_acc_) {
@@ -391,20 +387,15 @@ class Engine {
     }
 
     const sim::ExchangeStats xstats = fabric_.exchange(workers);
-    peak_buffered_ = std::max(peak_buffered_, xstats.peak_buffered_bytes);
+    acct_.note_exchange(xstats);
 
     pool_.parallel_tasks(workers, [&](std::size_t w) {
-      for (const sim::Package& pkg : fabric_.incoming(static_cast<WorkerId>(w))) {
-        ByteReader reader(pkg.bytes);
-        while (!reader.exhausted()) {
-          const auto rec = reader.read<WireRecord>();
-          inqueue_locks_[w].lock();
-          inqueue_[w].push_back(rec);
-          inqueue_locks_[w].unlock();
-          ++delivered[w];
-        }
-      }
-      fabric_.clear_incoming(static_cast<WorkerId>(w));
+      Channel::drain(fabric_, static_cast<WorkerId>(w), [&](const WireRecord& rec) {
+        inqueue_locks_[w].lock();
+        inqueue_[w].push_back(rec);
+        inqueue_locks_[w].unlock();
+        ++delivered[w];
+      });
     });
     const double per_emit_us = sw.msg_serialize_us + sizeof(WireRecord) * sw.msg_byte_us;
     const double per_deliver_us =
@@ -433,7 +424,6 @@ class Engine {
     }
     const bool any_active = active_.any();
     step.phases.syn_s = syn_timer.elapsed_s();
-    simulated_elapsed_s_ += step.phases.total_s();
     step.converged_vertices = halted_.count();
     return !any_pending && !any_active;
   }
@@ -459,12 +449,9 @@ class Engine {
   std::vector<Message> last_payload_;
   DenseBitset has_last_payload_;
 
-  Superstep superstep_ = 0;
+  runtime::SuperstepDriver driver_;
+  runtime::ExchangeAccounting acct_;
   double global_error_ = std::numeric_limits<double>::infinity();
-  double simulated_elapsed_s_ = 0;
-  std::uint64_t peak_buffered_ = 0;
-  std::atomic<std::uint64_t> mailbox_churn_bytes_{0};
-  std::atomic<std::uint64_t> total_staged_{0};
   std::function<void(const metrics::SuperstepStats&, std::span<const Value>)> observer_;
 };
 

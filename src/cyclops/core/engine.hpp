@@ -25,7 +25,6 @@
 //   };
 
 #include <algorithm>
-#include <atomic>
 #include <cstring>
 #include <functional>
 #include <span>
@@ -43,6 +42,9 @@
 #include "cyclops/metrics/memory_model.hpp"
 #include "cyclops/metrics/superstep_stats.hpp"
 #include "cyclops/partition/partition.hpp"
+#include "cyclops/runtime/exchange_accounting.hpp"
+#include "cyclops/runtime/superstep_driver.hpp"
+#include "cyclops/runtime/sync_channel.hpp"
 #include "cyclops/sim/fabric.hpp"
 
 namespace cyclops::core {
@@ -69,7 +71,9 @@ class Engine {
     [[nodiscard]] VertexId num_vertices() const noexcept {
       return engine_.graph_->num_vertices();
     }
-    [[nodiscard]] Superstep superstep() const noexcept { return engine_.superstep_; }
+    [[nodiscard]] Superstep superstep() const noexcept {
+      return engine_.driver_.superstep();
+    }
 
     [[nodiscard]] const Value& value() const noexcept {
       return engine_.values_[worker_][master_idx_];
@@ -136,20 +140,13 @@ class Engine {
   }
 
   metrics::RunStats run() {
-    metrics::RunStats stats;
+    metrics::RunStats stats = driver_.run(
+        config_.max_supersteps, acct_,
+        [this](metrics::SuperstepStats& step) { return run_superstep(step); },
+        [this](const metrics::SuperstepStats& step) {
+          if (observer_) observer_(step, *this);
+        });
     stats.ingress_s = ingress_s_;
-    bool done = false;
-    while (!done) {
-      metrics::SuperstepStats step;
-      step.superstep = superstep_;
-      done = run_superstep(step);
-      stats.supersteps.push_back(step);
-      stats.peak_buffered_bytes = std::max(stats.peak_buffered_bytes, peak_buffered_);
-      if (observer_) observer_(step, *this);
-      ++superstep_;
-      if (superstep_ >= config_.max_supersteps) done = true;
-    }
-    stats.elapsed_s = simulated_elapsed_s_;
     return stats;
   }
 
@@ -167,7 +164,7 @@ class Engine {
 
   [[nodiscard]] const Layout& layout() const noexcept { return layout_; }
   [[nodiscard]] const sim::Fabric& fabric() const noexcept { return fabric_; }
-  [[nodiscard]] Superstep superstep() const noexcept { return superstep_; }
+  [[nodiscard]] Superstep superstep() const noexcept { return driver_.superstep(); }
   [[nodiscard]] const Config& config() const noexcept { return config_; }
   [[nodiscard]] std::uint64_t converged_count() const noexcept {
     std::uint64_t total = 0;
@@ -196,15 +193,15 @@ class Engine {
                               wl.lout_adj.size() * sizeof(std::uint32_t);
       r.replica_bytes += wl.num_replicas() * sizeof(Message);
     }
-    r.peak_message_bytes = peak_buffered_;
-    r.message_churn_bytes = churn_bytes_;
-    r.message_alloc_count = total_sync_messages_;
+    r.peak_message_bytes = acct_.peak_buffered_bytes();
+    r.message_churn_bytes = acct_.churn_bytes();
+    r.message_alloc_count = acct_.messages();
     return r;
   }
 
   // --- Checkpointing (§3.6): masters only — no replicas, no messages. ---
   void checkpoint(ByteWriter& out) const {
-    out.write(superstep_);
+    out.write(driver_.superstep());
     for (WorkerId w = 0; w < layout_.workers.size(); ++w) {
       const WorkerLayout& wl = layout_.workers[w];
       out.write_vector(values_[w]);
@@ -222,7 +219,7 @@ class Engine {
   }
 
   void restore(ByteReader& in) {
-    superstep_ = in.read<Superstep>();
+    driver_.set_superstep(in.read<Superstep>());
     for (WorkerId w = 0; w < layout_.workers.size(); ++w) {
       const WorkerLayout& wl = layout_.workers[w];
       values_[w] = in.read_vector<Value>();
@@ -354,6 +351,7 @@ class Engine {
     Slot slot;
     Message payload;
   };
+  using Channel = runtime::SyncChannel<WireRecord>;
 
   void init_state() {
     const WorkerId workers = config_.topo.total_workers();
@@ -442,18 +440,30 @@ class Engine {
     step.computed_vertices = step.active_vertices;
 
     // --- SND: apply staged data locally and send one message per replica of
-    // each dirty master. CyclopsMT parallelizes the send path with private
-    // per-thread out-queues (fabric lanes), §5 — each compute thread
-    // serializes the sync messages of its own master chunk. ---
+    // each dirty master, batched through the typed sync channel: each lane
+    // first sizes its chunk's traffic per destination, reserves once, then
+    // appends records directly — no per-record serializer round-trip.
+    // CyclopsMT parallelizes the send path with private per-thread out-queues
+    // (fabric lanes), §5 — each compute thread ships the sync messages of its
+    // own master chunk. ---
     std::vector<std::uint64_t> redundant(static_cast<std::size_t>(workers) * T, 0);
     std::vector<std::uint64_t> emitted(static_cast<std::size_t>(workers) * T, 0);
     pool_.parallel_tasks(static_cast<std::size_t>(workers) * T, [&](std::size_t e) {
       const WorkerId w = static_cast<WorkerId>(e / T);
       const unsigned t = static_cast<unsigned>(e % T);
       const WorkerLayout& wl = layout_.workers[w];
-      sim::OutBox& box = fabric_.outbox(w, t);
-      ByteWriter writer;
+      auto sender = Channel::sender(fabric_, w, t);
       const ChunkRange range = chunk_range(wl.num_masters(), T, t);
+      std::vector<std::size_t> per_dest(workers, 0);
+      for (std::size_t i = range.begin; i < range.end; ++i) {
+        if (!dirty_[w].test(i)) continue;
+        for (std::size_t r = wl.rep_offsets[i]; r < wl.rep_offsets[i + 1]; ++r) {
+          ++per_dest[wl.rep_targets[r].worker];
+        }
+      }
+      for (WorkerId to = 0; to < workers; ++to) {
+        if (per_dest[to] > 0) sender.reserve(to, per_dest[to]);
+      }
       for (std::size_t i = range.begin; i < range.end; ++i) {
         if (!dirty_[w].test(i)) continue;
         const Message& msg = pending_[w][i];
@@ -466,9 +476,7 @@ class Engine {
         shared_data_[w][i] = msg;  // local apply: visible next superstep
         for (std::size_t r = wl.rep_offsets[i]; r < wl.rep_offsets[i + 1]; ++r) {
           const ReplicaRef ref = wl.rep_targets[r];
-          writer.clear();
-          writer.write(WireRecord{ref.slot, msg});
-          box.send(ref.worker, writer.bytes());
+          sender.send(ref.worker, WireRecord{ref.slot, msg});
           ++emitted[e];
         }
       }
@@ -484,9 +492,8 @@ class Engine {
     const sim::ExchangeStats xstats = fabric_.exchange(
         config_.hierarchical_barrier ? config_.topo.machines
                                      : static_cast<std::size_t>(workers) * T);
-    peak_buffered_ = std::max(peak_buffered_, xstats.peak_buffered_bytes);
-    churn_bytes_ += xstats.net.total_bytes();
-    total_sync_messages_ += xstats.net.total_messages();
+    acct_.note_exchange(xstats);
+    acct_.note_net(xstats.net);
 
     // --- Receive: lock-free in-place replica update + distributed
     // activation, chunked across the worker's simulated receiver threads.
@@ -500,16 +507,14 @@ class Engine {
       const auto packages = fabric_.incoming(w);
       const ChunkRange pr = chunk_range(packages.size(), R, rth);
       for (std::size_t pi = pr.begin; pi < pr.end; ++pi) {
-        ByteReader reader(packages[pi].bytes);
-        while (!reader.exhausted()) {
-          const auto rec = reader.read<WireRecord>();
+        Channel::for_each(packages[pi], [&](const WireRecord& rec) {
           shared_data_[w][rec.slot] = rec.payload;
           ++received[e];
           for (std::size_t o = wl.lout_offsets[rec.slot];
                o < wl.lout_offsets[rec.slot + 1]; ++o) {
             next_active_[w].set(wl.lout_adj[o]);
           }
-        }
+        });
       }
     });
     for (WorkerId w = 0; w < workers; ++w) fabric_.clear_incoming(w);
@@ -543,7 +548,6 @@ class Engine {
       });
     }
     step.phases.syn_s = syn_timer.elapsed_s();
-    simulated_elapsed_s_ += step.phases.total_s();
     step.converged_vertices = total_masters - active_unconverged;
     bool done = !any_active;
     if (config_.stop_converged_fraction < 1.0 && graph_->num_vertices() > 0) {
@@ -570,12 +574,9 @@ class Engine {
   std::vector<DenseBitset> converged_;
   std::vector<std::vector<std::uint64_t>> last_hash_;
 
-  Superstep superstep_ = 0;
-  double simulated_elapsed_s_ = 0;
+  runtime::SuperstepDriver driver_;
+  runtime::ExchangeAccounting acct_;
   double ingress_s_ = 0;
-  std::uint64_t peak_buffered_ = 0;
-  std::uint64_t churn_bytes_ = 0;
-  std::uint64_t total_sync_messages_ = 0;
   std::function<void(const metrics::SuperstepStats&, const Engine&)> observer_;
 };
 

@@ -25,11 +25,14 @@
 #include "cyclops/common/bitset.hpp"
 #include "cyclops/common/check.hpp"
 #include "cyclops/common/exec.hpp"
-#include "cyclops/common/serialize.hpp"
 #include "cyclops/common/thread_pool.hpp"
 #include "cyclops/common/timer.hpp"
 #include "cyclops/gas/gas_layout.hpp"
+#include "cyclops/metrics/memory_model.hpp"
 #include "cyclops/metrics/superstep_stats.hpp"
+#include "cyclops/runtime/exchange_accounting.hpp"
+#include "cyclops/runtime/superstep_driver.hpp"
+#include "cyclops/runtime/sync_channel.hpp"
 #include "cyclops/sim/fabric.hpp"
 #include "cyclops/sim/software_model.hpp"
 
@@ -72,20 +75,39 @@ class Engine {
   }
 
   metrics::RunStats run() {
-    metrics::RunStats stats;
+    metrics::RunStats stats = driver_.run(
+        config_.max_iterations, acct_,
+        [this](metrics::SuperstepStats& step) { return run_iteration(step); },
+        [this](const metrics::SuperstepStats& step) {
+          if (observer_) observer_(step);
+        });
     stats.ingress_s = ingress_s_;
-    bool done = false;
-    while (!done) {
-      metrics::SuperstepStats step;
-      step.superstep = iteration_;
-      done = run_iteration(step);
-      stats.supersteps.push_back(step);
-      stats.peak_buffered_bytes = std::max(stats.peak_buffered_bytes, peak_buffered_);
-      ++iteration_;
-      if (iteration_ >= config_.max_iterations) done = true;
-    }
-    stats.elapsed_s = simulated_elapsed_s_;
     return stats;
+  }
+
+  /// Per-iteration observer, same contract as the other engines.
+  void set_observer(std::function<void(const metrics::SuperstepStats&)> fn) {
+    observer_ = std::move(fn);
+  }
+
+  /// Memory behaviour in Table 2 terms: every mirror copy is replicated
+  /// vertex state; churn is the bidirectional master<->mirror traffic.
+  [[nodiscard]] metrics::MemoryReport memory_report() const noexcept {
+    metrics::MemoryReport r;
+    for (const GasWorkerLayout& wl : layout_.workers) {
+      r.vertex_state_bytes += wl.edges.size() * sizeof(LocalEdge);
+      for (Copy c = 0; c < wl.num_copies(); ++c) {
+        if (wl.is_master[c]) {
+          r.vertex_state_bytes += sizeof(Value);
+        } else {
+          r.replica_bytes += sizeof(Value);
+        }
+      }
+    }
+    r.peak_message_bytes = acct_.peak_buffered_bytes();
+    r.message_churn_bytes = acct_.churn_bytes();
+    r.message_alloc_count = acct_.messages();
+    return r;
   }
 
   /// Master values gathered into one globally-indexed vector.
@@ -113,6 +135,9 @@ class Engine {
     Copy copy;
     Value value;
   };
+  using ReqChannel = runtime::SyncChannel<ReqRecord>;
+  using AccChannel = runtime::SyncChannel<AccRecord>;
+  using ValChannel = runtime::SyncChannel<ValRecord>;
 
   void init_state() {
     const WorkerId workers = config_.topo.total_workers();
@@ -147,13 +172,6 @@ class Engine {
     }
   }
 
-  template <typename Rec>
-  void send_record(sim::OutBox& box, WorkerId to, const Rec& rec, ByteWriter& writer) {
-    writer.clear();
-    writer.write(rec);
-    box.send(to, writer.bytes());
-  }
-
   bool run_iteration(metrics::SuperstepStats& step) {
     const WorkerId workers = config_.topo.total_workers();
     const sim::SoftwareModel& sw = config_.software;
@@ -162,7 +180,6 @@ class Engine {
     // is the max across workers.
     std::vector<double> cmp_us(workers, 0.0);
     std::vector<double> snd_us(workers, 0.0);
-    ByteWriter writer;
 
     // Promote next_active_masters -> active copies of masters.
     std::uint64_t active = 0;
@@ -182,26 +199,21 @@ class Engine {
     // --- Exchange 1: gather requests master -> mirrors. ---
     pool_.parallel_tasks(workers, [&](std::size_t w) {
       const GasWorkerLayout& wl = layout_.workers[w];
-      sim::OutBox& box = fabric_.outbox(static_cast<WorkerId>(w));
-      ByteWriter lw;
+      auto req = ReqChannel::sender(fabric_, static_cast<WorkerId>(w));
       active_copies_[w].for_each([&](std::size_t c) {
         if (!wl.is_master[c]) return;
         for (std::size_t m = wl.mirror_offsets[c]; m < wl.mirror_offsets[c + 1]; ++m) {
-          send_record(box, wl.mirrors[m].worker, ReqRecord{wl.mirrors[m].copy}, lw);
+          req.send(wl.mirrors[m].worker, ReqRecord{wl.mirrors[m].copy});
           snd_us[w] += sw.msg_serialize_us;
         }
       });
     });
     accumulate_exchange(step, workers);
     pool_.parallel_tasks(workers, [&](std::size_t w) {
-      for (const sim::Package& pkg : fabric_.incoming(static_cast<WorkerId>(w))) {
-        ByteReader reader(pkg.bytes);
-        while (!reader.exhausted()) {
-          active_copies_[w].set(reader.read<ReqRecord>().copy);
-          snd_us[w] += sw.msg_deliver_us;
-        }
-      }
-      fabric_.clear_incoming(static_cast<WorkerId>(w));
+      ReqChannel::drain(fabric_, static_cast<WorkerId>(w), [&](const ReqRecord& rec) {
+        active_copies_[w].set(rec.copy);
+        snd_us[w] += sw.msg_deliver_us;
+      });
     });
 
     // --- Local gather over in-edges, then exchange 2: partials -> master. ---
@@ -222,26 +234,20 @@ class Engine {
     });
     pool_.parallel_tasks(workers, [&](std::size_t w) {
       const GasWorkerLayout& wl = layout_.workers[w];
-      sim::OutBox& box = fabric_.outbox(static_cast<WorkerId>(w));
-      ByteWriter lw;
+      auto acc = AccChannel::sender(fabric_, static_cast<WorkerId>(w));
       active_copies_[w].for_each([&](std::size_t c) {
         if (wl.is_master[c]) return;
         const MirrorRef master = wl.master_of[c];
-        send_record(box, master.worker, AccRecord{master.copy, partial_[w][c]}, lw);
+        acc.send(master.worker, AccRecord{master.copy, partial_[w][c]});
         snd_us[w] += sw.msg_serialize_us;
       });
     });
     accumulate_exchange(step, workers);
     pool_.parallel_tasks(workers, [&](std::size_t w) {
-      for (const sim::Package& pkg : fabric_.incoming(static_cast<WorkerId>(w))) {
-        ByteReader reader(pkg.bytes);
-        while (!reader.exhausted()) {
-          const auto rec = reader.read<AccRecord>();
-          partial_[w][rec.copy] = program_.merge(partial_[w][rec.copy], rec.acc);
-          snd_us[w] += sw.msg_deliver_us;
-        }
-      }
-      fabric_.clear_incoming(static_cast<WorkerId>(w));
+      AccChannel::drain(fabric_, static_cast<WorkerId>(w), [&](const AccRecord& rec) {
+        partial_[w][rec.copy] = program_.merge(partial_[w][rec.copy], rec.acc);
+        snd_us[w] += sw.msg_deliver_us;
+      });
     });
 
     // --- Apply on masters; exchange 3: new value + scatter request to
@@ -258,14 +264,15 @@ class Engine {
     });
     pool_.parallel_tasks(workers, [&](std::size_t w) {
       const GasWorkerLayout& wl = layout_.workers[w];
-      sim::OutBox& box = fabric_.outbox(static_cast<WorkerId>(w));
-      ByteWriter lw;
+      // Two record types interleave on the same lane (value then request per
+      // mirror), matching the seed's wire layout byte-for-byte.
+      auto val = ValChannel::sender(fabric_, static_cast<WorkerId>(w));
+      auto req = ReqChannel::sender(fabric_, static_cast<WorkerId>(w));
       active_copies_[w].for_each([&](std::size_t c) {
         if (!wl.is_master[c]) return;
         for (std::size_t m = wl.mirror_offsets[c]; m < wl.mirror_offsets[c + 1]; ++m) {
-          send_record(box, wl.mirrors[m].worker, ValRecord{wl.mirrors[m].copy, values_[w][c]},
-                      lw);
-          send_record(box, wl.mirrors[m].worker, ReqRecord{wl.mirrors[m].copy}, lw);
+          val.send(wl.mirrors[m].worker, ValRecord{wl.mirrors[m].copy, values_[w][c]});
+          req.send(wl.mirrors[m].worker, ReqRecord{wl.mirrors[m].copy});
           snd_us[w] += 2.0 * sw.msg_serialize_us;
         }
       });
@@ -273,7 +280,7 @@ class Engine {
     accumulate_exchange(step, workers);
     pool_.parallel_tasks(workers, [&](std::size_t w) {
       for (const sim::Package& pkg : fabric_.incoming(static_cast<WorkerId>(w))) {
-        ByteReader reader(pkg.bytes);
+        runtime::PackageReader reader(pkg);
         while (!reader.exhausted()) {
           const auto rec = reader.read<ValRecord>();
           old_values_[w][rec.copy] = values_[w][rec.copy];
@@ -299,28 +306,23 @@ class Engine {
     });
     pool_.parallel_tasks(workers, [&](std::size_t w) {
       const GasWorkerLayout& wl = layout_.workers[w];
-      sim::OutBox& box = fabric_.outbox(static_cast<WorkerId>(w));
-      ByteWriter lw;
+      auto req = ReqChannel::sender(fabric_, static_cast<WorkerId>(w));
       activated_copies_[w].for_each([&](std::size_t c) {
         if (wl.is_master[c]) {
           next_active_masters_[w].set(c);
         } else {
           const MirrorRef master = wl.master_of[c];
-          send_record(box, master.worker, ReqRecord{master.copy}, lw);
+          req.send(master.worker, ReqRecord{master.copy});
           snd_us[w] += sw.msg_serialize_us;
         }
       });
     });
     accumulate_exchange(step, workers);
     pool_.parallel_tasks(workers, [&](std::size_t w) {
-      for (const sim::Package& pkg : fabric_.incoming(static_cast<WorkerId>(w))) {
-        ByteReader reader(pkg.bytes);
-        while (!reader.exhausted()) {
-          next_active_masters_[w].set(reader.read<ReqRecord>().copy);
-          snd_us[w] += sw.msg_deliver_us;
-        }
-      }
-      fabric_.clear_incoming(static_cast<WorkerId>(w));
+      ReqChannel::drain(fabric_, static_cast<WorkerId>(w), [&](const ReqRecord& rec) {
+        next_active_masters_[w].set(rec.copy);
+        snd_us[w] += sw.msg_deliver_us;
+      });
     });
 
     double cmp_max = 0, snd_max = 0;
@@ -330,8 +332,6 @@ class Engine {
     }
     step.phases.cmp_s = cmp_max * 1e-6;
     step.phases.snd_s = snd_max * 1e-6;
-    simulated_elapsed_s_ += step.phases.total_s();
-    (void)writer;
     bool any_next = false;
     for (WorkerId w = 0; w < workers && !any_next; ++w) {
       any_next = next_active_masters_[w].any();
@@ -344,7 +344,8 @@ class Engine {
     step.net += x.net;
     step.modeled_comm_s += x.modeled_comm_s;
     step.modeled_barrier_s += x.modeled_barrier_s;
-    peak_buffered_ = std::max(peak_buffered_, x.peak_buffered_bytes);
+    acct_.note_exchange(x);
+    acct_.note_net(x.net);
   }
 
   const graph::EdgeList* edges_;
@@ -362,10 +363,10 @@ class Engine {
   std::vector<DenseBitset> activated_copies_;
   std::vector<DenseBitset> next_active_masters_;
 
-  Superstep iteration_ = 0;
-  double simulated_elapsed_s_ = 0;
+  runtime::SuperstepDriver driver_;
+  runtime::ExchangeAccounting acct_;
   double ingress_s_ = 0;
-  std::uint64_t peak_buffered_ = 0;
+  std::function<void(const metrics::SuperstepStats&)> observer_;
 };
 
 }  // namespace cyclops::gas

@@ -1,0 +1,68 @@
+#pragma once
+// The engine-independent superstep skeleton. All three execution models
+// (BSP/Hama, Cyclops immutable view, PowerGraph GAS) share the same outer
+// loop: run one superstep, accumulate its stats, notify the observer, bump
+// the counter, stop on termination or on the superstep cap. Only the body of
+// a superstep — which paper phases (PRS/CMP/SND/SYN) run and how — differs,
+// so the driver takes it as a callback and the engines keep just their
+// genuinely distinct phase logic.
+//
+// The driver owns the superstep counter and the simulated-elapsed clock so
+// checkpoint/restore and multi-run continuation (extend_max_supersteps,
+// topology mutation) observe one authoritative position in the computation.
+
+#include <algorithm>
+#include <utility>
+
+#include "cyclops/common/types.hpp"
+#include "cyclops/metrics/superstep_stats.hpp"
+#include "cyclops/runtime/exchange_accounting.hpp"
+
+namespace cyclops::runtime {
+
+class SuperstepDriver {
+ public:
+  /// Runs supersteps until `step` reports termination or `max_supersteps` is
+  /// reached (the cap is re-read every run() so callers may extend it between
+  /// runs). `step` executes one superstep into the provided SuperstepStats
+  /// (its `superstep` field is pre-filled) and returns true when the
+  /// computation has terminated. `notify` fires once per completed superstep,
+  /// after the step's stats are folded into the run totals — engines adapt it
+  /// to their observer signature.
+  template <typename StepFn, typename NotifyFn>
+  metrics::RunStats run(Superstep max_supersteps, const ExchangeAccounting& acct,
+                        StepFn&& step, NotifyFn&& notify) {
+    metrics::RunStats stats;
+    bool done = false;
+    while (!done) {
+      metrics::SuperstepStats s;
+      s.superstep = superstep_;
+      done = step(s);
+      simulated_elapsed_s_ += s.phases.total_s();
+      stats.supersteps.push_back(s);
+      stats.peak_buffered_bytes =
+          std::max(stats.peak_buffered_bytes, acct.peak_buffered_bytes());
+      notify(stats.supersteps.back());
+      ++superstep_;
+      if (superstep_ >= max_supersteps) done = true;
+    }
+    stats.elapsed_s = simulated_elapsed_s_;
+    return stats;
+  }
+
+  [[nodiscard]] Superstep superstep() const noexcept { return superstep_; }
+
+  /// Repositions the computation (checkpoint restore).
+  void set_superstep(Superstep s) noexcept { superstep_ = s; }
+
+  /// Simulated work time accumulated across every run() so far.
+  [[nodiscard]] double simulated_elapsed_s() const noexcept {
+    return simulated_elapsed_s_;
+  }
+
+ private:
+  Superstep superstep_ = 0;
+  double simulated_elapsed_s_ = 0;
+};
+
+}  // namespace cyclops::runtime

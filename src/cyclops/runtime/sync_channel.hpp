@@ -1,0 +1,97 @@
+#pragma once
+// Typed, batched sync channel over the simulated fabric. Replaces the
+// per-record ByteWriter clear/write/copy dance every engine used to hand-roll
+// in its SND path with a direct per-destination append into the outbox
+// buffer: one reserve per destination per batch, one memcpy-style append per
+// record. The single-writer-per-lane discipline (§3.4 / CyclopsMT's private
+// out-queues, §5) is preserved — a Sender wraps exactly one fabric lane.
+//
+// Wire format is unchanged from the seed: records are laid out back-to-back
+// exactly as ByteWriter serialized them, so modeled traffic (bytes, message
+// counts, packages) is bit-for-bit identical; only host-side copies shrink.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+
+#include "cyclops/common/check.hpp"
+#include "cyclops/common/types.hpp"
+#include "cyclops/sim/fabric.hpp"
+
+namespace cyclops::runtime {
+
+/// Reads trivially-copyable records back out of a delivered package. The
+/// low-level escape hatch for streams that interleave record types (the GAS
+/// apply+scatter exchange); homogeneous streams should use
+/// SyncChannel::for_each / drain instead.
+class PackageReader {
+ public:
+  explicit PackageReader(const sim::Package& pkg) noexcept : bytes_(pkg.bytes) {}
+  explicit PackageReader(std::span<const std::uint8_t> bytes) noexcept : bytes_(bytes) {}
+
+  template <typename Record>
+    requires std::is_trivially_copyable_v<Record>
+  [[nodiscard]] Record read() noexcept {
+    CYCLOPS_DCHECK(pos_ + sizeof(Record) <= bytes_.size());
+    Record rec;
+    std::memcpy(&rec, bytes_.data() + pos_, sizeof(Record));
+    pos_ += sizeof(Record);
+    return rec;
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ >= bytes_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+template <typename Record>
+  requires std::is_trivially_copyable_v<Record>
+class SyncChannel {
+ public:
+  /// Single-writer sending endpoint bound to one fabric lane. Distinct lanes
+  /// may be held by distinct threads; one Sender must never be shared.
+  class Sender {
+   public:
+    Sender(sim::Fabric& fabric, WorkerId from, std::size_t lane = 0) noexcept
+        : box_(&fabric.outbox(from, lane)) {}
+
+    /// Pre-allocates room for `n_records` more records headed to `to`, so a
+    /// batch of sends costs one buffer growth instead of one per record.
+    void reserve(WorkerId to, std::size_t n_records) {
+      box_->reserve(to, n_records * sizeof(Record));
+    }
+
+    /// Appends one record for `to` — counts as one logical message.
+    void send(WorkerId to, const Record& rec) { box_->send_record(to, rec); }
+
+   private:
+    sim::OutBox* box_;
+  };
+
+  [[nodiscard]] static Sender sender(sim::Fabric& fabric, WorkerId from,
+                                     std::size_t lane = 0) noexcept {
+    return Sender(fabric, from, lane);
+  }
+
+  /// Typed receive over one package: fn(record) per record, in send order.
+  template <typename Fn>
+  static void for_each(const sim::Package& pkg, Fn&& fn) {
+    PackageReader reader(pkg);
+    while (!reader.exhausted()) fn(reader.read<Record>());
+  }
+
+  /// Typed receive over everything delivered to `to` by the latest exchange;
+  /// clears the inbox afterwards (the receive side of the seed's
+  /// read-then-clear_incoming loop).
+  template <typename Fn>
+  static void drain(sim::Fabric& fabric, WorkerId to, Fn&& fn) {
+    for (const sim::Package& pkg : fabric.incoming(to)) for_each(pkg, fn);
+    fabric.clear_incoming(to);
+  }
+};
+
+}  // namespace cyclops::runtime

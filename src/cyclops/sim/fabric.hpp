@@ -9,7 +9,9 @@
 // honest — but no sockets exist; latency/bandwidth are charged by the model.
 
 #include <cstdint>
+#include <cstring>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "cyclops/common/check.hpp"
@@ -40,6 +42,28 @@ class OutBox {
     CYCLOPS_DCHECK(to < buffers_.size());
     Buffer& b = buffers_[to];
     b.bytes.insert(b.bytes.end(), payload.begin(), payload.end());
+    ++b.messages;
+  }
+
+  /// Grows the destination buffer ahead of a batch of appends, so a
+  /// superstep's sync traffic to `to` allocates once instead of per record
+  /// (used by runtime::SyncChannel).
+  void reserve(WorkerId to, std::size_t n_bytes) {
+    CYCLOPS_DCHECK(to < buffers_.size());
+    Buffer& b = buffers_[to];
+    b.bytes.reserve(b.bytes.size() + n_bytes);
+  }
+
+  /// Appends one trivially-copyable record directly — same wire bytes as
+  /// serializing through ByteWriter and send(), without the intermediate
+  /// buffer round-trip.
+  template <typename Record>
+    requires std::is_trivially_copyable_v<Record>
+  void send_record(WorkerId to, const Record& rec) {
+    CYCLOPS_DCHECK(to < buffers_.size());
+    Buffer& b = buffers_[to];
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&rec);
+    b.bytes.insert(b.bytes.end(), p, p + sizeof(Record));
     ++b.messages;
   }
 

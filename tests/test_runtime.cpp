@@ -1,0 +1,263 @@
+// Tests for the shared engine runtime layer: typed sync channels round-trip
+// records through the fabric with byte counts matching the modeled traffic,
+// the superstep driver owns the loop/counter/clock, exchange accounting
+// centralizes the counters engines used to duplicate — and the three
+// execution models, now all sitting on that runtime, still agree on results.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "cyclops/algorithms/pagerank.hpp"
+#include "cyclops/algorithms/sssp.hpp"
+#include "cyclops/bsp/engine.hpp"
+#include "cyclops/core/engine.hpp"
+#include "cyclops/gas/engine.hpp"
+#include "cyclops/graph/generators.hpp"
+#include "cyclops/partition/vertex_cut.hpp"
+#include "cyclops/runtime/exchange_accounting.hpp"
+#include "cyclops/runtime/superstep_driver.hpp"
+#include "cyclops/runtime/sync_channel.hpp"
+#include "test_util.hpp"
+
+namespace cyclops {
+namespace {
+
+struct TestRecord {
+  std::uint32_t id;
+  double payload;
+};
+
+sim::Fabric make_fabric(WorkerId workers) {
+  return sim::Fabric(sim::Topology{workers, 1}, sim::CostModel::zero());
+}
+
+TEST(SyncChannel, RoundTripPreservesRecordsAndCountsBytes) {
+  using Channel = runtime::SyncChannel<TestRecord>;
+  sim::Fabric fabric = make_fabric(3);
+
+  auto sender = Channel::sender(fabric, 0);
+  std::vector<TestRecord> to_one, to_two;
+  for (std::uint32_t i = 0; i < 57; ++i) to_one.push_back({i, i * 1.5});
+  for (std::uint32_t i = 0; i < 13; ++i) to_two.push_back({1000 + i, -1.0 * i});
+
+  sender.reserve(1, to_one.size());
+  for (const TestRecord& r : to_one) sender.send(1, r);
+  sender.reserve(2, to_two.size());
+  for (const TestRecord& r : to_two) sender.send(2, r);
+
+  const sim::ExchangeStats x = fabric.exchange(3);
+  const std::uint64_t n = to_one.size() + to_two.size();
+  EXPECT_EQ(x.net.total_messages(), n);
+  EXPECT_EQ(x.net.total_bytes(), n * sizeof(TestRecord));
+  EXPECT_EQ(x.net.packages, 2u);
+
+  std::vector<TestRecord> got_one, got_two;
+  Channel::drain(fabric, 1, [&](const TestRecord& r) { got_one.push_back(r); });
+  Channel::drain(fabric, 2, [&](const TestRecord& r) { got_two.push_back(r); });
+  ASSERT_EQ(got_one.size(), to_one.size());
+  ASSERT_EQ(got_two.size(), to_two.size());
+  for (std::size_t i = 0; i < to_one.size(); ++i) {
+    EXPECT_EQ(got_one[i].id, to_one[i].id);
+    EXPECT_EQ(got_one[i].payload, to_one[i].payload);
+  }
+  for (std::size_t i = 0; i < to_two.size(); ++i) {
+    EXPECT_EQ(got_two[i].id, to_two[i].id);
+    EXPECT_EQ(got_two[i].payload, to_two[i].payload);
+  }
+  // drain() clears the inbox.
+  EXPECT_TRUE(fabric.incoming(1).empty());
+  EXPECT_TRUE(fabric.incoming(2).empty());
+}
+
+TEST(SyncChannel, ReserveDoesNotChangeModeledTraffic) {
+  using Channel = runtime::SyncChannel<TestRecord>;
+  sim::Fabric with_reserve = make_fabric(2);
+  sim::Fabric without_reserve = make_fabric(2);
+
+  auto a = Channel::sender(with_reserve, 0);
+  a.reserve(1, 41);
+  for (std::uint32_t i = 0; i < 41; ++i) a.send(1, {i, 2.0 * i});
+  auto b = Channel::sender(without_reserve, 0);
+  for (std::uint32_t i = 0; i < 41; ++i) b.send(1, {i, 2.0 * i});
+
+  const sim::NetSnapshot na = with_reserve.exchange(2).net;
+  const sim::NetSnapshot nb = without_reserve.exchange(2).net;
+  EXPECT_EQ(na.total_messages(), nb.total_messages());
+  EXPECT_EQ(na.total_bytes(), nb.total_bytes());
+  EXPECT_EQ(na.packages, nb.packages);
+}
+
+TEST(SyncChannel, PackageReaderHandlesInterleavedRecordTypes) {
+  // The GAS apply+scatter exchange interleaves two record types on one lane;
+  // PackageReader is the typed escape hatch for such streams.
+  struct Small {
+    std::uint32_t tag;
+  };
+  sim::Fabric fabric = make_fabric(2);
+  auto big = runtime::SyncChannel<TestRecord>::sender(fabric, 0);
+  auto small = runtime::SyncChannel<Small>::sender(fabric, 0);
+  for (std::uint32_t i = 0; i < 9; ++i) {
+    big.send(1, {i, 0.5 * i});
+    small.send(1, {i + 100});
+  }
+  (void)fabric.exchange(2);
+
+  std::uint32_t seen = 0;
+  for (const sim::Package& pkg : fabric.incoming(1)) {
+    runtime::PackageReader reader(pkg);
+    while (!reader.exhausted()) {
+      const auto rec = reader.read<TestRecord>();
+      const auto tag = reader.read<Small>();
+      EXPECT_EQ(rec.id, seen);
+      EXPECT_EQ(rec.payload, 0.5 * seen);
+      EXPECT_EQ(tag.tag, seen + 100);
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, 9u);
+}
+
+TEST(SuperstepDriver, RunsUntilCapAndAccumulatesElapsed) {
+  runtime::SuperstepDriver driver;
+  runtime::ExchangeAccounting acct;
+  std::vector<Superstep> notified;
+  const metrics::RunStats stats = driver.run(
+      5, acct,
+      [&](metrics::SuperstepStats& s) {
+        s.phases.cmp_s = 0.5;
+        return false;  // never terminates on its own
+      },
+      [&](const metrics::SuperstepStats& s) { notified.push_back(s.superstep); });
+  EXPECT_EQ(stats.supersteps.size(), 5u);
+  EXPECT_EQ(driver.superstep(), 5u);
+  EXPECT_DOUBLE_EQ(stats.elapsed_s, 2.5);
+  EXPECT_EQ(notified, (std::vector<Superstep>{0, 1, 2, 3, 4}));
+}
+
+TEST(SuperstepDriver, StopsWhenStepReportsTermination) {
+  runtime::SuperstepDriver driver;
+  runtime::ExchangeAccounting acct;
+  const metrics::RunStats stats = driver.run(
+      100, acct, [&](metrics::SuperstepStats&) { return driver.superstep() == 2; },
+      [](const metrics::SuperstepStats&) {});
+  EXPECT_EQ(stats.supersteps.size(), 3u);
+  EXPECT_EQ(driver.superstep(), 3u);
+}
+
+TEST(SuperstepDriver, SetSuperstepRepositionsForRestore) {
+  runtime::SuperstepDriver driver;
+  runtime::ExchangeAccounting acct;
+  driver.set_superstep(7);
+  EXPECT_EQ(driver.superstep(), 7u);
+  const metrics::RunStats stats = driver.run(
+      10, acct, [](metrics::SuperstepStats&) { return false; },
+      [](const metrics::SuperstepStats&) {});
+  ASSERT_EQ(stats.supersteps.size(), 3u);
+  EXPECT_EQ(stats.supersteps.front().superstep, 7u);
+  EXPECT_EQ(driver.superstep(), 10u);
+}
+
+TEST(ExchangeAccounting, TracksPeakChurnAndMessages) {
+  runtime::ExchangeAccounting acct;
+  sim::ExchangeStats x1, x2;
+  x1.peak_buffered_bytes = 100;
+  x2.peak_buffered_bytes = 40;
+  acct.note_exchange(x1);
+  acct.note_exchange(x2);
+  EXPECT_EQ(acct.peak_buffered_bytes(), 100u);  // high-water mark, not sum
+
+  sim::NetSnapshot net;
+  net.remote_messages = 2;
+  net.local_messages = 1;
+  net.remote_bytes = 10;
+  net.local_bytes = 5;
+  acct.note_net(net);
+  EXPECT_EQ(acct.churn_bytes(), 15u);
+  EXPECT_EQ(acct.messages(), 3u);
+
+  acct.add_churn_bytes(5);
+  acct.add_messages(2);
+  acct.add_staged(9);
+  EXPECT_EQ(acct.churn_bytes(), 20u);
+  EXPECT_EQ(acct.messages(), 5u);
+  EXPECT_EQ(acct.staged_messages(), 9u);
+}
+
+// --- Engine equivalence: all three execution models share the runtime and
+// must still produce identical results on the same input. ---
+
+TEST(EngineEquivalence, PageRankAgreesAcrossAllThreeEngines) {
+  const graph::EdgeList e = graph::gen::rmat(9, 3000, 77);
+  const graph::Csr g = graph::Csr::build(e);
+  const auto part = test::hash_partition(g, 4);
+
+  algo::PageRankBsp pr_bsp;
+  pr_bsp.epsilon = 1e-12;
+  bsp::Config bsp_cfg = bsp::Config::workers(4);
+  bsp_cfg.max_supersteps = 300;
+  bsp::Engine<algo::PageRankBsp> bsp_engine(g, part, pr_bsp, bsp_cfg);
+  (void)bsp_engine.run();
+  const auto bsp_vals = bsp_engine.values();
+
+  algo::PageRankCyclops pr_cyc;
+  pr_cyc.epsilon = 1e-12;
+  core::Config cyc_cfg = core::Config::cyclops(4, 1);
+  cyc_cfg.max_supersteps = 300;
+  core::Engine<algo::PageRankCyclops> cyc_engine(g, part, pr_cyc, cyc_cfg);
+  (void)cyc_engine.run();
+  const std::vector<double> cyc_vals = cyc_engine.values();
+
+  algo::PageRankGas pr_gas;
+  pr_gas.num_vertices = e.num_vertices();
+  pr_gas.epsilon = 1e-12;
+  gas::Config gas_cfg = gas::Config::workers(4);
+  gas_cfg.max_iterations = 300;
+  gas::Engine<algo::PageRankGas> gas_engine(
+      e, partition::GreedyVertexCut{}.partition(e, 4), pr_gas, gas_cfg);
+  (void)gas_engine.run();
+  const auto gas_vals = gas_engine.values();
+
+  double bsp_vs_cyc = 0, bsp_vs_gas = 0;
+  for (VertexId v = 0; v < e.num_vertices(); ++v) {
+    bsp_vs_cyc = std::max(bsp_vs_cyc, std::abs(bsp_vals[v] - cyc_vals[v]));
+    bsp_vs_gas = std::max(bsp_vs_gas, std::abs(bsp_vals[v] - gas_vals[v].rank));
+  }
+  EXPECT_LT(bsp_vs_cyc, 1e-8);
+  EXPECT_LT(bsp_vs_gas, 1e-8);
+}
+
+TEST(EngineEquivalence, SsspAgreesBetweenBspAndCyclops) {
+  graph::gen::RoadSpec spec;
+  spec.rows = 20;
+  spec.cols = 20;
+  const graph::Csr g = graph::Csr::build(graph::gen::road_grid(spec, 7));
+  const auto part = test::hash_partition(g, 3);
+  const std::vector<double> reference = algo::sssp_reference(g, 0);
+
+  algo::SsspBsp sssp_bsp;
+  sssp_bsp.source = 0;
+  bsp::Config bsp_cfg = bsp::Config::workers(3);
+  bsp_cfg.max_supersteps = 500;
+  bsp::Engine<algo::SsspBsp> bsp_engine(g, part, sssp_bsp, bsp_cfg);
+  (void)bsp_engine.run();
+
+  algo::SsspCyclops sssp_cyc;
+  sssp_cyc.source = 0;
+  core::Config cyc_cfg = core::Config::cyclops(3, 1);
+  cyc_cfg.max_supersteps = 500;
+  core::Engine<algo::SsspCyclops> cyc_engine(g, part, sssp_cyc, cyc_cfg);
+  (void)cyc_engine.run();
+
+  const auto bsp_vals = bsp_engine.values();
+  const std::vector<double> cyc_vals = cyc_engine.values();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(bsp_vals[v], reference[v]) << "bsp vs dijkstra at " << v;
+    EXPECT_DOUBLE_EQ(cyc_vals[v], reference[v]) << "cyclops vs dijkstra at " << v;
+  }
+}
+
+}  // namespace
+}  // namespace cyclops
