@@ -77,6 +77,33 @@ struct SsspCyclops {
   }
 };
 
+/// GAS SSSP: gather takes the min relaxed distance over in-edges; scatter
+/// re-activates out-neighbors whenever the distance improved (Bellman-Ford
+/// over the vertex cut).
+struct SsspGas {
+  using Value = double;
+  using Gather = double;
+
+  VertexId source = 0;
+
+  [[nodiscard]] Value init(VertexId v, std::size_t, std::size_t) const noexcept {
+    return v == source ? 0.0 : kInfDistance;
+  }
+  [[nodiscard]] Gather gather_zero() const noexcept { return kInfDistance; }
+  [[nodiscard]] Gather gather(const Value&, const Value& nbr, double w) const noexcept {
+    return nbr + w;
+  }
+  [[nodiscard]] Gather merge(const Gather& a, const Gather& b) const noexcept {
+    return a < b ? a : b;
+  }
+  [[nodiscard]] Value apply(const Value& old, const Gather& acc) const noexcept {
+    return acc < old ? acc : old;
+  }
+  [[nodiscard]] bool scatter_activates(const Value& old, const Value& next) const noexcept {
+    return next < old;
+  }
+};
+
 /// Sequential Dijkstra ground truth.
 [[nodiscard]] std::vector<double> sssp_reference(const graph::Csr& g, VertexId source);
 

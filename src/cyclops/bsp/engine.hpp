@@ -38,6 +38,7 @@
 #include "cyclops/metrics/memory_model.hpp"
 #include "cyclops/metrics/superstep_stats.hpp"
 #include "cyclops/partition/partition.hpp"
+#include "cyclops/runtime/checkpoint.hpp"
 #include "cyclops/runtime/exchange_accounting.hpp"
 #include "cyclops/runtime/superstep_driver.hpp"
 #include "cyclops/runtime/sync_channel.hpp"
@@ -130,6 +131,10 @@ class Engine {
         fabric_(config.topo, config.cost) {
     CYCLOPS_CHECK(part_.num_parts() == config.topo.total_workers());
     CYCLOPS_CHECK(g.num_vertices() == part_.num_vertices());
+    if (config_.faults) {
+      fabric_.install_faults(config_.faults.get());
+      driver_.set_fault_injector(config_.faults.get());
+    }
     build_local_state();
   }
 
@@ -156,8 +161,15 @@ class Engine {
   }
 
   // --- Pregel-style checkpointing (§3.6): values + activity + undelivered
-  // messages, written after the global barrier. ---
-  void checkpoint(ByteWriter& out) const {
+  // messages, written after the global barrier. BSP cannot shed its pending
+  // messages in any mode — they are not derivable from vertex state — so the
+  // "lightweight" snapshot still carries the in-queues; only mode-tagging
+  // differs. That is exactly the asymmetry §3.6 claims against Cyclops. ---
+  void checkpoint(ByteWriter& out,
+                  runtime::CheckpointMode mode = runtime::CheckpointMode::kHeavyweight)
+      const {
+    runtime::write_engine_header(out, runtime::EngineTag::kBsp, mode,
+                                 graph_->num_vertices(), graph_->num_edges());
     out.write(driver_.superstep());
     out.write(global_error_);
     out.write_vector(values_);
@@ -171,12 +183,20 @@ class Engine {
     for (const auto& queue : inqueue_) out.write_vector(queue);
   }
 
+  /// Throws SerializeError (recoverable) on truncated, corrupt, or
+  /// wrong-shape snapshots; the engine may be left partially restored, so
+  /// callers discard it on failure.
   void restore(ByteReader& in) {
+    (void)runtime::read_engine_header(in, runtime::EngineTag::kBsp,
+                                      graph_->num_vertices(), graph_->num_edges());
     driver_.set_superstep(in.read<Superstep>());
     global_error_ = in.read<double>();
     values_ = in.read_vector<Value>();
     const auto flags = in.read_vector<std::uint8_t>();
-    CYCLOPS_CHECK(flags.size() == graph_->num_vertices());
+    if (values_.size() != graph_->num_vertices() ||
+        flags.size() != graph_->num_vertices()) {
+      throw SerializeError("bsp snapshot shape mismatch");
+    }
     halted_.clear_all();
     active_.clear_all();
     for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
@@ -184,6 +204,17 @@ class Engine {
       if (flags[v] & 2) active_.set(v);
     }
     for (auto& queue : inqueue_) queue = in.read_vector<WireRecord>();
+  }
+
+  /// Arms periodic checkpointing: the driver snapshots this engine through
+  /// `manager` every interval supersteps. Not owned; nullptr detaches.
+  void set_checkpoint_manager(runtime::CheckpointManager* manager) {
+    if (manager == nullptr) {
+      driver_.set_checkpointer(nullptr, {});
+      return;
+    }
+    driver_.set_checkpointer(
+        manager, [this, manager](ByteWriter& out) { checkpoint(out, manager->mode()); });
   }
 
   /// Total transient message-buffer bytes allocated over the run (Table 2's

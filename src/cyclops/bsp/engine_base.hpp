@@ -3,9 +3,11 @@
 // GAS have their own configs; BSP's knobs mirror Hama's.)
 
 #include <cstdint>
+#include <memory>
 
 #include "cyclops/common/types.hpp"
 #include "cyclops/sim/cost_model.hpp"
+#include "cyclops/sim/fault.hpp"
 #include "cyclops/sim/software_model.hpp"
 
 namespace cyclops::bsp {
@@ -17,6 +19,10 @@ struct Config {
   Superstep max_supersteps = 100;
   bool use_combiner = false;                  ///< Hama's sender-side combiner
   bool track_redundant = false;               ///< Fig 3(2) instrumentation
+
+  /// Fault schedule shared across engine incarnations of a recovering run
+  /// (see sim/fault.hpp); null runs fault-free.
+  std::shared_ptr<sim::FaultInjector> faults;
 
   /// Deterministic per-operation software costs (see sim/software_model.hpp).
   sim::SoftwareModel software = sim::SoftwareModel::hama_java();

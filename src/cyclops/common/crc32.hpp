@@ -1,0 +1,36 @@
+#pragma once
+// CRC-32 (IEEE 802.3 polynomial, reflected) used for end-to-end integrity of
+// simulated wire packages and checkpoint frames. Table-driven, no
+// dependencies; the slice width is deliberately small because integrity
+// checking is a cold path charged to the cost model, not a throughput path.
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace cyclops {
+
+namespace detail {
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+/// One-shot CRC-32 of a byte span. crc32({}) == 0.
+[[nodiscard]] inline std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept {
+  const auto& table = detail::crc32_table();
+  std::uint32_t c = 0xffffffffu;
+  for (const std::uint8_t b : bytes) c = table[(c ^ b) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace cyclops

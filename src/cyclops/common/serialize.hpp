@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <cstring>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -13,6 +14,15 @@
 #include "cyclops/common/check.hpp"
 
 namespace cyclops {
+
+/// A malformed byte stream (truncated snapshot, corrupted frame, shape
+/// mismatch on restore). Recoverable by design: a failed restore must leave
+/// the caller free to retry from another replica or an older checkpoint, so
+/// the ByteReader path throws this instead of aborting the process.
+class SerializeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class ByteWriter {
  public:
@@ -57,7 +67,7 @@ class ByteReader {
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   T read() {
-    CYCLOPS_CHECK(pos_ + sizeof(T) <= bytes_.size());
+    require(sizeof(T));
     T value;
     std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);
@@ -66,7 +76,7 @@ class ByteReader {
 
   std::string read_string() {
     const auto n = read<std::uint64_t>();
-    CYCLOPS_CHECK(pos_ + n <= bytes_.size());
+    require(n);
     std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
     pos_ += n;
     return s;
@@ -76,10 +86,23 @@ class ByteReader {
     requires std::is_trivially_copyable_v<T>
   std::vector<T> read_vector() {
     const auto n = read<std::uint64_t>();
-    CYCLOPS_CHECK(pos_ + n * sizeof(T) <= bytes_.size());
+    // A corrupted length can make n * sizeof(T) wrap; compare in element space.
+    if (n > remaining() / sizeof(T)) {
+      throw SerializeError("byte stream truncated or corrupt: vector of " +
+                           std::to_string(n) + " elements exceeds remaining " +
+                           std::to_string(remaining()) + " bytes");
+    }
     std::vector<T> v(n);
-    std::memcpy(v.data(), bytes_.data() + pos_, n * sizeof(T));
+    if (n > 0) std::memcpy(v.data(), bytes_.data() + pos_, n * sizeof(T));
     pos_ += n * sizeof(T);
+    return v;
+  }
+
+  /// Reads `n` raw bytes (no length prefix — the caller knows the framing).
+  std::vector<std::uint8_t> read_bytes(std::size_t n) {
+    require(n);
+    std::vector<std::uint8_t> v(bytes_.begin() + pos_, bytes_.begin() + pos_ + n);
+    pos_ += n;
     return v;
   }
 
@@ -87,6 +110,13 @@ class ByteReader {
   [[nodiscard]] std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
 
  private:
+  void require(std::uint64_t n) const {
+    if (n > remaining()) {
+      throw SerializeError("byte stream truncated: need " + std::to_string(n) +
+                           " bytes, have " + std::to_string(remaining()));
+    }
+  }
+
   std::span<const std::uint8_t> bytes_;
   std::size_t pos_ = 0;
 };

@@ -42,6 +42,7 @@
 #include "cyclops/metrics/memory_model.hpp"
 #include "cyclops/metrics/superstep_stats.hpp"
 #include "cyclops/partition/partition.hpp"
+#include "cyclops/runtime/checkpoint.hpp"
 #include "cyclops/runtime/exchange_accounting.hpp"
 #include "cyclops/runtime/superstep_driver.hpp"
 #include "cyclops/runtime/sync_channel.hpp"
@@ -133,6 +134,10 @@ class Engine {
                 /*lanes=*/std::max(1u, config.compute_threads)) {
     CYCLOPS_CHECK(part.num_parts() == config.topo.total_workers());
     CYCLOPS_CHECK(g.num_vertices() == part.num_vertices());
+    if (config_.faults) {
+      fabric_.install_faults(config_.faults.get());
+      driver_.set_fault_injector(config_.faults.get());
+    }
     Timer ingress;
     layout_ = build_layout(g, part);
     init_state();
@@ -199,16 +204,27 @@ class Engine {
     return r;
   }
 
-  // --- Checkpointing (§3.6): masters only — no replicas, no messages. ---
-  void checkpoint(ByteWriter& out) const {
+  // --- Checkpointing (§3.6): lightweight saves masters only — no replicas,
+  // no messages (they are derived from the immutable view and regenerate on
+  // restore). Heavyweight additionally persists every replica slot, the
+  // Pregel-style full snapshot bench_recovery compares against. ---
+  void checkpoint(ByteWriter& out,
+                  runtime::CheckpointMode mode = runtime::CheckpointMode::kLightweight)
+      const {
+    runtime::write_engine_header(out, runtime::EngineTag::kCyclops, mode,
+                                 graph_->num_vertices(), graph_->num_edges());
     out.write(driver_.superstep());
     for (WorkerId w = 0; w < layout_.workers.size(); ++w) {
       const WorkerLayout& wl = layout_.workers[w];
       out.write_vector(values_[w]);
-      // Master shared data: first num_masters() slots.
-      std::vector<Message> master_shared(shared_data_[w].begin(),
-                                         shared_data_[w].begin() + wl.num_masters());
-      out.write_vector(master_shared);
+      if (mode == runtime::CheckpointMode::kHeavyweight) {
+        out.write_vector(shared_data_[w]);  // all slots: masters + replicas
+      } else {
+        // Master shared data: first num_masters() slots.
+        std::vector<Message> master_shared(shared_data_[w].begin(),
+                                           shared_data_[w].begin() + wl.num_masters());
+        out.write_vector(master_shared);
+      }
       std::vector<std::uint8_t> flags(wl.num_masters());
       for (std::uint32_t i = 0; i < wl.num_masters(); ++i) {
         flags[i] = static_cast<std::uint8_t>((cur_active_[w].test(i) ? 1 : 0) |
@@ -218,16 +234,30 @@ class Engine {
     }
   }
 
+  /// Throws SerializeError (recoverable) on truncated, corrupt, or
+  /// wrong-shape snapshots; callers discard the engine on failure.
   void restore(ByteReader& in) {
+    const runtime::CheckpointMode mode = runtime::read_engine_header(
+        in, runtime::EngineTag::kCyclops, graph_->num_vertices(), graph_->num_edges());
     driver_.set_superstep(in.read<Superstep>());
     for (WorkerId w = 0; w < layout_.workers.size(); ++w) {
       const WorkerLayout& wl = layout_.workers[w];
       values_[w] = in.read_vector<Value>();
-      CYCLOPS_CHECK(values_[w].size() == wl.num_masters());
-      const auto master_shared = in.read_vector<Message>();
-      CYCLOPS_CHECK(master_shared.size() == wl.num_masters());
-      std::copy(master_shared.begin(), master_shared.end(), shared_data_[w].begin());
+      if (values_[w].size() != wl.num_masters()) {
+        throw SerializeError("cyclops snapshot: master value count mismatch");
+      }
+      const auto shared = in.read_vector<Message>();
+      const std::size_t expect = mode == runtime::CheckpointMode::kHeavyweight
+                                     ? wl.num_slots()
+                                     : wl.num_masters();
+      if (shared.size() != expect) {
+        throw SerializeError("cyclops snapshot: shared-data slot count mismatch");
+      }
+      std::copy(shared.begin(), shared.end(), shared_data_[w].begin());
       const auto flags = in.read_vector<std::uint8_t>();
+      if (flags.size() != wl.num_masters()) {
+        throw SerializeError("cyclops snapshot: activity flag count mismatch");
+      }
       cur_active_[w].clear_all();
       converged_[w].clear_all();
       for (std::uint32_t i = 0; i < wl.num_masters(); ++i) {
@@ -237,7 +267,19 @@ class Engine {
       next_active_[w].clear_all();
       dirty_[w].clear_all();
     }
+    // Heavyweight snapshots already carry replica slots, but resyncing from
+    // masters is idempotent and also covers lightweight restores.
     resync_replicas();
+  }
+
+  /// Arms periodic checkpointing through the shared driver hook.
+  void set_checkpoint_manager(runtime::CheckpointManager* manager) {
+    if (manager == nullptr) {
+      driver_.set_checkpointer(nullptr, {});
+      return;
+    }
+    driver_.set_checkpointer(
+        manager, [this, manager](ByteWriter& out) { checkpoint(out, manager->mode()); });
   }
 
   /// Invariant check: every replica's shared data equals its master's

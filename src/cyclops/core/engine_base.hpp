@@ -7,9 +7,11 @@
 //                 with the hierarchical barrier (§5).
 
 #include <cstdint>
+#include <memory>
 
 #include "cyclops/common/types.hpp"
 #include "cyclops/sim/cost_model.hpp"
+#include "cyclops/sim/fault.hpp"
 #include "cyclops/sim/software_model.hpp"
 
 namespace cyclops::core {
@@ -19,6 +21,10 @@ struct Config {
   sim::CostModel cost = sim::CostModel::cyclops_sync();
   std::size_t pool_threads = 1;  ///< host threads executing the simulation
   Superstep max_supersteps = 100;
+
+  /// Fault schedule shared across engine incarnations of a recovering run
+  /// (see sim/fault.hpp); null runs fault-free.
+  std::shared_ptr<sim::FaultInjector> faults;
 
   unsigned compute_threads = 1;   ///< simulated threads per worker (T in MxWxT/R)
   unsigned receiver_threads = 1;  ///< simulated message receivers per worker (R)

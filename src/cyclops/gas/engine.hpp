@@ -20,20 +20,24 @@
 
 #include <algorithm>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "cyclops/common/bitset.hpp"
 #include "cyclops/common/check.hpp"
 #include "cyclops/common/exec.hpp"
+#include "cyclops/common/serialize.hpp"
 #include "cyclops/common/thread_pool.hpp"
 #include "cyclops/common/timer.hpp"
 #include "cyclops/gas/gas_layout.hpp"
 #include "cyclops/metrics/memory_model.hpp"
 #include "cyclops/metrics/superstep_stats.hpp"
+#include "cyclops/runtime/checkpoint.hpp"
 #include "cyclops/runtime/exchange_accounting.hpp"
 #include "cyclops/runtime/superstep_driver.hpp"
 #include "cyclops/runtime/sync_channel.hpp"
 #include "cyclops/sim/fabric.hpp"
+#include "cyclops/sim/fault.hpp"
 #include "cyclops/sim/software_model.hpp"
 
 namespace cyclops::gas {
@@ -44,6 +48,10 @@ struct Config {
   sim::SoftwareModel software = sim::SoftwareModel::powergraph_cpp();
   std::size_t pool_threads = 1;
   Superstep max_iterations = 100;
+
+  /// Fault schedule shared across engine incarnations of a recovering run
+  /// (see sim/fault.hpp); null runs fault-free.
+  std::shared_ptr<sim::FaultInjector> faults;
 
   [[nodiscard]] static Config workers(WorkerId w) {
     Config c;
@@ -68,6 +76,10 @@ class Engine {
         pool_(config.pool_threads),
         fabric_(config.topo, config.cost) {
     CYCLOPS_CHECK(part.num_parts() == config.topo.total_workers());
+    if (config_.faults) {
+      fabric_.install_faults(config_.faults.get());
+      driver_.set_fault_injector(config_.faults.get());
+    }
     Timer ingress;
     layout_ = build_gas_layout(edges, part);
     init_state();
@@ -122,6 +134,104 @@ class Engine {
 
   [[nodiscard]] const GasLayout& layout() const noexcept { return layout_; }
   [[nodiscard]] const sim::Fabric& fabric() const noexcept { return fabric_; }
+  [[nodiscard]] Superstep superstep() const noexcept { return driver_.superstep(); }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  // --- Checkpoint/restore parity with the BSP and Cyclops engines. At every
+  // iteration boundary mirror values equal their master's (exchange 3 pushes
+  // applied values), so the lightweight snapshot saves masters only and
+  // restore regenerates mirrors; heavyweight persists every copy. ---
+  void checkpoint(ByteWriter& out,
+                  runtime::CheckpointMode mode = runtime::CheckpointMode::kLightweight)
+      const {
+    runtime::write_engine_header(out, runtime::EngineTag::kGas, mode,
+                                 edges_->num_vertices(), edges_->num_edges());
+    out.write(driver_.superstep());
+    for (WorkerId w = 0; w < layout_.workers.size(); ++w) {
+      const GasWorkerLayout& wl = layout_.workers[w];
+      if (mode == runtime::CheckpointMode::kHeavyweight) {
+        out.write_vector(values_[w]);
+      } else {
+        std::vector<Value> masters;
+        for (Copy c = 0; c < wl.num_copies(); ++c) {
+          if (wl.is_master[c]) masters.push_back(values_[w][c]);
+        }
+        out.write_vector(masters);
+      }
+      std::vector<std::uint8_t> flags;
+      for (Copy c = 0; c < wl.num_copies(); ++c) {
+        if (wl.is_master[c]) {
+          flags.push_back(next_active_masters_[w].test(c) ? 1 : 0);
+        }
+      }
+      out.write_vector(flags);
+    }
+  }
+
+  /// Throws SerializeError (recoverable) on truncated, corrupt, or
+  /// wrong-shape snapshots; callers discard the engine on failure.
+  void restore(ByteReader& in) {
+    const runtime::CheckpointMode mode = runtime::read_engine_header(
+        in, runtime::EngineTag::kGas, edges_->num_vertices(), edges_->num_edges());
+    driver_.set_superstep(in.read<Superstep>());
+    for (WorkerId w = 0; w < layout_.workers.size(); ++w) {
+      const GasWorkerLayout& wl = layout_.workers[w];
+      std::size_t num_masters = 0;
+      for (Copy c = 0; c < wl.num_copies(); ++c) num_masters += wl.is_master[c] ? 1 : 0;
+      const auto vals = in.read_vector<Value>();
+      const std::size_t expect =
+          mode == runtime::CheckpointMode::kHeavyweight ? wl.num_copies() : num_masters;
+      if (vals.size() != expect) {
+        throw SerializeError("gas snapshot: value count mismatch");
+      }
+      if (mode == runtime::CheckpointMode::kHeavyweight) {
+        values_[w] = vals;
+      } else {
+        std::size_t i = 0;
+        for (Copy c = 0; c < wl.num_copies(); ++c) {
+          if (wl.is_master[c]) values_[w][c] = vals[i++];
+        }
+      }
+      const auto flags = in.read_vector<std::uint8_t>();
+      if (flags.size() != num_masters) {
+        throw SerializeError("gas snapshot: activity flag count mismatch");
+      }
+      next_active_masters_[w].clear_all();
+      std::size_t i = 0;
+      for (Copy c = 0; c < wl.num_copies(); ++c) {
+        if (!wl.is_master[c]) continue;
+        if (flags[i++] & 1) next_active_masters_[w].set(c);
+      }
+      active_copies_[w].clear_all();
+      activated_copies_[w].clear_all();
+    }
+    resync_mirrors();
+  }
+
+  /// Rebuilds every mirror's value from its master (mirrors are derived
+  /// state at iteration boundaries and are not checkpointed in lightweight
+  /// mode). Idempotent after a heavyweight restore.
+  void resync_mirrors() {
+    for (WorkerId w = 0; w < layout_.workers.size(); ++w) {
+      const GasWorkerLayout& wl = layout_.workers[w];
+      for (Copy c = 0; c < wl.num_copies(); ++c) {
+        if (wl.is_master[c]) continue;
+        const MirrorRef m = wl.master_of[c];
+        values_[w][c] = values_[m.worker][m.copy];
+        old_values_[w][c] = values_[w][c];
+      }
+    }
+  }
+
+  /// Arms periodic checkpointing through the shared driver hook.
+  void set_checkpoint_manager(runtime::CheckpointManager* manager) {
+    if (manager == nullptr) {
+      driver_.set_checkpointer(nullptr, {});
+      return;
+    }
+    driver_.set_checkpointer(
+        manager, [this, manager](ByteWriter& out) { checkpoint(out, manager->mode()); });
+  }
 
  private:
   struct ReqRecord {

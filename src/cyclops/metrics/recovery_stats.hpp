@@ -1,0 +1,31 @@
+#pragma once
+// Whole-run fault-tolerance accounting, surfaced next to RunStats by the
+// recovery runtime (runtime::run_with_recovery) and reported by
+// metrics::recovery_summary(). Checkpoint-side fields come from the
+// CheckpointManager; fault/rollback fields from the RecoveryCoordinator loop.
+
+#include <cstdint>
+
+namespace cyclops::metrics {
+
+struct RecoveryStats {
+  // Checkpoint side.
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t checkpoint_bytes_written = 0;  ///< raw payload bytes, all checkpoints
+  std::uint64_t last_checkpoint_bytes = 0;
+  double modeled_checkpoint_s = 0;  ///< modeled stable-storage write time
+
+  // Fault / recovery side.
+  std::uint32_t faults_detected = 0;  ///< fatal faults (machine crashes) seen
+  std::uint32_t recoveries = 0;       ///< successful rollback-and-replay cycles
+  std::uint64_t lost_supersteps = 0;  ///< supersteps replayed across recoveries
+  double modeled_recovery_s = 0;      ///< failure detection + snapshot reload
+
+  // Absorbed wire faults (never fatal; charged to the cost model).
+  std::uint64_t dropped_packages = 0;
+  std::uint64_t corrupted_packages = 0;
+  std::uint64_t retransmissions = 0;
+  double modeled_fault_overhead_s = 0;
+};
+
+}  // namespace cyclops::metrics

@@ -4,6 +4,7 @@
 
 #include <string>
 
+#include "cyclops/metrics/recovery_stats.hpp"
 #include "cyclops/metrics/superstep_stats.hpp"
 
 namespace cyclops::metrics {
@@ -17,5 +18,8 @@ namespace cyclops::metrics {
 
 /// Short one-line summary used by examples.
 [[nodiscard]] std::string run_summary(const std::string& label, const RunStats& run);
+
+/// One-line fault-tolerance summary: checkpoints, bytes, faults, rollbacks.
+[[nodiscard]] std::string recovery_summary(const RecoveryStats& rec);
 
 }  // namespace cyclops::metrics

@@ -1,0 +1,120 @@
+#pragma once
+// Automated rollback-and-replay on top of the SuperstepDriver, FTPregel
+// style. run_with_recovery() owns the whole fault lifecycle:
+//
+//   1. build an engine (caller's factory — it wires the shared FaultInjector
+//      into the engine's fabric via Config::faults);
+//   2. attach a CheckpointManager so the driver checkpoints every N
+//      superstep boundaries;
+//   3. run. If the fabric throws FaultError (machine crash at a barrier),
+//      the incarnation is dead: discard it, build a replacement, restore the
+//      latest integrity-checked snapshot (or replay from superstep 0 when
+//      none exists), and run again. The injector outlives incarnations, so a
+//      one-shot crash does not re-fire during replay.
+//
+// A snapshot that fails its CRC frame or truncates mid-read throws
+// SerializeError; the coordinator treats that checkpoint as unusable and
+// falls back to a from-scratch replay instead of dying — restore is a
+// recoverable operation by contract.
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "cyclops/common/serialize.hpp"
+#include "cyclops/metrics/recovery_stats.hpp"
+#include "cyclops/metrics/superstep_stats.hpp"
+#include "cyclops/runtime/checkpoint.hpp"
+#include "cyclops/sim/fault.hpp"
+
+namespace cyclops::runtime {
+
+struct RecoveryOptions {
+  Superstep checkpoint_every = 0;  ///< 0 = no periodic checkpoints
+  CheckpointMode mode = CheckpointMode::kLightweight;
+  std::size_t max_recoveries = 8;  ///< give up (rethrow) after this many crashes
+};
+
+template <typename Engine>
+struct RecoveryOutcome {
+  metrics::RunStats run;  ///< stats of the final, successful run segment
+  metrics::RecoveryStats recovery;
+  std::unique_ptr<Engine> engine;  ///< the surviving incarnation (for values())
+};
+
+/// Runs `make_engine()`'s product to completion, recovering automatically
+/// from injected machine crashes. `faults` is the injector shared with the
+/// engines' fabrics (nullptr when only checkpointing is wanted); `store`
+/// overrides the default in-memory checkpoint store.
+template <typename MakeEngine>
+auto run_with_recovery(MakeEngine&& make_engine, const RecoveryOptions& opts,
+                       sim::FaultInjector* faults = nullptr,
+                       CheckpointStore* store = nullptr) {
+  using EnginePtr = std::invoke_result_t<MakeEngine&>;
+  using Engine = typename EnginePtr::element_type;
+
+  MemoryCheckpointStore default_store;
+  CheckpointManager manager(opts.checkpoint_every, opts.mode,
+                            store != nullptr ? store : &default_store);
+
+  RecoveryOutcome<Engine> out;
+  auto fresh = [&] {
+    EnginePtr engine = make_engine();
+    engine->set_checkpoint_manager(&manager);
+    return engine;
+  };
+
+  EnginePtr engine = fresh();
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      out.run = engine->run();
+      break;
+    } catch (const sim::FaultError& fault) {
+      ++out.recovery.faults_detected;
+      if (attempt + 1 >= opts.max_recoveries) throw;
+
+      // The failure-detection clock: peers discover the dead machine when
+      // its barrier contribution times out.
+      double recover_us = faults != nullptr ? faults->plan().detection_timeout_us : 0.0;
+
+      // Replacement machine joins; roll back to the latest usable snapshot.
+      engine = fresh();
+      Superstep restored_at = 0;
+      try {
+        if (auto snapshot = manager.load_latest()) {
+          ByteReader reader(snapshot->second);
+          engine->restore(reader);
+          restored_at = snapshot->first;
+          recover_us += manager.cost().read_us(snapshot->second.size());
+        }
+      } catch (const SerializeError&) {
+        // Unusable (truncated/corrupt) checkpoint: replay from superstep 0
+        // on a clean engine — restore() may have partially applied.
+        engine = fresh();
+        restored_at = 0;
+      }
+
+      const Superstep lost =
+          fault.superstep() > restored_at ? fault.superstep() - restored_at : 0;
+      out.recovery.lost_supersteps += lost;
+      out.recovery.modeled_recovery_s += recover_us * 1e-6;
+      ++out.recovery.recoveries;
+    }
+  }
+
+  out.recovery.checkpoints_taken = manager.checkpoints_taken();
+  out.recovery.checkpoint_bytes_written = manager.bytes_written();
+  out.recovery.last_checkpoint_bytes = manager.last_checkpoint_bytes();
+  out.recovery.modeled_checkpoint_s = manager.modeled_checkpoint_s();
+  if (faults != nullptr) {
+    const sim::FaultStats& fs = faults->stats();
+    out.recovery.dropped_packages = fs.dropped_packages;
+    out.recovery.corrupted_packages = fs.corrupted_packages;
+    out.recovery.retransmissions = fs.retransmissions;
+    out.recovery.modeled_fault_overhead_s = fs.modeled_fault_overhead_s;
+  }
+  out.engine = std::move(engine);
+  return out;
+}
+
+}  // namespace cyclops::runtime

@@ -12,11 +12,15 @@
 // topology mutation) observe one authoritative position in the computation.
 
 #include <algorithm>
+#include <functional>
 #include <utility>
 
+#include "cyclops/common/serialize.hpp"
 #include "cyclops/common/types.hpp"
 #include "cyclops/metrics/superstep_stats.hpp"
+#include "cyclops/runtime/checkpoint.hpp"
 #include "cyclops/runtime/exchange_accounting.hpp"
+#include "cyclops/sim/fault.hpp"
 
 namespace cyclops::runtime {
 
@@ -35,6 +39,7 @@ class SuperstepDriver {
     metrics::RunStats stats;
     bool done = false;
     while (!done) {
+      if (faults_ != nullptr) faults_->begin_superstep(superstep_);
       metrics::SuperstepStats s;
       s.superstep = superstep_;
       done = step(s);
@@ -45,6 +50,13 @@ class SuperstepDriver {
       notify(stats.supersteps.back());
       ++superstep_;
       if (superstep_ >= max_supersteps) done = true;
+      // Periodic checkpoint, taken at the quiescent point just after the
+      // barrier — every engine's state is at a superstep boundary here.
+      if (!done && checkpoint_ != nullptr && checkpoint_->due(superstep_)) {
+        ByteWriter snapshot;
+        save_(snapshot);
+        checkpoint_->commit(superstep_, snapshot.take());
+      }
     }
     stats.elapsed_s = simulated_elapsed_s_;
     return stats;
@@ -60,9 +72,26 @@ class SuperstepDriver {
     return simulated_elapsed_s_;
   }
 
+  /// Arms the driver's fault clock: the injector is repositioned at the top
+  /// of every superstep so exchange-level faults know where they fire.
+  /// Not owned; nullptr disarms.
+  void set_fault_injector(sim::FaultInjector* injector) noexcept { faults_ = injector; }
+
+  /// Attaches periodic checkpointing: when `manager` says a boundary is due,
+  /// `save` serializes the engine into the provided writer (engines bind
+  /// their checkpoint(ByteWriter&, mode) here). Not owned; nullptr detaches.
+  void set_checkpointer(CheckpointManager* manager,
+                        std::function<void(ByteWriter&)> save) {
+    checkpoint_ = manager;
+    save_ = std::move(save);
+  }
+
  private:
   Superstep superstep_ = 0;
   double simulated_elapsed_s_ = 0;
+  sim::FaultInjector* faults_ = nullptr;
+  CheckpointManager* checkpoint_ = nullptr;
+  std::function<void(ByteWriter&)> save_;
 };
 
 }  // namespace cyclops::runtime

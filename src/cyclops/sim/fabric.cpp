@@ -15,6 +15,19 @@ Fabric::Fabric(Topology topo, CostModel model, std::size_t lanes_per_worker)
 ExchangeStats Fabric::exchange(std::size_t barrier_participants) {
   ExchangeStats stats;
   const WorkerId workers = topo_.total_workers();
+
+  // Fault boundary: a machine scheduled to die at this superstep dies before
+  // delivering anything — its outbound traffic and every peer's in-flight
+  // state are lost with the barrier. The engine incarnation is unrecoverable
+  // from here; runtime::run_with_recovery restores a replacement.
+  if (faults_ != nullptr) {
+    faults_->begin_exchange();
+    if (faults_->crash_now()) {
+      throw FaultError(FaultKind::kMachineCrash, faults_->plan().crash_machine,
+                       faults_->superstep());
+    }
+  }
+
   for (auto& inbox : inboxes_) inbox.clear();
 
   // Per-machine wire accounting: each machine's NIC serializes its own
@@ -35,25 +48,69 @@ ExchangeStats Fabric::exchange(std::size_t barrier_participants) {
         const bool local = topo_.same_machine(from, to);
         const std::uint64_t msgs = buf.messages;
         const std::uint64_t bytes = buf.bytes.size();
+        double wire_cost = 0;
         if (local) {
           counters_.add_local(msgs, bytes);
           stats.net.local_messages += msgs;
           stats.net.local_bytes += bytes;
-          const double cost = model_.local_cost_us(msgs, bytes);
-          machine_cost_us[topo_.machine_of(from)] += cost;
+          wire_cost = model_.local_cost_us(msgs, bytes);
+          machine_cost_us[topo_.machine_of(from)] += wire_cost;
         } else {
           counters_.add_remote(msgs, bytes);
           stats.net.remote_messages += msgs;
           stats.net.remote_bytes += bytes;
-          const double cost = model_.remote_cost_us(msgs, bytes);
-          machine_cost_us[topo_.machine_of(from)] += cost;
-          machine_cost_us[topo_.machine_of(to)] += cost * 0.5;  // receive side
+          wire_cost = model_.remote_cost_us(msgs, bytes);
+          machine_cost_us[topo_.machine_of(from)] += wire_cost;
+          machine_cost_us[topo_.machine_of(to)] += wire_cost * 0.5;  // receive side
         }
         counters_.add_package();
         ++stats.net.packages;
-        inboxes_[to].push_back(Package{from, msgs, std::move(buf.bytes)});
+
+        // Integrity stamp: the receiver checks delivered bytes against the
+        // CRC computed at bundling time.
+        const std::uint32_t crc = crc32(buf.bytes);
+
+        if (faults_ != nullptr) {
+          // Drop: the first transmission is lost; the sender times out and
+          // retransmits. Logical traffic is unchanged — the package arrives —
+          // but the wire pays the package cost again plus the timeout.
+          double overhead_us = 0;
+          if (faults_->roll_drop(from, to)) {
+            overhead_us += wire_cost + faults_->plan().retransmit_timeout_us;
+            ++stats.retransmitted_packages;
+          }
+          // Corruption: a bit flips in flight. The flip is real (applied to
+          // the live buffer) and detection is real (CRC mismatch); the
+          // retransmission then delivers the pristine copy by undoing the
+          // recorded flip, paying the package cost again.
+          if (const auto flip = faults_->roll_corrupt(from, to, buf.bytes.size())) {
+            buf.bytes[flip->byte_index] ^= flip->mask;
+            CYCLOPS_CHECK(crc32(buf.bytes) != crc);  // CRC32 catches any 1-bit flip
+            buf.bytes[flip->byte_index] ^= flip->mask;
+            overhead_us += wire_cost + faults_->plan().retransmit_timeout_us;
+            ++stats.retransmitted_packages;
+          }
+          if (overhead_us > 0) {
+            machine_cost_us[topo_.machine_of(from)] += overhead_us;
+            faults_->charge_overhead_us(overhead_us);
+          }
+        }
+
+        inboxes_[to].push_back(Package{from, msgs, std::move(buf.bytes), crc});
         buf.bytes = {};
         buf.messages = 0;
+      }
+    }
+  }
+
+  // Straggler: one machine's NIC is slow this exchange; it stretches the
+  // barrier for everyone because comm time is the max over machines.
+  if (faults_ != nullptr) {
+    for (MachineId m = 0; m < topo_.machines; ++m) {
+      const double extra = faults_->straggler_extra_us(m);
+      if (extra > 0) {
+        machine_cost_us[m] += extra;
+        faults_->charge_overhead_us(extra);
       }
     }
   }

@@ -15,9 +15,11 @@
 #include <vector>
 
 #include "cyclops/common/check.hpp"
+#include "cyclops/common/crc32.hpp"
 #include "cyclops/common/types.hpp"
 #include "cyclops/sim/cost_model.hpp"
 #include "cyclops/sim/counters.hpp"
+#include "cyclops/sim/fault.hpp"
 
 namespace cyclops::sim {
 
@@ -26,6 +28,9 @@ struct Package {
   WorkerId from = 0;
   std::uint64_t message_count = 0;
   std::vector<std::uint8_t> bytes;
+  std::uint32_t crc = 0;  ///< CRC-32 of `bytes`, stamped at bundling time
+
+  [[nodiscard]] bool verify() const noexcept { return crc32(bytes) == crc; }
 };
 
 /// Single-writer per lane: an engine gives each sending thread its own lane
@@ -87,6 +92,7 @@ struct ExchangeStats {
   double modeled_comm_s = 0;      ///< max per-machine wire time
   double modeled_barrier_s = 0;   ///< barrier cost for the given participants
   std::uint64_t peak_buffered_bytes = 0;  ///< high-water mark of in-flight bytes
+  std::uint64_t retransmitted_packages = 0;  ///< dropped or corrupted, re-sent
 };
 
 class Fabric {
@@ -108,7 +114,19 @@ class Fabric {
   /// modeled time. `barrier_participants` is the number of parties in the
   /// barrier protocol (workers for flat BSP, machines for the hierarchical
   /// CyclopsMT barrier).
+  ///
+  /// With a fault injector installed this is also the fault boundary: a
+  /// scheduled machine crash throws FaultError before anything is delivered
+  /// (the superstep's traffic is lost with the machine); package drops and
+  /// CRC-detected corruption are absorbed by retransmission, charged through
+  /// the cost model.
   ExchangeStats exchange(std::size_t barrier_participants);
+
+  /// Installs (or clears, with nullptr) the fault injector consulted by
+  /// exchange(). Not owned: a recovering run shares one injector across
+  /// engine incarnations so one-shot faults stay fired through replay.
+  void install_faults(FaultInjector* injector) noexcept { faults_ = injector; }
+  [[nodiscard]] FaultInjector* faults() const noexcept { return faults_; }
 
   /// Packages delivered to `to` by the latest exchange.
   [[nodiscard]] std::span<const Package> incoming(WorkerId to) const noexcept {
@@ -129,6 +147,7 @@ class Fabric {
   std::vector<OutBox> outboxes_;             // [worker * lanes_ + lane]
   std::vector<std::vector<Package>> inboxes_;  // [worker]
   NetCounters counters_;
+  FaultInjector* faults_ = nullptr;
   double modeled_comm_s_ = 0;
   double modeled_barrier_s_ = 0;
 };

@@ -13,7 +13,10 @@
 #include "cyclops/algorithms/sssp.hpp"
 #include "cyclops/bsp/engine.hpp"
 #include "cyclops/core/engine.hpp"
+#include "cyclops/gas/engine.hpp"
 #include "cyclops/graph/generators.hpp"
+#include "cyclops/partition/vertex_cut.hpp"
+#include "cyclops/runtime/checkpoint.hpp"
 #include "test_util.hpp"
 
 namespace cyclops {
@@ -114,6 +117,41 @@ TEST_P(CrashRecovery, CyclopsSsspSurvivesCrash) {
   }
 }
 
+TEST_P(CrashRecovery, GasPageRankSurvivesCrash) {
+  const Superstep crash_at = GetParam();
+  const graph::EdgeList e = graph::gen::rmat(8, 1600, 2014);
+  const auto part = partition::RandomVertexCut{}.partition(e, 4);
+  algo::PageRankGas pr;
+  pr.num_vertices = e.num_vertices();
+  pr.epsilon = 1e-11;
+  gas::Config cfg = gas::Config::workers(4);
+  cfg.max_iterations = 200;
+
+  gas::Engine<algo::PageRankGas> full(e, part, pr, cfg);
+  (void)full.run();
+
+  gas::Config partial = cfg;
+  partial.max_iterations = crash_at;
+  gas::Engine<algo::PageRankGas> victim(e, part, pr, partial);
+  (void)victim.run();
+  const Superstep saved_at = victim.superstep();
+  ByteWriter snapshot;
+  victim.checkpoint(snapshot);
+  // victim is abandoned here — the "crash".
+
+  gas::Engine<algo::PageRankGas> recovered(e, part, pr, cfg);
+  ByteReader reader(snapshot.bytes());
+  recovered.restore(reader);
+  EXPECT_EQ(recovered.superstep(), saved_at);
+  (void)recovered.run();
+  const auto got = recovered.values();
+  const auto want = full.values();
+  ASSERT_EQ(got.size(), want.size());
+  for (VertexId v = 0; v < got.size(); ++v) {
+    EXPECT_EQ(got[v].rank, want[v].rank) << "vertex " << v;  // bit-identical replay
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(CrashPoints, CrashRecovery,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u));
 
@@ -181,6 +219,8 @@ TEST(Checkpoint, CyclopsSnapshotsSmallerThanBspMidRun) {
 }
 
 TEST(Checkpoint, RestoreRejectsWrongGraph) {
+  // A snapshot taken against another graph is a *recoverable* error: restore
+  // throws SerializeError so recovery can fall back, instead of aborting.
   const graph::Csr g1 = graph::Csr::build(graph::gen::rmat(7, 600, 9));
   const graph::Csr g2 = graph::Csr::build(graph::gen::rmat(8, 1200, 9));
   algo::PageRankCyclops pr;
@@ -193,7 +233,103 @@ TEST(Checkpoint, RestoreRejectsWrongGraph) {
 
   core::Engine<algo::PageRankCyclops> b(g2, test::hash_partition(g2, 2), pr, cfg);
   ByteReader reader(snapshot.bytes());
-  EXPECT_DEATH(b.restore(reader), "CYCLOPS_CHECK");
+  EXPECT_THROW(b.restore(reader), SerializeError);
+}
+
+TEST(Checkpoint, RestoreRejectsWrongEngine) {
+  const graph::Csr g = graph::Csr::build(graph::gen::rmat(7, 600, 9));
+  const auto part = test::hash_partition(g, 2);
+  algo::PageRankBsp bsp_pr;
+  bsp::Config bsp_cfg = bsp::Config::workers(2);
+  bsp_cfg.max_supersteps = 3;
+  bsp::Engine<algo::PageRankBsp> a(g, part, bsp_pr, bsp_cfg);
+  (void)a.run();
+  ByteWriter snapshot;
+  a.checkpoint(snapshot);
+
+  algo::PageRankCyclops cy_pr;
+  core::Config cy_cfg = core::Config::cyclops(2, 1);
+  core::Engine<algo::PageRankCyclops> b(g, part, cy_pr, cy_cfg);
+  ByteReader reader(snapshot.bytes());
+  EXPECT_THROW(b.restore(reader), SerializeError);
+}
+
+TEST(Checkpoint, TruncatedSnapshotIsRecoverable) {
+  // Satellite: a truncated byte stream must throw SerializeError from the
+  // ByteReader path (never CYCLOPS_CHECK-abort), at *every* cut point.
+  const graph::Csr g = graph::Csr::build(graph::gen::rmat(7, 500, 21));
+  const auto part = test::hash_partition(g, 2);
+  algo::PageRankCyclops pr;
+  core::Config cfg = core::Config::cyclops(2, 1);
+  cfg.max_supersteps = 4;
+  core::Engine<algo::PageRankCyclops> engine(g, part, pr, cfg);
+  (void)engine.run();
+  ByteWriter snapshot;
+  engine.checkpoint(snapshot);
+
+  const auto& bytes = snapshot.bytes();
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, bytes.size() / 4,
+                          bytes.size() / 2, bytes.size() - 1}) {
+    core::Engine<algo::PageRankCyclops> fresh(g, part, pr, cfg);
+    ByteReader reader(std::span<const std::uint8_t>(bytes.data(), cut));
+    EXPECT_THROW(fresh.restore(reader), SerializeError) << "cut at " << cut;
+  }
+}
+
+TEST(Checkpoint, SealedFrameDetectsBitFlips) {
+  // Satellite: bit flips at rest are caught by the snapshot frame's CRC and
+  // surface as SerializeError through open_snapshot.
+  const graph::Csr g = graph::Csr::build(graph::gen::rmat(7, 500, 22));
+  const auto part = test::hash_partition(g, 2);
+  algo::PageRankCyclops pr;
+  core::Config cfg = core::Config::cyclops(2, 1);
+  cfg.max_supersteps = 4;
+  core::Engine<algo::PageRankCyclops> engine(g, part, pr, cfg);
+  (void)engine.run();
+  ByteWriter snapshot;
+  engine.checkpoint(snapshot);
+
+  const std::vector<std::uint8_t> sealed = runtime::seal_snapshot(snapshot.bytes());
+  EXPECT_EQ(runtime::open_snapshot(sealed), snapshot.bytes());  // clean round trip
+
+  for (std::size_t i : {std::size_t{16}, sealed.size() / 2, sealed.size() - 1}) {
+    std::vector<std::uint8_t> flipped = sealed;
+    flipped[i] ^= 0x10;
+    EXPECT_THROW((void)runtime::open_snapshot(flipped), SerializeError)
+        << "flip at " << i;
+  }
+  // Truncated frames are equally recoverable.
+  std::vector<std::uint8_t> cut(sealed.begin(), sealed.begin() + sealed.size() / 2);
+  EXPECT_THROW((void)runtime::open_snapshot(cut), SerializeError);
+}
+
+TEST(Checkpoint, HeavyweightModesRoundTrip) {
+  // Heavyweight snapshots (full replica/mirror state) restore as exactly as
+  // lightweight ones; §3.6's point is only that they are *bigger*.
+  const graph::Csr g = graph::Csr::build(graph::gen::rmat(8, 1600, 31));
+  const auto part = test::hash_partition(g, 4);
+  algo::PageRankCyclops pr;
+  pr.epsilon = 1e-11;
+  core::Config cfg = core::Config::cyclops(4, 1);
+  cfg.max_supersteps = 200;
+  core::Engine<algo::PageRankCyclops> full(g, part, pr, cfg);
+  (void)full.run();
+
+  core::Config partial = cfg;
+  partial.max_supersteps = 6;
+  core::Engine<algo::PageRankCyclops> victim(g, part, pr, partial);
+  (void)victim.run();
+  ByteWriter light, heavy;
+  victim.checkpoint(light, runtime::CheckpointMode::kLightweight);
+  victim.checkpoint(heavy, runtime::CheckpointMode::kHeavyweight);
+  EXPECT_LT(light.size(), heavy.size());
+
+  core::Engine<algo::PageRankCyclops> recovered(g, part, pr, cfg);
+  ByteReader reader(heavy.bytes());
+  recovered.restore(reader);
+  EXPECT_TRUE(recovered.replicas_consistent());
+  (void)recovered.run();
+  EXPECT_LT(max_abs_diff(recovered.values(), full.values()), 1e-13);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -32,6 +33,8 @@
 #include "cyclops/partition/ldg.hpp"
 #include "cyclops/partition/multilevel.hpp"
 #include "cyclops/partition/vertex_cut.hpp"
+#include "cyclops/runtime/recovery.hpp"
+#include "cyclops/sim/fault.hpp"
 
 namespace {
 
@@ -54,6 +57,34 @@ struct Options {
   double scale = 1.0;        // generator scale factor
   std::string csv;           // per-superstep series output path
   bool stats_only = false;   // print graph stats and exit
+
+  // Fault tolerance: any armed flag routes the run through the automated
+  // checkpoint/recovery runtime (runtime::run_with_recovery).
+  Superstep checkpoint_every = 0;       // 0 = no periodic checkpoints
+  std::string checkpoint_mode;          // light | heavy ("" = engine default)
+  Superstep fail_at = sim::kNeverCrash; // crash a machine at this superstep
+  MachineId fail_machine = 0;
+  double drop_rate = 0.0;
+  double corrupt_rate = 0.0;
+  std::uint64_t fault_seed = 0;
+
+  [[nodiscard]] sim::FaultPlan fault_plan() const {
+    sim::FaultPlan plan;
+    plan.seed = fault_seed;
+    plan.crash_at = fail_at;
+    plan.crash_machine = fail_machine;
+    plan.drop_rate = drop_rate;
+    plan.corrupt_rate = corrupt_rate;
+    return plan;
+  }
+  [[nodiscard]] bool fault_tolerant() const {
+    return checkpoint_every > 0 || fault_plan().any_armed();
+  }
+  [[nodiscard]] runtime::CheckpointMode mode_or(runtime::CheckpointMode dflt) const {
+    if (checkpoint_mode == "light") return runtime::CheckpointMode::kLightweight;
+    if (checkpoint_mode == "heavy") return runtime::CheckpointMode::kHeavyweight;
+    return dflt;
+  }
 };
 
 [[noreturn]] void usage(int code) {
@@ -61,7 +92,7 @@ struct Options {
       "cyclops-cli — run a graph algorithm on one of the reproduced engines\n"
       "\n"
       "  --algo pr|sssp|cd|cc|als    algorithm (default pr)\n"
-      "  --engine hama|cyclops|mt|gas  engine (default cyclops; gas = PageRank only)\n"
+      "  --engine hama|cyclops|mt|gas  engine (default cyclops; gas = pr/sssp only)\n"
       "  --graph PATH|gen:NAME       edge-list file, or generator: amazon, gweb,\n"
       "                              ljournal, wiki, syn-gl, dblp, roadca (default gen:gweb)\n"
       "  --partitioner hash|ldg|multilevel   edge-cut partitioner (default hash)\n"
@@ -73,7 +104,16 @@ struct Options {
       "  --users N --rounds K        ALS bipartite split / training rounds\n"
       "  --scale F                   generator scale factor (default 1.0)\n"
       "  --csv PATH                  write per-superstep series as CSV\n"
-      "  --stats                     print graph statistics and exit\n");
+      "  --stats                     print graph statistics and exit\n"
+      "\n"
+      "fault tolerance (any of these routes through automated recovery):\n"
+      "  --checkpoint-every N        checkpoint every N supersteps (default off)\n"
+      "  --checkpoint-mode light|heavy  override the engine's natural mode\n"
+      "  --fail-at S                 crash a machine at superstep S\n"
+      "  --fail-machine M            which machine dies (default 0)\n"
+      "  --drop-rate P               package drop probability (retransmitted)\n"
+      "  --corrupt-rate P            package bit-flip probability (CRC-caught)\n"
+      "  --fault-seed S              deterministic fault schedule seed\n");
   std::exit(code);
 }
 
@@ -102,6 +142,13 @@ Options parse(int argc, char** argv) {
     else if (a == "--scale") o.scale = std::atof(next(i));
     else if (a == "--csv") o.csv = next(i);
     else if (a == "--stats") o.stats_only = true;
+    else if (a == "--checkpoint-every") o.checkpoint_every = static_cast<Superstep>(std::atoi(next(i)));
+    else if (a == "--checkpoint-mode") o.checkpoint_mode = next(i);
+    else if (a == "--fail-at") o.fail_at = static_cast<Superstep>(std::atoi(next(i)));
+    else if (a == "--fail-machine") o.fail_machine = static_cast<MachineId>(std::atoi(next(i)));
+    else if (a == "--drop-rate") o.drop_rate = std::atof(next(i));
+    else if (a == "--corrupt-rate") o.corrupt_rate = std::atof(next(i));
+    else if (a == "--fault-seed") o.fault_seed = static_cast<std::uint64_t>(std::atoll(next(i)));
     else {
       std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
       usage(2);
@@ -110,6 +157,15 @@ Options parse(int argc, char** argv) {
   if (o.workers == 0 || o.machines == 0 || o.workers % o.machines != 0) {
     std::fprintf(stderr, "--workers must be a positive multiple of --machines\n");
     std::exit(2);
+  }
+  if (!o.checkpoint_mode.empty() && o.checkpoint_mode != "light" &&
+      o.checkpoint_mode != "heavy") {
+    std::fprintf(stderr, "--checkpoint-mode must be light or heavy\n");
+    std::exit(2);
+  }
+  if (o.fail_at != sim::kNeverCrash && o.checkpoint_every == 0) {
+    std::fprintf(stderr,
+                 "note: --fail-at without --checkpoint-every replays from scratch\n");
   }
   return o;
 }
@@ -157,12 +213,36 @@ void emit_csv(const Options& o, const metrics::RunStats& stats) {
   std::printf("wrote per-superstep series to %s\n", o.csv.c_str());
 }
 
+/// Runs an engine factory through the automated checkpoint/recovery runtime
+/// and prints the recovery summary next to the usual run summary.
+template <typename MakeEngine>
+int run_fault_tolerant(const Options& o, const std::string& label,
+                       runtime::CheckpointMode natural_mode,
+                       sim::FaultInjector* faults, MakeEngine&& make_engine) {
+  runtime::RecoveryOptions opts;
+  opts.checkpoint_every = o.checkpoint_every;
+  opts.mode = o.mode_or(natural_mode);
+  auto outcome =
+      runtime::run_with_recovery(std::forward<MakeEngine>(make_engine), opts, faults);
+  std::printf("%s\n", metrics::run_summary(label, outcome.run).c_str());
+  std::printf("%s\n", metrics::recovery_summary(outcome.recovery).c_str());
+  emit_csv(o, outcome.run);
+  return 0;
+}
+
 template <typename Prog>
 int run_bsp(const Options& o, const graph::Csr& g, Prog prog) {
   bsp::Config cfg;
   cfg.topo = sim::Topology{o.machines, o.workers / o.machines};
   cfg.max_supersteps = o.max_supersteps;
-  bsp::Engine<Prog> engine(g, make_partition(o, g), prog, cfg);
+  const auto part = make_partition(o, g);
+  if (o.fault_tolerant()) {
+    cfg.faults = std::make_shared<sim::FaultInjector>(o.fault_plan());
+    return run_fault_tolerant(
+        o, "hama/" + o.algo, runtime::CheckpointMode::kHeavyweight, cfg.faults.get(),
+        [&] { return std::make_unique<bsp::Engine<Prog>>(g, part, prog, cfg); });
+  }
+  bsp::Engine<Prog> engine(g, part, prog, cfg);
   const auto stats = engine.run();
   std::printf("%s\n", metrics::run_summary("hama/" + o.algo, stats).c_str());
   std::printf("%s\n", metrics::phase_breakdown_row("breakdown", stats, true).c_str());
@@ -178,14 +258,40 @@ int run_cyclops(const Options& o, const graph::Csr& g, Prog prog, bool mt) {
   const WorkerId parts = cfg.topo.total_workers();
   Options po = o;
   po.workers = parts;
-  core::Engine<Prog> engine(g, make_partition(po, g), prog, cfg);
+  const std::string label = (mt ? "cyclops-mt/" : "cyclops/") + o.algo;
+  const auto part = make_partition(po, g);
+  if (o.fault_tolerant()) {
+    cfg.faults = std::make_shared<sim::FaultInjector>(o.fault_plan());
+    return run_fault_tolerant(
+        o, label, runtime::CheckpointMode::kLightweight, cfg.faults.get(),
+        [&] { return std::make_unique<core::Engine<Prog>>(g, part, prog, cfg); });
+  }
+  core::Engine<Prog> engine(g, part, prog, cfg);
   const auto stats = engine.run();
-  std::printf("%s\n", metrics::run_summary((mt ? "cyclops-mt/" : "cyclops/") + o.algo,
-                                           stats)
-                          .c_str());
+  std::printf("%s\n", metrics::run_summary(label, stats).c_str());
   std::printf("replication factor: %.2f, ingress %.3fs\n",
               engine.layout().replication_factor(g.num_vertices()), stats.ingress_s);
   std::printf("%s\n", metrics::phase_breakdown_row("breakdown", stats, true).c_str());
+  emit_csv(o, stats);
+  return 0;
+}
+
+template <typename Prog>
+int run_gas(const Options& o, const graph::EdgeList& edges, Prog prog) {
+  gas::Config cfg;
+  cfg.topo = sim::Topology{o.machines, 1};
+  cfg.max_iterations = o.max_supersteps;
+  const auto cut = partition::RandomVertexCut{}.partition(edges, o.machines);
+  if (o.fault_tolerant()) {
+    cfg.faults = std::make_shared<sim::FaultInjector>(o.fault_plan());
+    return run_fault_tolerant(
+        o, "powergraph/" + o.algo, runtime::CheckpointMode::kLightweight,
+        cfg.faults.get(),
+        [&] { return std::make_unique<gas::Engine<Prog>>(edges, cut, prog, cfg); });
+  }
+  gas::Engine<Prog> engine(edges, cut, prog, cfg);
+  const auto stats = engine.run();
+  std::printf("%s\n", metrics::run_summary("powergraph/" + o.algo, stats).c_str());
   emit_csv(o, stats);
   return 0;
 }
@@ -213,15 +319,7 @@ int main(int argc, char** argv) {
       algo::PageRankGas prog;
       prog.num_vertices = g.num_vertices();
       prog.epsilon = o.epsilon;
-      gas::Config cfg;
-      cfg.topo = sim::Topology{o.machines, 1};
-      cfg.max_iterations = o.max_supersteps;
-      gas::Engine<algo::PageRankGas> engine(
-          edges, partition::RandomVertexCut{}.partition(edges, o.machines), prog, cfg);
-      const auto stats = engine.run();
-      std::printf("%s\n", metrics::run_summary("powergraph/pr", stats).c_str());
-      emit_csv(o, stats);
-      return 0;
+      return run_gas(o, edges, prog);
     }
     if (o.engine == "hama") {
       algo::PageRankBsp prog;
@@ -236,6 +334,11 @@ int main(int argc, char** argv) {
     if (o.source >= g.num_vertices()) {
       std::fprintf(stderr, "--source out of range\n");
       return 2;
+    }
+    if (o.engine == "gas") {
+      algo::SsspGas prog;
+      prog.source = o.source;
+      return run_gas(o, edges, prog);
     }
     if (o.engine == "hama") {
       algo::SsspBsp prog;
