@@ -15,7 +15,9 @@
 int main(int argc, char** argv) {
   using namespace cyclops;
   using namespace cyclops::bench;
-  const bool perf_only = argc > 1 && std::string(argv[1]) == "--perf";
+  args::Parser p(argc, argv);
+  const bool perf_only = p.flag("--perf");
+  p.finish();
 
   const auto datasets = algo::make_all_datasets();
 

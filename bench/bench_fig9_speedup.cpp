@@ -79,7 +79,9 @@ void fig9_2(const std::vector<algo::Dataset>& datasets) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool scalability_only = argc > 1 && std::string(argv[1]) == "--scalability";
+  cyclops::args::Parser p(argc, argv);
+  const bool scalability_only = p.flag("--scalability");
+  p.finish();
   const auto datasets = cyclops::algo::make_all_datasets();
   std::puts("Datasets (paper-scale -> stand-in scale):");
   for (const auto& d : datasets) std::printf("  %s\n", d.describe().c_str());

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "cyclops/algorithms/als.hpp"
+#include "cyclops/common/args.hpp"
 #include "cyclops/algorithms/cd.hpp"
 #include "cyclops/algorithms/datasets.hpp"
 #include "cyclops/algorithms/pagerank.hpp"
@@ -48,6 +49,20 @@ struct RunOptions {
   Superstep max_supersteps = 30;
   std::uint64_t partition_seed = 42;
 };
+
+/// Shared flag block for bench mains: overrides the harness defaults from the
+/// command line. Callers query their own binary-specific flags on `p` before
+/// or after, then call p.finish().
+inline RunOptions parse_run_options(args::Parser& p, RunOptions o = {}) {
+  o.machines = p.get("--machines", o.machines);
+  o.workers = p.get("--workers", o.workers);
+  o.mt_receivers = p.get("--receivers", o.mt_receivers);
+  if (p.flag("--multilevel")) o.multilevel = true;
+  o.epsilon = p.get("--epsilon", o.epsilon);
+  o.max_supersteps = p.get("--max-supersteps", o.max_supersteps);
+  o.partition_seed = p.get("--seed", o.partition_seed);
+  return o;
+}
 
 struct CellResult {
   metrics::RunStats stats;

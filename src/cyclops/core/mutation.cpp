@@ -4,19 +4,37 @@
 
 namespace cyclops::core {
 
+namespace {
+
+bool matches_any(const std::vector<graph::Edge>& removes, const graph::Edge& e) {
+  return std::any_of(removes.begin(), removes.end(), [&](const graph::Edge& r) {
+    return r.src == e.src && r.dst == e.dst;
+  });
+}
+
+}  // namespace
+
 void TopologyDelta::apply(graph::EdgeList& edges) const {
   auto& list = edges.edges();
   if (!removes_.empty()) {
-    auto removed = [&](const graph::Edge& e) {
-      return std::any_of(removes_.begin(), removes_.end(), [&](const graph::Edge& r) {
-        return r.src == e.src && r.dst == e.dst;
-      });
-    };
+    auto removed = [&](const graph::Edge& e) { return matches_any(removes_, e); };
     list.erase(std::remove_if(list.begin(), list.end(), removed), list.end());
   }
   for (const graph::Edge& e : adds_) {
     edges.add(e.src, e.dst, e.weight);
   }
+}
+
+graph::EdgeList TopologyDelta::applied(const graph::EdgeList& edges) const {
+  graph::EdgeList out(edges.num_vertices());
+  for (const graph::Edge& e : edges.edges()) {
+    if (!removes_.empty() && matches_any(removes_, e)) continue;
+    out.add(e.src, e.dst, e.weight);
+  }
+  for (const graph::Edge& e : adds_) {
+    out.add(e.src, e.dst, e.weight);
+  }
+  return out;
 }
 
 std::vector<VertexId> TopologyDelta::touched_vertices() const {

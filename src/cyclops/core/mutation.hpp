@@ -36,6 +36,11 @@ class TopologyDelta {
   /// Applies the delta to an edge list (adds may grow the vertex count).
   void apply(graph::EdgeList& edges) const;
 
+  /// Const-preserving apply: builds a fresh edge list with the delta applied,
+  /// leaving `edges` untouched. Snapshot construction uses this so a new
+  /// epoch never aliases (or mutates) a live epoch's storage.
+  [[nodiscard]] graph::EdgeList applied(const graph::EdgeList& edges) const;
+
   /// Vertices incident to any mutated edge — the set a caller typically
   /// re-activates so the algorithm reacts to the new topology.
   [[nodiscard]] std::vector<VertexId> touched_vertices() const;

@@ -1,0 +1,31 @@
+#pragma once
+// Per-job accounting for the multi-tenant service layer (service::JobScheduler
+// fills one of these per submission and the Service facade surfaces them
+// through metrics::job_summary(), the same reporter path the engines use for
+// run and recovery summaries).
+
+#include <cstdint>
+#include <string>
+
+namespace cyclops::metrics {
+
+struct JobStats {
+  std::uint64_t job_id = 0;
+  std::string tenant;
+  std::string algo;    ///< pr | sssp | cc | als
+  std::string engine;  ///< hama | cyclops | mt | gas
+  std::uint64_t epoch = 0;  ///< snapshot epoch the job was pinned to
+  int priority = 0;
+
+  double queue_wait_s = 0;    ///< admission -> dispatch
+  double run_s = 0;           ///< dispatch -> completion (wall, incl. realized wire time)
+  double modeled_comm_s = 0;  ///< cost-model wire + barrier time of the run
+  std::size_t supersteps = 0;
+  double started_s = 0;   ///< dispatch time, seconds since scheduler start
+  double finished_s = 0;  ///< completion time, seconds since scheduler start
+
+  /// ok | cancelled | failed: <reason>
+  std::string outcome = "ok";
+};
+
+}  // namespace cyclops::metrics

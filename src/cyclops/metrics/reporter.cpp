@@ -66,4 +66,17 @@ std::string recovery_summary(const RecoveryStats& rec) {
   return buf;
 }
 
+std::string job_summary(const JobStats& job) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "job #%llu [%s] %s/%s epoch %llu prio %d: %s; "
+                "queued %.3fs, ran %.3fs (%zu supersteps, %.3fs modeled comm)",
+                static_cast<unsigned long long>(job.job_id), job.tenant.c_str(),
+                job.engine.c_str(), job.algo.c_str(),
+                static_cast<unsigned long long>(job.epoch), job.priority,
+                job.outcome.c_str(), job.queue_wait_s, job.run_s, job.supersteps,
+                job.modeled_comm_s);
+  return buf;
+}
+
 }  // namespace cyclops::metrics

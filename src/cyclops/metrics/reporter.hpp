@@ -4,6 +4,7 @@
 
 #include <string>
 
+#include "cyclops/metrics/job_stats.hpp"
 #include "cyclops/metrics/recovery_stats.hpp"
 #include "cyclops/metrics/superstep_stats.hpp"
 
@@ -21,5 +22,9 @@ namespace cyclops::metrics {
 
 /// One-line fault-tolerance summary: checkpoints, bytes, faults, rollbacks.
 [[nodiscard]] std::string recovery_summary(const RecoveryStats& rec);
+
+/// One-line per-job summary for the service layer: tenant, algo/engine,
+/// pinned epoch, queue wait, run time, supersteps, outcome.
+[[nodiscard]] std::string job_summary(const JobStats& job);
 
 }  // namespace cyclops::metrics

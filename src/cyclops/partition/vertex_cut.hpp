@@ -15,6 +15,7 @@ namespace cyclops::partition {
 
 class VertexCutPartition {
  public:
+  VertexCutPartition() = default;
   VertexCutPartition(std::vector<WorkerId> edge_owner, std::vector<WorkerId> master,
                      WorkerId num_parts);
 

@@ -1,0 +1,136 @@
+#pragma once
+// Concurrent job scheduler over common::ThreadPool. Admission is a bounded
+// queue with reject-with-reason backpressure; dispatch picks the highest
+// priority eligible job (FIFO within a priority) whose tenant is under its
+// running-concurrency limit. Each job runs pinned to the snapshot it was
+// submitted against, so epoch transitions never affect in-flight work.
+//
+// The scheduler occupies its ThreadPool for its whole lifetime (one long-lived
+// worker loop per slot), so the pool must be dedicated to it. Engines inside
+// jobs run with their default single host thread — all cross-job parallelism
+// is the scheduler's, which keeps per-job results bit-deterministic.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cyclops/common/thread_pool.hpp"
+#include "cyclops/metrics/job_stats.hpp"
+#include "cyclops/service/job.hpp"
+#include "cyclops/service/snapshot.hpp"
+
+namespace cyclops::service {
+
+struct SchedulerConfig {
+  std::size_t workers = 2;            ///< concurrent job slots
+  std::size_t max_queue = 64;         ///< bounded admission queue (queued jobs)
+  std::size_t per_tenant_running = 2; ///< max concurrently *running* jobs per tenant
+  /// Realize the run's modeled wire+barrier time as wall-clock sleep, scaled
+  /// by this factor (0 = off). In serve/bench mode this is what makes
+  /// cross-tenant overlap physical: wire-wait from different jobs overlaps,
+  /// exactly as it would on a real cluster.
+  double realize_modeled_factor = 0;
+  /// Start with dispatch paused (admission still open); resume() releases.
+  /// Tests use this to fill the queue deterministically.
+  bool start_paused = false;
+};
+
+struct Submission {
+  bool accepted = false;
+  std::uint64_t id = 0;
+  std::string reason;  ///< set when rejected
+};
+
+struct SchedulerCounters {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t completed = 0;  ///< ran to completion, including failed
+  std::uint64_t failed = 0;
+};
+
+class JobScheduler {
+ public:
+  JobScheduler(ThreadPool& pool, SchedulerConfig cfg);
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+  ~JobScheduler();
+
+  /// Admits a job against a pinned snapshot. Rejects (with reason) when the
+  /// queue is full, the spec fails validation, or the scheduler is draining.
+  Submission submit(JobSpec spec, SnapshotRef snap);
+
+  /// Cancels a *queued* job. Running jobs cannot be preempted (the engines
+  /// have no preemption point); returns false for running/finished ids.
+  bool cancel(std::uint64_t id);
+
+  /// Releases dispatch after construction with start_paused.
+  void resume();
+
+  /// Blocks until the job reaches a terminal state.
+  void wait(std::uint64_t id);
+  /// Blocks until no job is queued or running.
+  void wait_all();
+  /// Stops admission, drains the queue, joins the workers. Idempotent.
+  void shutdown();
+
+  [[nodiscard]] metrics::JobStats stats_for(std::uint64_t id) const;
+  /// All jobs ever admitted, in submission order.
+  [[nodiscard]] std::vector<metrics::JobStats> all_stats() const;
+  /// Null until the job completes successfully.
+  [[nodiscard]] std::shared_ptr<const JobResult> result_for(std::uint64_t id) const;
+  [[nodiscard]] SchedulerCounters counters() const;
+  [[nodiscard]] std::size_t worker_slots() const noexcept { return slots_; }
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    JobSpec spec;
+    SnapshotRef snap;
+    JobState state = JobState::kQueued;
+    metrics::JobStats stats;
+    std::shared_ptr<const JobResult> result;
+    std::chrono::steady_clock::time_point submitted;
+  };
+  using JobPtr = std::shared_ptr<Job>;
+
+  void worker_loop();
+  /// Index into queue_ of the next dispatchable job, or npos.
+  [[nodiscard]] std::size_t pick_locked() const;
+  [[nodiscard]] double now_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+  [[nodiscard]] static bool terminal(JobState s) noexcept {
+    return s == JobState::kDone || s == JobState::kCancelled || s == JobState::kFailed;
+  }
+
+  ThreadPool& pool_;
+  SchedulerConfig cfg_;
+  std::size_t slots_ = 1;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::deque<JobPtr> queue_;
+  std::unordered_map<std::uint64_t, JobPtr> jobs_;
+  std::vector<JobPtr> order_;
+  std::unordered_map<std::string, std::size_t> tenant_running_;
+  std::size_t running_ = 0;
+  std::uint64_t next_id_ = 1;
+  SchedulerCounters counters_;
+  bool paused_ = false;
+  bool draining_ = false;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace cyclops::service

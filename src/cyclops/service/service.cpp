@@ -1,0 +1,28 @@
+#include "cyclops/service/service.hpp"
+
+#include <cstdio>
+
+namespace cyclops::service {
+
+std::string Service::summary() const {
+  const SchedulerCounters c = scheduler_.counters();
+  const SnapshotStoreStats s = store_.stats();
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "service: %llu accepted / %llu rejected / %llu cancelled, %llu completed "
+      "(%llu failed); %llu epochs published, %llu retired, %llu live "
+      "(last build %.3fs, total %.3fs)",
+      static_cast<unsigned long long>(c.accepted),
+      static_cast<unsigned long long>(c.rejected),
+      static_cast<unsigned long long>(c.cancelled),
+      static_cast<unsigned long long>(c.completed),
+      static_cast<unsigned long long>(c.failed),
+      static_cast<unsigned long long>(s.epochs_published),
+      static_cast<unsigned long long>(s.epochs_retired),
+      static_cast<unsigned long long>(s.epochs_published - s.epochs_retired),
+      s.last_build_s, s.total_build_s);
+  return buf;
+}
+
+}  // namespace cyclops::service

@@ -1,0 +1,64 @@
+#pragma once
+// The serving facade: one long-lived object owning the snapshot store, the
+// scheduler and its dedicated thread pool. Tenants submit jobs (pinned to the
+// newest epoch at admission) and the owner applies batched topology deltas;
+// the two streams never block each other beyond one mutex acquisition.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cyclops/common/thread_pool.hpp"
+#include "cyclops/core/mutation.hpp"
+#include "cyclops/metrics/job_stats.hpp"
+#include "cyclops/service/job.hpp"
+#include "cyclops/service/scheduler.hpp"
+#include "cyclops/service/snapshot.hpp"
+
+namespace cyclops::service {
+
+struct ServiceConfig {
+  SnapshotConfig snapshot;
+  SchedulerConfig scheduler;
+};
+
+class Service {
+ public:
+  Service(graph::EdgeList base, ServiceConfig cfg)
+      : cfg_(cfg),
+        pool_(std::max<std::size_t>(1, cfg.scheduler.workers)),
+        store_(std::move(base), cfg.snapshot),
+        scheduler_(pool_, cfg.scheduler) {}
+
+  /// Submits against the newest epoch.
+  Submission submit(const JobSpec& spec) { return scheduler_.submit(spec, store_.current()); }
+  /// Submits against an explicitly pinned snapshot (e.g. re-running on an old
+  /// epoch for the immutability regression suite).
+  Submission submit(const JobSpec& spec, SnapshotRef snap) {
+    return scheduler_.submit(spec, std::move(snap));
+  }
+
+  /// Applies a batched mutation, publishing a new epoch. In-flight jobs keep
+  /// their pinned epoch; later submissions land on the new one.
+  Epoch apply_delta(const core::TopologyDelta& delta) { return store_.apply(delta); }
+
+  void wait_all() { scheduler_.wait_all(); }
+  void shutdown() { scheduler_.shutdown(); }
+
+  [[nodiscard]] SnapshotStore& snapshots() noexcept { return store_; }
+  [[nodiscard]] JobScheduler& scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
+
+  /// One-line operational summary (jobs, epochs, live snapshots).
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  ServiceConfig cfg_;
+  ThreadPool pool_;  ///< dedicated to the scheduler for its whole lifetime
+  SnapshotStore store_;
+  JobScheduler scheduler_;
+};
+
+}  // namespace cyclops::service

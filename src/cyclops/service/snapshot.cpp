@@ -1,0 +1,107 @@
+#include "cyclops/service/snapshot.hpp"
+
+#include <span>
+#include <utility>
+
+#include "cyclops/common/check.hpp"
+#include "cyclops/common/crc32.hpp"
+#include "cyclops/common/timer.hpp"
+#include "cyclops/partition/hash.hpp"
+#include "cyclops/partition/ldg.hpp"
+#include "cyclops/partition/multilevel.hpp"
+
+namespace cyclops::service {
+
+namespace {
+
+partition::EdgeCutPartition make_edge_cut(const graph::Csr& g, const SnapshotConfig& cfg,
+                                          WorkerId parts) {
+  if (cfg.partitioner == "ldg") return partition::LdgPartitioner{}.partition(g, parts);
+  if (cfg.partitioner == "multilevel") {
+    partition::MultilevelConfig mc;
+    mc.seed = cfg.partition_seed;
+    return partition::MultilevelPartitioner{mc}.partition(g, parts);
+  }
+  CYCLOPS_CHECK(cfg.partitioner == "hash");
+  return partition::HashPartitioner{}.partition(g, parts);
+}
+
+std::uint32_t edge_crc(const graph::EdgeList& edges) {
+  const auto& list = edges.edges();
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(list.data());
+  return crc32(std::span<const std::uint8_t>(bytes, list.size() * sizeof(graph::Edge)));
+}
+
+}  // namespace
+
+Snapshot::Snapshot(Epoch epoch, graph::EdgeList edges, const SnapshotConfig& cfg)
+    : epoch_(epoch), cfg_(cfg), edges_(std::move(edges)) {
+  Timer timer;
+  csr_ = graph::Csr::build(edges_);
+  edge_cut_ = make_edge_cut(csr_, cfg_, cfg_.edge_cut_parts());
+  mt_edge_cut_ = make_edge_cut(csr_, cfg_, cfg_.machines);
+  vertex_cut_ = partition::RandomVertexCut{}.partition(edges_, cfg_.machines);
+  build_s_ = timer.elapsed_s();
+  checksum_ = edge_crc(edges_);
+}
+
+SnapshotStore::SnapshotStore(graph::EdgeList base, SnapshotConfig cfg)
+    : cfg_(std::move(cfg)),
+      retired_(std::make_shared<std::atomic<std::uint64_t>>(0)) {
+  current_ = publish(0, std::move(base));
+}
+
+SnapshotRef SnapshotStore::current() const {
+  std::lock_guard lock(mutex_);
+  return current_;
+}
+
+Epoch SnapshotStore::current_epoch() const {
+  std::lock_guard lock(mutex_);
+  return current_->epoch();
+}
+
+Epoch SnapshotStore::apply(const core::TopologyDelta& delta) {
+  // Build outside the lock: applied() never touches the live epoch's storage,
+  // and concurrent pinners must not wait on re-partitioning. apply() itself is
+  // serialized by the service (one mutation stream), so read-then-publish is
+  // race-free for the single writer.
+  SnapshotRef base;
+  {
+    std::lock_guard lock(mutex_);
+    base = current_;
+  }
+  graph::EdgeList next = delta.applied(base->edges());
+  SnapshotRef snap = publish(base->epoch() + 1, std::move(next));
+  std::lock_guard lock(mutex_);
+  current_ = std::move(snap);
+  return current_->epoch();
+}
+
+std::uint64_t SnapshotStore::live_snapshots() const {
+  std::lock_guard lock(mutex_);
+  return stats_.epochs_published - retired_->load(std::memory_order_relaxed);
+}
+
+SnapshotStoreStats SnapshotStore::stats() const {
+  std::lock_guard lock(mutex_);
+  SnapshotStoreStats s = stats_;
+  s.epochs_retired = retired_->load(std::memory_order_relaxed);
+  return s;
+}
+
+SnapshotRef SnapshotStore::publish(Epoch epoch, graph::EdgeList edges) {
+  auto retired = retired_;
+  SnapshotRef snap(new Snapshot(epoch, std::move(edges), cfg_),
+                   [retired](const Snapshot* s) {
+                     retired->fetch_add(1, std::memory_order_relaxed);
+                     delete s;
+                   });
+  std::lock_guard lock(mutex_);
+  ++stats_.epochs_published;
+  stats_.last_build_s = snap->build_s();
+  stats_.total_build_s += snap->build_s();
+  return snap;
+}
+
+}  // namespace cyclops::service

@@ -1,0 +1,115 @@
+#pragma once
+// Epoch-versioned immutable graph snapshots — the serving-layer realization
+// of the paper's distributed immutable view. A Snapshot owns everything a job
+// needs to run against one version of the graph: the edge list, the finalized
+// CSR, and one pre-built partition per engine family. Snapshots are only ever
+// handed out as shared_ptr<const Snapshot>, so in-flight jobs pin their epoch
+// for as long as they run while new submissions land on the newest one;
+// retirement is the refcount hitting zero (tracked by the store for stats).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "cyclops/core/mutation.hpp"
+#include "cyclops/graph/csr.hpp"
+#include "cyclops/graph/edge_list.hpp"
+#include "cyclops/partition/partition.hpp"
+#include "cyclops/partition/vertex_cut.hpp"
+
+namespace cyclops::service {
+
+using Epoch = std::uint64_t;
+
+/// Shape of the simulated cluster every snapshot pre-partitions for.
+struct SnapshotConfig {
+  MachineId machines = 4;
+  WorkerId workers_per_machine = 2;  ///< Hama/Cyclops partitions per machine
+  std::string partitioner = "hash";  ///< hash | ldg | multilevel (edge cuts)
+  std::uint64_t partition_seed = 42;
+
+  [[nodiscard]] WorkerId edge_cut_parts() const noexcept {
+    return machines * workers_per_machine;
+  }
+};
+
+class Snapshot {
+ public:
+  Snapshot(Epoch epoch, graph::EdgeList edges, const SnapshotConfig& cfg);
+
+  [[nodiscard]] Epoch epoch() const noexcept { return epoch_; }
+  [[nodiscard]] const graph::EdgeList& edges() const noexcept { return edges_; }
+  [[nodiscard]] const graph::Csr& csr() const noexcept { return csr_; }
+  /// Edge cut with machines * workers_per_machine parts (Hama, plain Cyclops).
+  [[nodiscard]] const partition::EdgeCutPartition& edge_cut() const noexcept {
+    return edge_cut_;
+  }
+  /// Edge cut with one part per machine (CyclopsMT).
+  [[nodiscard]] const partition::EdgeCutPartition& mt_edge_cut() const noexcept {
+    return mt_edge_cut_;
+  }
+  /// Vertex cut with one part per machine (PowerGraph/GAS).
+  [[nodiscard]] const partition::VertexCutPartition& vertex_cut() const noexcept {
+    return vertex_cut_;
+  }
+  [[nodiscard]] const SnapshotConfig& config() const noexcept { return cfg_; }
+  /// Re-partition + layout time of this epoch (snapshot-transition overhead).
+  [[nodiscard]] double build_s() const noexcept { return build_s_; }
+  /// CRC-32 over the raw edge array — the immutability witness tests use.
+  [[nodiscard]] std::uint32_t edge_checksum() const noexcept { return checksum_; }
+
+ private:
+  Epoch epoch_ = 0;
+  SnapshotConfig cfg_;
+  graph::EdgeList edges_;
+  graph::Csr csr_;
+  partition::EdgeCutPartition edge_cut_;
+  partition::EdgeCutPartition mt_edge_cut_;
+  partition::VertexCutPartition vertex_cut_;
+  double build_s_ = 0;
+  std::uint32_t checksum_ = 0;
+};
+
+/// Pinned handle: holding one keeps the epoch's storage alive.
+using SnapshotRef = std::shared_ptr<const Snapshot>;
+
+struct SnapshotStoreStats {
+  std::uint64_t epochs_published = 0;  ///< includes the base epoch 0
+  std::uint64_t epochs_retired = 0;    ///< refcount hit zero
+  double total_build_s = 0;
+  double last_build_s = 0;
+};
+
+/// Holds the newest snapshot and publishes new epochs by applying a batched
+/// TopologyDelta through the const-preserving applied() path, then
+/// re-partitioning. Thread-safe: jobs pin epochs concurrently with apply().
+class SnapshotStore {
+ public:
+  SnapshotStore(graph::EdgeList base, SnapshotConfig cfg);
+
+  /// Pins and returns the newest snapshot.
+  [[nodiscard]] SnapshotRef current() const;
+  [[nodiscard]] Epoch current_epoch() const;
+
+  /// Publishes a new epoch from the newest snapshot plus `delta`; returns the
+  /// new epoch. The previous snapshot stays alive while any job pins it.
+  Epoch apply(const core::TopologyDelta& delta);
+
+  /// Snapshots whose storage is still alive (published - retired).
+  [[nodiscard]] std::uint64_t live_snapshots() const;
+  [[nodiscard]] SnapshotStoreStats stats() const;
+
+ private:
+  SnapshotRef publish(Epoch epoch, graph::EdgeList edges);
+
+  mutable std::mutex mutex_;
+  SnapshotConfig cfg_;
+  SnapshotRef current_;
+  SnapshotStoreStats stats_;
+  /// Shared with every snapshot's deleter so retirement outlives the store.
+  std::shared_ptr<std::atomic<std::uint64_t>> retired_;
+};
+
+}  // namespace cyclops::service

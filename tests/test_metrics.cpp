@@ -107,5 +107,58 @@ TEST(Reporter, RunSummaryMentionsMessages) {
   EXPECT_NE(summary.find("pr"), std::string::npos);
 }
 
+// Golden-output tests: these lines are the operational interface users grep
+// and scripts parse, so format drift is a breaking change, not cosmetics.
+// All inputs are exactly representable in binary so %.3f rounding is stable.
+
+TEST(Reporter, RecoverySummaryGolden) {
+  RecoveryStats rec;
+  rec.checkpoints_taken = 3;
+  rec.checkpoint_bytes_written = 4096;
+  rec.modeled_checkpoint_s = 0.25;
+  rec.faults_detected = 1;
+  rec.recoveries = 1;
+  rec.lost_supersteps = 4;
+  rec.modeled_recovery_s = 0.125;
+  rec.dropped_packages = 7;
+  rec.corrupted_packages = 2;
+  rec.retransmissions = 9;
+  rec.modeled_fault_overhead_s = 0.5;
+  EXPECT_EQ(recovery_summary(rec),
+            "recovery: 3 checkpoints (4096 bytes, 0.250s modeled write), "
+            "1 faults -> 1 rollbacks, 4 supersteps replayed, 0.125s modeled "
+            "recovery; wire: 7 dropped, 2 corrupted, 9 retransmitted (+0.500s)");
+}
+
+TEST(Reporter, JobSummaryGolden) {
+  JobStats job;
+  job.job_id = 7;
+  job.tenant = "acme";
+  job.algo = "pr";
+  job.engine = "cyclops";
+  job.epoch = 2;
+  job.priority = 1;
+  job.queue_wait_s = 0.5;
+  job.run_s = 1.25;
+  job.modeled_comm_s = 0.75;
+  job.supersteps = 12;
+  job.outcome = "ok";
+  EXPECT_EQ(job_summary(job),
+            "job #7 [acme] cyclops/pr epoch 2 prio 1: ok; "
+            "queued 0.500s, ran 1.250s (12 supersteps, 0.750s modeled comm)");
+}
+
+TEST(Reporter, JobSummaryCarriesFailureReason) {
+  JobStats job;
+  job.job_id = 9;
+  job.tenant = "acme";
+  job.algo = "cc";
+  job.engine = "gas";
+  job.outcome = "failed: gas engine supports pr and sssp only, not cc";
+  const std::string line = job_summary(job);
+  EXPECT_NE(line.find("failed: gas engine supports pr and sssp only"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace cyclops::metrics

@@ -9,6 +9,7 @@
 
 #include "cyclops/algorithms/pagerank.hpp"
 #include "cyclops/algorithms/sssp.hpp"
+#include "cyclops/common/crc32.hpp"
 #include "cyclops/core/engine.hpp"
 #include "cyclops/core/mutation.hpp"
 #include "cyclops/graph/generators.hpp"
@@ -59,6 +60,42 @@ TEST(TopologyDelta, AddGrowsVertexCount) {
   delta.add_edge(3, 9);  // brand-new vertex 9
   delta.apply(edges);
   EXPECT_EQ(edges.num_vertices(), 10u);
+}
+
+namespace {
+std::uint32_t edge_crc(const graph::EdgeList& edges) {
+  const auto& list = edges.edges();
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(list.data());
+  return crc32(std::span<const std::uint8_t>(bytes, list.size() * sizeof(graph::Edge)));
+}
+}  // namespace
+
+TEST(TopologyDelta, AppliedPreservesSourceChecksum) {
+  // The const-preserving path: applied() must leave the source list
+  // byte-identical (the snapshot store's epoch-immutability contract) while
+  // the returned list matches what the in-place apply() would produce.
+  graph::EdgeList base = test::figure6_graph();
+  const std::uint32_t before = edge_crc(base);
+
+  TopologyDelta delta;
+  delta.add_edge(5, 0, 2.0);
+  delta.remove_edge(0, 1);
+  const graph::EdgeList next = delta.applied(base);
+
+  EXPECT_EQ(edge_crc(base), before);  // source untouched
+  graph::EdgeList in_place = base;    // same delta through the mutating path
+  delta.apply(in_place);
+  EXPECT_EQ(edge_crc(next), edge_crc(in_place));
+  EXPECT_NE(edge_crc(next), before);
+}
+
+TEST(TopologyDelta, AppliedGrowsVertexCountWithoutTouchingSource) {
+  const graph::EdgeList base = test::diamond_graph();
+  TopologyDelta delta;
+  delta.add_edge(3, 9);
+  const graph::EdgeList next = delta.applied(base);
+  EXPECT_EQ(base.num_vertices(), 4u);
+  EXPECT_EQ(next.num_vertices(), 10u);
 }
 
 TEST(Mutation, PageRankConvergesToMutatedFixpoint) {

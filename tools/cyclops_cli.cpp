@@ -6,6 +6,7 @@
 //   cyclops-cli --algo sssp --engine hama --graph road.txt --workers 8
 //   cyclops-cli --algo pr --engine mt --threads 8 --receivers 2
 //               --partitioner multilevel --csv series.csv
+//   cyclops-cli --serve workload.txt --graph gen:gweb --serve-workers 4
 //
 // Run with --help for the full flag list.
 
@@ -15,9 +16,12 @@
 #include <fstream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "cyclops/algorithms/als.hpp"
+#include "cyclops/common/args.hpp"
 #include "cyclops/algorithms/cc.hpp"
 #include "cyclops/algorithms/cd.hpp"
 #include "cyclops/algorithms/datasets.hpp"
@@ -34,6 +38,7 @@
 #include "cyclops/partition/multilevel.hpp"
 #include "cyclops/partition/vertex_cut.hpp"
 #include "cyclops/runtime/recovery.hpp"
+#include "cyclops/service/service.hpp"
 #include "cyclops/sim/fault.hpp"
 
 namespace {
@@ -57,6 +62,14 @@ struct Options {
   double scale = 1.0;        // generator scale factor
   std::string csv;           // per-superstep series output path
   bool stats_only = false;   // print graph stats and exit
+
+  // Multi-tenant serve mode: replay a scripted workload file against the
+  // epoch-versioned service instead of running a single job.
+  std::string serve;               // workload script path ("" = classic mode)
+  std::size_t serve_workers = 4;   // concurrent job slots
+  std::size_t serve_queue = 64;    // bounded admission queue
+  std::size_t tenant_limit = 2;    // max running jobs per tenant
+  double realize_modeled = 0.0;    // modeled-comm -> wall-clock sleep factor
 
   // Fault tolerance: any armed flag routes the run through the automated
   // checkpoint/recovery runtime (runtime::run_with_recovery).
@@ -106,6 +119,17 @@ struct Options {
       "  --csv PATH                  write per-superstep series as CSV\n"
       "  --stats                     print graph statistics and exit\n"
       "\n"
+      "serve mode (multi-tenant service replaying a scripted workload):\n"
+      "  --serve FILE                workload script; lines are\n"
+      "                                job <tenant> <prio> <algo> <engine>\n"
+      "                                add <u> <v> [w] | remove <u> <v>\n"
+      "                                commit | wait | # comment\n"
+      "  --serve-workers N           concurrent job slots (default 4)\n"
+      "  --serve-queue N             admission queue bound (default 64)\n"
+      "  --tenant-limit N            max running jobs per tenant (default 2)\n"
+      "  --realize F                 sleep F x modeled comm time per job, so\n"
+      "                              cross-tenant wire-wait overlaps (default 0)\n"
+      "\n"
       "fault tolerance (any of these routes through automated recovery):\n"
       "  --checkpoint-every N        checkpoint every N supersteps (default off)\n"
       "  --checkpoint-mode light|heavy  override the engine's natural mode\n"
@@ -118,45 +142,50 @@ struct Options {
 }
 
 Options parse(int argc, char** argv) {
+  args::Parser p(argc, argv);
+  if (p.flag("--help") || p.flag("-h")) usage(0);
   Options o;
-  auto next = [&](int& i) -> const char* {
-    if (i + 1 >= argc) usage(2);
-    return argv[++i];
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a == "--help" || a == "-h") usage(0);
-    else if (a == "--algo") o.algo = next(i);
-    else if (a == "--engine") o.engine = next(i);
-    else if (a == "--graph") o.graph = next(i);
-    else if (a == "--partitioner") o.partitioner = next(i);
-    else if (a == "--workers") o.workers = static_cast<WorkerId>(std::atoi(next(i)));
-    else if (a == "--machines") o.machines = static_cast<MachineId>(std::atoi(next(i)));
-    else if (a == "--threads") o.threads = static_cast<unsigned>(std::atoi(next(i)));
-    else if (a == "--receivers") o.receivers = static_cast<unsigned>(std::atoi(next(i)));
-    else if (a == "--epsilon") o.epsilon = std::atof(next(i));
-    else if (a == "--max-supersteps") o.max_supersteps = static_cast<Superstep>(std::atoi(next(i)));
-    else if (a == "--source") o.source = static_cast<VertexId>(std::atoi(next(i)));
-    else if (a == "--users") o.num_users = static_cast<VertexId>(std::atoi(next(i)));
-    else if (a == "--rounds") o.rounds = static_cast<unsigned>(std::atoi(next(i)));
-    else if (a == "--scale") o.scale = std::atof(next(i));
-    else if (a == "--csv") o.csv = next(i);
-    else if (a == "--stats") o.stats_only = true;
-    else if (a == "--checkpoint-every") o.checkpoint_every = static_cast<Superstep>(std::atoi(next(i)));
-    else if (a == "--checkpoint-mode") o.checkpoint_mode = next(i);
-    else if (a == "--fail-at") o.fail_at = static_cast<Superstep>(std::atoi(next(i)));
-    else if (a == "--fail-machine") o.fail_machine = static_cast<MachineId>(std::atoi(next(i)));
-    else if (a == "--drop-rate") o.drop_rate = std::atof(next(i));
-    else if (a == "--corrupt-rate") o.corrupt_rate = std::atof(next(i));
-    else if (a == "--fault-seed") o.fault_seed = static_cast<std::uint64_t>(std::atoll(next(i)));
-    else {
-      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
-      usage(2);
-    }
-  }
+  o.algo = p.get("--algo", o.algo);
+  o.engine = p.get("--engine", o.engine);
+  o.graph = p.get("--graph", o.graph);
+  o.partitioner = p.get("--partitioner", o.partitioner);
+  o.workers = p.get("--workers", o.workers);
+  o.machines = p.get("--machines", o.machines);
+  o.threads = p.get("--threads", o.threads);
+  o.receivers = p.get("--receivers", o.receivers);
+  o.epsilon = p.get("--epsilon", o.epsilon);
+  o.max_supersteps = p.get("--max-supersteps", o.max_supersteps);
+  o.source = p.get("--source", o.source);
+  o.num_users = p.get("--users", o.num_users);
+  o.rounds = p.get("--rounds", o.rounds);
+  o.scale = p.get("--scale", o.scale);
+  o.csv = p.get("--csv", o.csv);
+  o.stats_only = p.flag("--stats");
+  o.serve = p.get("--serve", o.serve);
+  o.serve_workers = p.get("--serve-workers", o.serve_workers);
+  o.serve_queue = p.get("--serve-queue", o.serve_queue);
+  o.tenant_limit = p.get("--tenant-limit", o.tenant_limit);
+  o.realize_modeled = p.get("--realize", o.realize_modeled);
+  o.checkpoint_every = p.get("--checkpoint-every", o.checkpoint_every);
+  o.checkpoint_mode = p.get("--checkpoint-mode", o.checkpoint_mode);
+  o.fail_at = p.get("--fail-at", o.fail_at);
+  o.fail_machine = p.get("--fail-machine", o.fail_machine);
+  o.drop_rate = p.get("--drop-rate", o.drop_rate);
+  o.corrupt_rate = p.get("--corrupt-rate", o.corrupt_rate);
+  o.fault_seed = p.get("--fault-seed", o.fault_seed);
+  p.finish();
   if (o.workers == 0 || o.machines == 0 || o.workers % o.machines != 0) {
     std::fprintf(stderr, "--workers must be a positive multiple of --machines\n");
     std::exit(2);
+  }
+  if (o.engine != "hama" && o.engine != "cyclops" && o.engine != "mt" &&
+      o.engine != "gas") {
+    args::Parser::fail("unknown engine '" + o.engine + "'");
+  }
+  // Serve-mode scripts carry their own algo/engine per job line; classic mode
+  // rejects unsupported combinations up front instead of falling back.
+  if (o.serve.empty() && o.engine == "gas" && o.algo != "pr" && o.algo != "sssp") {
+    args::Parser::fail("--engine gas supports pr and sssp only");
   }
   if (!o.checkpoint_mode.empty() && o.checkpoint_mode != "light" &&
       o.checkpoint_mode != "heavy") {
@@ -296,11 +325,108 @@ int run_gas(const Options& o, const graph::EdgeList& edges, Prog prog) {
   return 0;
 }
 
+// Replays a scripted multi-tenant workload against the service: `job` lines
+// submit against the newest epoch, `add`/`remove` stage a delta, `commit`
+// publishes it as a new epoch, `wait` drains in-flight jobs. One
+// metrics::job_summary line per job and the service summary print at the end.
+int run_serve(const Options& o, graph::EdgeList edges) {
+  std::ifstream in(o.serve);
+  if (!in) {
+    std::fprintf(stderr, "cannot open workload script '%s'\n", o.serve.c_str());
+    return 2;
+  }
+
+  service::ServiceConfig cfg;
+  cfg.snapshot.machines = o.machines;
+  cfg.snapshot.workers_per_machine = o.workers / o.machines;
+  cfg.snapshot.partitioner = o.partitioner;
+  cfg.scheduler.workers = o.serve_workers;
+  cfg.scheduler.max_queue = o.serve_queue;
+  cfg.scheduler.per_tenant_running = o.tenant_limit;
+  cfg.scheduler.realize_modeled_factor = o.realize_modeled;
+  service::Service svc(std::move(edges), cfg);
+
+  core::TopologyDelta delta;
+  std::string line;
+  std::size_t lineno = 0;
+  auto bad = [&](const char* why) {
+    std::fprintf(stderr, "%s:%zu: %s\n", o.serve.c_str(), lineno, why);
+    return 2;
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream ss(line);
+    std::string cmd;
+    if (!(ss >> cmd) || cmd[0] == '#') continue;
+    if (cmd == "job") {
+      service::JobSpec spec;
+      std::string algo, engine;
+      if (!(ss >> spec.tenant >> spec.priority >> algo >> engine)) {
+        return bad("expected: job <tenant> <prio> <algo> <engine>");
+      }
+      if (!service::parse_algo(algo, spec.algo)) return bad("unknown algorithm");
+      if (!service::parse_engine(engine, spec.engine)) return bad("unknown engine");
+      spec.epsilon = o.epsilon;
+      spec.max_supersteps = o.max_supersteps;
+      spec.mt_threads = o.threads;
+      spec.mt_receivers = o.receivers;
+      spec.source = o.source;
+      spec.num_users = o.num_users;
+      spec.rounds = o.rounds;
+      const auto sub = svc.submit(spec);
+      if (sub.accepted) {
+        std::printf("submitted job #%llu: %s/%s for %s (epoch %llu)\n",
+                    static_cast<unsigned long long>(sub.id), engine.c_str(),
+                    algo.c_str(), spec.tenant.c_str(),
+                    static_cast<unsigned long long>(svc.snapshots().current_epoch()));
+      } else {
+        std::printf("rejected %s/%s for %s: %s\n", engine.c_str(), algo.c_str(),
+                    spec.tenant.c_str(), sub.reason.c_str());
+      }
+    } else if (cmd == "add") {
+      VertexId u = 0, v = 0;
+      double w = 1.0;
+      if (!(ss >> u >> v)) return bad("expected: add <u> <v> [w]");
+      ss >> w;
+      delta.add_edge(u, v, w);
+    } else if (cmd == "remove") {
+      VertexId u = 0, v = 0;
+      if (!(ss >> u >> v)) return bad("expected: remove <u> <v>");
+      delta.remove_edge(u, v);
+    } else if (cmd == "commit") {
+      if (delta.empty()) return bad("commit with no staged mutations");
+      const std::size_t staged = delta.size();
+      const auto epoch = svc.apply_delta(delta);
+      delta = core::TopologyDelta{};
+      std::printf("committed epoch %llu (%zu mutations, built in %.3fs)\n",
+                  static_cast<unsigned long long>(epoch), staged,
+                  svc.snapshots().stats().last_build_s);
+    } else if (cmd == "wait") {
+      svc.wait_all();
+    } else {
+      return bad("unknown workload command");
+    }
+  }
+  if (!delta.empty()) {
+    std::fprintf(stderr, "warning: %zu staged mutations never committed\n",
+                 delta.size());
+  }
+  svc.wait_all();
+  for (const auto& js : svc.scheduler().all_stats()) {
+    std::printf("%s\n", metrics::job_summary(js).c_str());
+  }
+  std::printf("%s\n", svc.summary().c_str());
+  svc.shutdown();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options o = parse(argc, argv);
-  const graph::EdgeList edges = load_graph(o);
+  graph::EdgeList loaded = load_graph(o);
+  if (!o.serve.empty()) return run_serve(o, std::move(loaded));
+  const graph::EdgeList edges = std::move(loaded);
   const graph::Csr g = graph::Csr::build(edges);
   std::printf("graph: %u vertices, %zu edges\n", g.num_vertices(), g.num_edges());
 
