@@ -43,6 +43,7 @@
 #include "cyclops/runtime/superstep_driver.hpp"
 #include "cyclops/runtime/sync_channel.hpp"
 #include "cyclops/sim/fabric.hpp"
+#include "cyclops/verify/verify.hpp"
 
 namespace cyclops::bsp {
 
@@ -82,7 +83,10 @@ class Engine {
     }
 
     [[nodiscard]] const Value& value() const noexcept { return engine_.values_[vertex_]; }
-    void set_value(const Value& v) noexcept { engine_.values_[vertex_] = v; }
+    void set_value(const Value& v) noexcept {
+      engine_.vcheck_.on_master_stage(worker_, worker_, vertex_, CYCLOPS_VLOC);
+      engine_.values_[vertex_] = v;
+    }
 
     [[nodiscard]] std::span<const graph::Adj> out_edges() const noexcept {
       return engine_.graph_->out_neighbors(vertex_);
@@ -135,6 +139,7 @@ class Engine {
       fabric_.install_faults(config_.faults.get());
       driver_.set_fault_injector(config_.faults.get());
     }
+    driver_.set_checker(&vcheck_);
     build_local_state();
   }
 
@@ -159,6 +164,10 @@ class Engine {
       std::function<void(const metrics::SuperstepStats&, std::span<const Value>)> fn) {
     observer_ = std::move(fn);
   }
+
+  /// The engine's invariant checker (no-op object unless -DCYCLOPS_VERIFY).
+  [[nodiscard]] verify::EngineChecker& verifier() noexcept { return vcheck_; }
+  [[nodiscard]] const verify::EngineChecker& verifier() const noexcept { return vcheck_; }
 
   // --- Pregel-style checkpointing (§3.6): values + activity + undelivered
   // messages, written after the global barrier. BSP cannot shed its pending
@@ -285,6 +294,20 @@ class Engine {
       last_payload_.assign(n, Message{});
       has_last_payload_.resize(n);
     }
+    if constexpr (verify::kEnabled) {
+      // Hama addresses vertices by global id, so every worker registers the
+      // same slot space: slot == vertex id, owned by the partition's owner.
+      vcheck_.reset();
+      std::vector<VertexId> ids(n);
+      std::vector<WorkerId> owners(n);
+      for (VertexId v = 0; v < n; ++v) {
+        ids[v] = v;
+        owners[v] = part_.owner(v);
+      }
+      for (WorkerId w = 0; w < workers; ++w) {
+        vcheck_.register_worker(w, static_cast<std::uint32_t>(n), ids, owners);
+      }
+    }
   }
 
   void note_sent(WorkerId worker, VertexId src, const Message& msg, std::size_t count) {
@@ -346,36 +369,44 @@ class Engine {
 
     // --- PRS: parse the global in-queue into per-vertex mailboxes and
     // activate recipients. ---
-    pool_.parallel_tasks(workers, [&](std::size_t w) {
-      auto& queue = inqueue_[w];
-      parsed[w] = queue.size();
-      for (const WireRecord& rec : queue) {
-        mailbox_[rec.dst].push_back(rec.payload);
-        active_.set(rec.dst);
-        halted_.clear(rec.dst);
-      }
-      acct_.add_churn_bytes(queue.size() * sizeof(WireRecord));
-      queue.clear();
-      queue.shrink_to_fit();
-    });
+    {
+      verify::PhaseScope vps(vcheck_, verify::Phase::kParse);
+      pool_.parallel_tasks(workers, [&](std::size_t w) {
+        auto& queue = inqueue_[w];
+        parsed[w] = queue.size();
+        for (const WireRecord& rec : queue) {
+          vcheck_.on_master_stage(static_cast<WorkerId>(w), static_cast<WorkerId>(w),
+                                  rec.dst, CYCLOPS_VLOC);
+          mailbox_[rec.dst].push_back(rec.payload);
+          active_.set(rec.dst);
+          halted_.clear(rec.dst);
+        }
+        acct_.add_churn_bytes(queue.size() * sizeof(WireRecord));
+        queue.clear();
+        queue.shrink_to_fit();
+      });
+    }
     step.phases.prs_s = static_cast<double>(max_of(parsed)) *
                         (sw.msg_parse_us + 0.5 * sizeof(WireRecord) * sw.msg_byte_us) * 1e-6;
 
     // --- CMP: run compute on active vertices. ---
-    pool_.parallel_tasks(workers, [&](std::size_t w) {
-      for (VertexId v : local_vertices_[w]) {
-        if (!active_.test(v)) continue;
-        Context ctx(*this, static_cast<WorkerId>(w), v);
-        program_.compute(ctx, std::span<const Message>(mailbox_[v]));
-        ++computed[w];
-        consumed[w] += mailbox_[v].size();
-        if (ctx.voted_halt()) {
-          halted_.set(v);
-          active_.clear(v);
+    {
+      verify::PhaseScope vps(vcheck_, verify::Phase::kCompute);
+      pool_.parallel_tasks(workers, [&](std::size_t w) {
+        for (VertexId v : local_vertices_[w]) {
+          if (!active_.test(v)) continue;
+          Context ctx(*this, static_cast<WorkerId>(w), v);
+          program_.compute(ctx, std::span<const Message>(mailbox_[v]));
+          ++computed[w];
+          consumed[w] += mailbox_[v].size();
+          if (ctx.voted_halt()) {
+            halted_.set(v);
+            active_.clear(v);
+          }
+          if (!mailbox_[v].empty()) std::vector<Message>().swap(mailbox_[v]);
         }
-        if (!mailbox_[v].empty()) std::vector<Message>().swap(mailbox_[v]);
-      }
-    });
+      });
+    }
     for (auto c : computed) step.active_vertices += c;
     step.computed_vertices = step.active_vertices;
     {
@@ -394,24 +425,37 @@ class Engine {
     // channel (one reserve per destination, one append per record), exchange,
     // then run the receive side: every record enqueues into the destination
     // worker's global in-queue under its lock (the §2.2.2 contention point). ---
-    pool_.parallel_tasks(workers, [&](std::size_t w) {
-      auto sender = Channel::sender(fabric_, static_cast<WorkerId>(w));
-      for (WorkerId to = 0; to < workers; ++to) {
-        StageBucket& bucket = staged_[w][to];
-        const std::size_t n = bucket.combined.size() + bucket.records.size();
-        if (n == 0) continue;
-        sender.reserve(to, n);
-        if constexpr (Combinable<Program>) {
-          for (const auto& [dst, msg] : bucket.combined) {
-            sender.send(to, WireRecord{dst, msg});
+    {
+      verify::PhaseScope vps(vcheck_, verify::Phase::kSend);
+      pool_.parallel_tasks(workers, [&](std::size_t w) {
+        auto sender =
+            Channel::sender(fabric_, static_cast<WorkerId>(w), 0, &vcheck_, CYCLOPS_VLOC);
+        for (WorkerId to = 0; to < workers; ++to) {
+          StageBucket& bucket = staged_[w][to];
+          const std::size_t n = bucket.combined.size() + bucket.records.size();
+          if (n == 0) continue;
+          sender.reserve(to, n);
+          if constexpr (Combinable<Program>) {
+            // Drain the combiner map in ascending-dst order: unordered_map
+            // iteration order is load-factor- and libstdc++-version-dependent
+            // and must never decide wire layout (bit-identical traffic across
+            // runs is a repo invariant; see tools/cyclops_lint.cpp).
+            std::vector<WireRecord> drained;
+            drained.reserve(bucket.combined.size());
+            for (const auto& [dst, msg] : bucket.combined) {
+              drained.push_back(WireRecord{dst, msg});
+            }
+            std::sort(drained.begin(), drained.end(),
+                      [](const WireRecord& a, const WireRecord& b) { return a.dst < b.dst; });
+            for (const WireRecord& rec : drained) sender.send(to, rec);
+            bucket.combined.clear();
           }
-          bucket.combined.clear();
+          for (const WireRecord& rec : bucket.records) sender.send(to, rec);
+          bucket.records.clear();
+          emitted[w] += n;
         }
-        for (const WireRecord& rec : bucket.records) sender.send(to, rec);
-        bucket.records.clear();
-        emitted[w] += n;
-      }
-    });
+      });
+    }
     for (auto& r : redundant_acc_) {
       step.redundant_messages += r;
       r = 0;
@@ -420,14 +464,17 @@ class Engine {
     const sim::ExchangeStats xstats = fabric_.exchange(workers);
     acct_.note_exchange(xstats);
 
-    pool_.parallel_tasks(workers, [&](std::size_t w) {
-      Channel::drain(fabric_, static_cast<WorkerId>(w), [&](const WireRecord& rec) {
-        inqueue_locks_[w].lock();
-        inqueue_[w].push_back(rec);
-        inqueue_locks_[w].unlock();
-        ++delivered[w];
+    {
+      verify::PhaseScope vps(vcheck_, verify::Phase::kExchange);
+      pool_.parallel_tasks(workers, [&](std::size_t w) {
+        Channel::drain(fabric_, static_cast<WorkerId>(w), [&](const WireRecord& rec) {
+          inqueue_locks_[w].lock();
+          inqueue_[w].push_back(rec);
+          inqueue_locks_[w].unlock();
+          ++delivered[w];
+        });
       });
-    });
+    }
     const double per_emit_us = sw.msg_serialize_us + sizeof(WireRecord) * sw.msg_byte_us;
     const double per_deliver_us =
         sw.msg_deliver_us + 0.5 * sizeof(WireRecord) * sw.msg_byte_us;
@@ -439,6 +486,7 @@ class Engine {
     step.modeled_barrier_s = xstats.modeled_barrier_s;
 
     // --- SYN: merge aggregators, decide termination. ---
+    verify::PhaseScope syn_scope(vcheck_, verify::Phase::kSync);
     Timer syn_timer;
     double err_sum = 0;
     std::uint64_t err_count = 0;
@@ -482,6 +530,7 @@ class Engine {
 
   runtime::SuperstepDriver driver_;
   runtime::ExchangeAccounting acct_;
+  verify::EngineChecker vcheck_;
   double global_error_ = std::numeric_limits<double>::infinity();
   std::function<void(const metrics::SuperstepStats&, std::span<const Value>)> observer_;
 };

@@ -7,15 +7,22 @@
 #include <cstdlib>
 
 namespace cyclops::detail {
-[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
-  std::fprintf(stderr, "CYCLOPS_CHECK failed: %s at %s:%d\n", expr, file, line);
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* func) {
+  std::fprintf(stderr, "CYCLOPS_CHECK failed: %s\n  at %s:%d in %s\n", expr, file,
+               line, func);
+  // Flush every open stream before aborting: the failure message and any
+  // buffered engine logs must reach disk/console even though abort() skips
+  // atexit handlers and stream destructors.
+  std::fflush(nullptr);
   std::abort();
 }
 }  // namespace cyclops::detail
 
-#define CYCLOPS_CHECK(expr)                                        \
-  do {                                                             \
-    if (!(expr)) ::cyclops::detail::check_failed(#expr, __FILE__, __LINE__); \
+#define CYCLOPS_CHECK(expr)                                                  \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::cyclops::detail::check_failed(#expr, __FILE__, __LINE__, __func__);  \
   } while (0)
 
 #ifdef NDEBUG

@@ -47,6 +47,7 @@
 #include "cyclops/runtime/superstep_driver.hpp"
 #include "cyclops/runtime/sync_channel.hpp"
 #include "cyclops/sim/fabric.hpp"
+#include "cyclops/verify/verify.hpp"
 
 namespace cyclops::core {
 
@@ -79,7 +80,10 @@ class Engine {
     [[nodiscard]] const Value& value() const noexcept {
       return engine_.values_[worker_][master_idx_];
     }
-    void set_value(const Value& v) noexcept { engine_.values_[worker_][master_idx_] = v; }
+    void set_value(const Value& v) noexcept {
+      engine_.vcheck_.on_master_stage(worker_, worker_, master_idx_, CYCLOPS_VLOC);
+      engine_.values_[worker_][master_idx_] = v;
+    }
 
     /// The immutable view: in-edges resolved to local shared-data slots.
     [[nodiscard]] std::span<const SlotAdj> in_edges() const noexcept {
@@ -88,6 +92,7 @@ class Engine {
     }
     /// Read-only neighbor data (previous superstep's exposed value).
     [[nodiscard]] const Message& data(Slot slot) const noexcept {
+      engine_.vcheck_.on_view_read(worker_, worker_, slot, CYCLOPS_VLOC);
       return engine_.shared_data_[worker_][slot];
     }
     [[nodiscard]] std::size_t num_in_edges() const noexcept { return in_edges().size(); }
@@ -100,6 +105,7 @@ class Engine {
     /// and activates all out-neighbors (local ones immediately and lock-free;
     /// remote ones via the single unidirectional replica-sync message).
     void activate_neighbors(const Message& msg) {
+      engine_.vcheck_.on_master_stage(worker_, worker_, master_idx_, CYCLOPS_VLOC);
       engine_.pending_[worker_][master_idx_] = msg;
       engine_.dirty_[worker_].set(master_idx_);
       const auto& lo = layout_.lout_offsets;
@@ -138,6 +144,7 @@ class Engine {
       fabric_.install_faults(config_.faults.get());
       driver_.set_fault_injector(config_.faults.get());
     }
+    driver_.set_checker(&vcheck_);
     Timer ingress;
     layout_ = build_layout(g, part);
     init_state();
@@ -180,6 +187,12 @@ class Engine {
   void set_observer(std::function<void(const metrics::SuperstepStats&, const Engine&)> fn) {
     observer_ = std::move(fn);
   }
+
+  /// The engine's invariant checker (a no-op object unless built with
+  /// -DCYCLOPS_VERIFY). Exposed so the CLI can print its summary and tests
+  /// can install a collecting violation handler.
+  [[nodiscard]] verify::EngineChecker& verifier() noexcept { return vcheck_; }
+  [[nodiscard]] const verify::EngineChecker& verifier() const noexcept { return vcheck_; }
 
   /// Raises the superstep cap so run() can be called again to continue an
   /// already-finished computation (e.g. after a topology mutation).
@@ -430,6 +443,27 @@ class Engine {
         last_hash_[w].assign(layout_.workers[w].num_masters(), 0);
       }
     }
+    if constexpr (verify::kEnabled) {
+      // (Re)declare the slot space: slots [0, num_masters) are owned masters,
+      // the rest are read-only replicas owned by their home worker. rebuild()
+      // and restore() funnel through here, so stamps never outlive a layout.
+      vcheck_.reset();
+      for (WorkerId w = 0; w < workers; ++w) {
+        const WorkerLayout& wl = layout_.workers[w];
+        std::vector<VertexId> slot_global(wl.num_slots());
+        std::vector<WorkerId> slot_owner(wl.num_slots());
+        for (std::uint32_t i = 0; i < wl.num_masters(); ++i) {
+          slot_global[i] = wl.masters[i];
+          slot_owner[i] = w;
+        }
+        for (std::uint32_t i = 0; i < wl.num_replicas(); ++i) {
+          slot_global[wl.num_masters() + i] = wl.replica_globals[i];
+          slot_owner[wl.num_masters() + i] = wl.replica_owner[i];
+        }
+        vcheck_.register_worker(w, wl.num_masters(), std::move(slot_global),
+                                std::move(slot_owner));
+      }
+    }
   }
 
   static std::uint64_t payload_hash(const Message& m) noexcept {
@@ -454,19 +488,22 @@ class Engine {
     // max over (worker, thread) chunks of counted work x per-op rates. ---
     std::vector<std::uint64_t> computed(static_cast<std::size_t>(workers) * T, 0);
     std::vector<std::uint64_t> scanned(static_cast<std::size_t>(workers) * T, 0);
-    pool_.parallel_tasks(static_cast<std::size_t>(workers) * T, [&](std::size_t e) {
-      const WorkerId w = static_cast<WorkerId>(e / T);
-      const unsigned t = static_cast<unsigned>(e % T);
-      const WorkerLayout& wl = layout_.workers[w];
-      const ChunkRange r = chunk_range(wl.num_masters(), T, t);
-      for (std::size_t i = r.begin; i < r.end; ++i) {
-        if (!config_.force_all_active && !cur_active_[w].test(i)) continue;
-        Context ctx(*this, w, static_cast<std::uint32_t>(i));
-        program_.compute(ctx);
-        ++computed[e];
-        scanned[e] += wl.in_offsets[i + 1] - wl.in_offsets[i];
-      }
-    });
+    {
+      verify::PhaseScope vps(vcheck_, verify::Phase::kCompute);
+      pool_.parallel_tasks(static_cast<std::size_t>(workers) * T, [&](std::size_t e) {
+        const WorkerId w = static_cast<WorkerId>(e / T);
+        const unsigned t = static_cast<unsigned>(e % T);
+        const WorkerLayout& wl = layout_.workers[w];
+        const ChunkRange r = chunk_range(wl.num_masters(), T, t);
+        for (std::size_t i = r.begin; i < r.end; ++i) {
+          if (!config_.force_all_active && !cur_active_[w].test(i)) continue;
+          Context ctx(*this, w, static_cast<std::uint32_t>(i));
+          program_.compute(ctx);
+          ++computed[e];
+          scanned[e] += wl.in_offsets[i + 1] - wl.in_offsets[i];
+        }
+      });
+    }
     {
       double cmp_max = 0;
       for (std::size_t e = 0; e < computed.size(); ++e) {
@@ -490,39 +527,43 @@ class Engine {
     // own master chunk. ---
     std::vector<std::uint64_t> redundant(static_cast<std::size_t>(workers) * T, 0);
     std::vector<std::uint64_t> emitted(static_cast<std::size_t>(workers) * T, 0);
-    pool_.parallel_tasks(static_cast<std::size_t>(workers) * T, [&](std::size_t e) {
-      const WorkerId w = static_cast<WorkerId>(e / T);
-      const unsigned t = static_cast<unsigned>(e % T);
-      const WorkerLayout& wl = layout_.workers[w];
-      auto sender = Channel::sender(fabric_, w, t);
-      const ChunkRange range = chunk_range(wl.num_masters(), T, t);
-      std::vector<std::size_t> per_dest(workers, 0);
-      for (std::size_t i = range.begin; i < range.end; ++i) {
-        if (!dirty_[w].test(i)) continue;
-        for (std::size_t r = wl.rep_offsets[i]; r < wl.rep_offsets[i + 1]; ++r) {
-          ++per_dest[wl.rep_targets[r].worker];
+    {
+      verify::PhaseScope vps(vcheck_, verify::Phase::kSend);
+      pool_.parallel_tasks(static_cast<std::size_t>(workers) * T, [&](std::size_t e) {
+        const WorkerId w = static_cast<WorkerId>(e / T);
+        const unsigned t = static_cast<unsigned>(e % T);
+        const WorkerLayout& wl = layout_.workers[w];
+        auto sender = Channel::sender(fabric_, w, t, &vcheck_, CYCLOPS_VLOC);
+        const ChunkRange range = chunk_range(wl.num_masters(), T, t);
+        std::vector<std::size_t> per_dest(workers, 0);
+        for (std::size_t i = range.begin; i < range.end; ++i) {
+          if (!dirty_[w].test(i)) continue;
+          for (std::size_t r = wl.rep_offsets[i]; r < wl.rep_offsets[i + 1]; ++r) {
+            ++per_dest[wl.rep_targets[r].worker];
+          }
         }
-      }
-      for (WorkerId to = 0; to < workers; ++to) {
-        if (per_dest[to] > 0) sender.reserve(to, per_dest[to]);
-      }
-      for (std::size_t i = range.begin; i < range.end; ++i) {
-        if (!dirty_[w].test(i)) continue;
-        const Message& msg = pending_[w][i];
-        if (config_.track_redundant) {
-          const std::uint64_t h = payload_hash(msg);
-          const std::size_t reps = wl.rep_offsets[i + 1] - wl.rep_offsets[i];
-          if (last_hash_[w][i] == h) redundant[e] += reps;
-          last_hash_[w][i] = h;
+        for (WorkerId to = 0; to < workers; ++to) {
+          if (per_dest[to] > 0) sender.reserve(to, per_dest[to]);
         }
-        shared_data_[w][i] = msg;  // local apply: visible next superstep
-        for (std::size_t r = wl.rep_offsets[i]; r < wl.rep_offsets[i + 1]; ++r) {
-          const ReplicaRef ref = wl.rep_targets[r];
-          sender.send(ref.worker, WireRecord{ref.slot, msg});
-          ++emitted[e];
+        for (std::size_t i = range.begin; i < range.end; ++i) {
+          if (!dirty_[w].test(i)) continue;
+          const Message& msg = pending_[w][i];
+          if (config_.track_redundant) {
+            const std::uint64_t h = payload_hash(msg);
+            const std::size_t reps = wl.rep_offsets[i + 1] - wl.rep_offsets[i];
+            if (last_hash_[w][i] == h) redundant[e] += reps;
+            last_hash_[w][i] = h;
+          }
+          vcheck_.on_master_write(w, w, static_cast<std::uint32_t>(i), CYCLOPS_VLOC);
+          shared_data_[w][i] = msg;  // local apply: visible next superstep
+          for (std::size_t r = wl.rep_offsets[i]; r < wl.rep_offsets[i + 1]; ++r) {
+            const ReplicaRef ref = wl.rep_targets[r];
+            sender.send(ref.worker, WireRecord{ref.slot, msg});
+            ++emitted[e];
+          }
         }
-      }
-    });
+      });
+    }
     for (WorkerId w = 0; w < workers; ++w) dirty_[w].clear_all();
     for (auto r : redundant) step.redundant_messages += r;
     std::uint64_t emitted_max = 0;
@@ -542,23 +583,27 @@ class Engine {
     // No parsing phase, no queue, no locks: each replica slot has exactly
     // one writer. ---
     std::vector<std::uint64_t> received(static_cast<std::size_t>(workers) * R, 0);
-    pool_.parallel_tasks(static_cast<std::size_t>(workers) * R, [&](std::size_t e) {
-      const WorkerId w = static_cast<WorkerId>(e / R);
-      const unsigned rth = static_cast<unsigned>(e % R);
-      const WorkerLayout& wl = layout_.workers[w];
-      const auto packages = fabric_.incoming(w);
-      const ChunkRange pr = chunk_range(packages.size(), R, rth);
-      for (std::size_t pi = pr.begin; pi < pr.end; ++pi) {
-        Channel::for_each(packages[pi], [&](const WireRecord& rec) {
-          shared_data_[w][rec.slot] = rec.payload;
-          ++received[e];
-          for (std::size_t o = wl.lout_offsets[rec.slot];
-               o < wl.lout_offsets[rec.slot + 1]; ++o) {
-            next_active_[w].set(wl.lout_adj[o]);
-          }
-        });
-      }
-    });
+    {
+      verify::PhaseScope vps(vcheck_, verify::Phase::kExchange);
+      pool_.parallel_tasks(static_cast<std::size_t>(workers) * R, [&](std::size_t e) {
+        const WorkerId w = static_cast<WorkerId>(e / R);
+        const unsigned rth = static_cast<unsigned>(e % R);
+        const WorkerLayout& wl = layout_.workers[w];
+        const auto packages = fabric_.incoming(w);
+        const ChunkRange pr = chunk_range(packages.size(), R, rth);
+        for (std::size_t pi = pr.begin; pi < pr.end; ++pi) {
+          Channel::for_each(packages[pi], [&](const WireRecord& rec) {
+            vcheck_.on_replica_write(w, w, rec.slot, CYCLOPS_VLOC);
+            shared_data_[w][rec.slot] = rec.payload;
+            ++received[e];
+            for (std::size_t o = wl.lout_offsets[rec.slot];
+                 o < wl.lout_offsets[rec.slot + 1]; ++o) {
+              next_active_[w].set(wl.lout_adj[o]);
+            }
+          });
+        }
+      });
+    }
     for (WorkerId w = 0; w < workers; ++w) fabric_.clear_incoming(w);
     std::uint64_t received_max = 0;
     for (auto r : received) received_max = std::max(received_max, r);
@@ -573,6 +618,7 @@ class Engine {
     step.modeled_barrier_s = xstats.modeled_barrier_s;
 
     // --- SYN: swap active sets, decide termination. ---
+    verify::PhaseScope syn_scope(vcheck_, verify::Phase::kSync);
     Timer syn_timer;
     bool any_active = false;
     // Fine-grained convergence (§4.4): a vertex counts as converged when its
@@ -618,6 +664,7 @@ class Engine {
 
   runtime::SuperstepDriver driver_;
   runtime::ExchangeAccounting acct_;
+  verify::EngineChecker vcheck_;
   double ingress_s_ = 0;
   std::function<void(const metrics::SuperstepStats&, const Engine&)> observer_;
 };

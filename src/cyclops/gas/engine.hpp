@@ -39,6 +39,7 @@
 #include "cyclops/sim/fabric.hpp"
 #include "cyclops/sim/fault.hpp"
 #include "cyclops/sim/software_model.hpp"
+#include "cyclops/verify/verify.hpp"
 
 namespace cyclops::gas {
 
@@ -80,6 +81,7 @@ class Engine {
       fabric_.install_faults(config_.faults.get());
       driver_.set_fault_injector(config_.faults.get());
     }
+    driver_.set_checker(&vcheck_);
     Timer ingress;
     layout_ = build_gas_layout(edges, part);
     init_state();
@@ -101,6 +103,10 @@ class Engine {
   void set_observer(std::function<void(const metrics::SuperstepStats&)> fn) {
     observer_ = std::move(fn);
   }
+
+  /// The engine's invariant checker (no-op object unless -DCYCLOPS_VERIFY).
+  [[nodiscard]] verify::EngineChecker& verifier() noexcept { return vcheck_; }
+  [[nodiscard]] const verify::EngineChecker& verifier() const noexcept { return vcheck_; }
 
   /// Memory behaviour in Table 2 terms: every mirror copy is replicated
   /// vertex state; churn is the bidirectional master<->mirror traffic.
@@ -280,6 +286,28 @@ class Engine {
         if (wl.is_master[c]) next_active_masters_[w].set(c);  // all start active
       }
     }
+    if constexpr (verify::kEnabled) {
+      // Slot space per worker = its vertex copies; a mirror's owner is the
+      // worker hosting the master copy.
+      vcheck_.reset();
+      for (WorkerId w = 0; w < workers; ++w) {
+        const GasWorkerLayout& wl = layout_.workers[w];
+        std::vector<VertexId> slot_global(wl.num_copies());
+        std::vector<WorkerId> slot_owner(wl.num_copies());
+        std::uint32_t masters = 0;
+        for (Copy c = 0; c < wl.num_copies(); ++c) {
+          slot_global[c] = wl.copy_globals[c];
+          if (wl.is_master[c]) {
+            slot_owner[c] = w;
+            ++masters;
+          } else {
+            slot_owner[c] = wl.master_of[c].worker;
+          }
+        }
+        vcheck_.register_worker(w, masters, std::move(slot_global),
+                                std::move(slot_owner));
+      }
+    }
   }
 
   bool run_iteration(metrics::SuperstepStats& step) {
@@ -307,133 +335,180 @@ class Engine {
     if (active == 0) return true;
 
     // --- Exchange 1: gather requests master -> mirrors. ---
-    pool_.parallel_tasks(workers, [&](std::size_t w) {
-      const GasWorkerLayout& wl = layout_.workers[w];
-      auto req = ReqChannel::sender(fabric_, static_cast<WorkerId>(w));
-      active_copies_[w].for_each([&](std::size_t c) {
-        if (!wl.is_master[c]) return;
-        for (std::size_t m = wl.mirror_offsets[c]; m < wl.mirror_offsets[c + 1]; ++m) {
-          req.send(wl.mirrors[m].worker, ReqRecord{wl.mirrors[m].copy});
-          snd_us[w] += sw.msg_serialize_us;
-        }
+    {
+      verify::PhaseScope vps(vcheck_, verify::Phase::kSend);
+      pool_.parallel_tasks(workers, [&](std::size_t w) {
+        const GasWorkerLayout& wl = layout_.workers[w];
+        auto req = ReqChannel::sender(fabric_, static_cast<WorkerId>(w), 0, &vcheck_,
+                                      CYCLOPS_VLOC);
+        active_copies_[w].for_each([&](std::size_t c) {
+          if (!wl.is_master[c]) return;
+          for (std::size_t m = wl.mirror_offsets[c]; m < wl.mirror_offsets[c + 1]; ++m) {
+            req.send(wl.mirrors[m].worker, ReqRecord{wl.mirrors[m].copy});
+            snd_us[w] += sw.msg_serialize_us;
+          }
+        });
       });
-    });
+    }
     accumulate_exchange(step, workers);
-    pool_.parallel_tasks(workers, [&](std::size_t w) {
-      ReqChannel::drain(fabric_, static_cast<WorkerId>(w), [&](const ReqRecord& rec) {
-        active_copies_[w].set(rec.copy);
-        snd_us[w] += sw.msg_deliver_us;
+    {
+      verify::PhaseScope vps(vcheck_, verify::Phase::kExchange);
+      pool_.parallel_tasks(workers, [&](std::size_t w) {
+        ReqChannel::drain(fabric_, static_cast<WorkerId>(w), [&](const ReqRecord& rec) {
+          active_copies_[w].set(rec.copy);
+          snd_us[w] += sw.msg_deliver_us;
+        });
       });
-    });
+    }
 
     // --- Local gather over in-edges, then exchange 2: partials -> master. ---
-    pool_.parallel_tasks(workers, [&](std::size_t w) {
-      const GasWorkerLayout& wl = layout_.workers[w];
-      active_copies_[w].for_each([&](std::size_t c) {
-        Gather acc = program_.gather_zero();
-        for (std::size_t e = wl.in_offsets[c]; e < wl.in_offsets[c + 1]; ++e) {
-          const LocalEdge& edge = wl.edges[wl.in_edge_ids[e]];
-          acc = program_.merge(
-              acc, program_.gather(values_[w][c], values_[w][edge.src], edge.weight));
-        }
-        partial_[w][c] = acc;
-        gathered_[w][c] = 1;
-        cmp_us[w] += static_cast<double>(wl.in_offsets[c + 1] - wl.in_offsets[c]) *
-                     sw.edge_op_us * sim::edge_op_weight<Program>();
+    {
+      verify::PhaseScope vps(vcheck_, verify::Phase::kCompute);
+      pool_.parallel_tasks(workers, [&](std::size_t w) {
+        const GasWorkerLayout& wl = layout_.workers[w];
+        active_copies_[w].for_each([&](std::size_t c) {
+          Gather acc = program_.gather_zero();
+          vcheck_.on_view_read(static_cast<WorkerId>(w), static_cast<WorkerId>(w),
+                               static_cast<std::uint32_t>(c), CYCLOPS_VLOC);
+          for (std::size_t e = wl.in_offsets[c]; e < wl.in_offsets[c + 1]; ++e) {
+            const LocalEdge& edge = wl.edges[wl.in_edge_ids[e]];
+            vcheck_.on_view_read(static_cast<WorkerId>(w), static_cast<WorkerId>(w),
+                                 edge.src, CYCLOPS_VLOC);
+            acc = program_.merge(
+                acc, program_.gather(values_[w][c], values_[w][edge.src], edge.weight));
+          }
+          partial_[w][c] = acc;
+          gathered_[w][c] = 1;
+          cmp_us[w] += static_cast<double>(wl.in_offsets[c + 1] - wl.in_offsets[c]) *
+                       sw.edge_op_us * sim::edge_op_weight<Program>();
+        });
       });
-    });
-    pool_.parallel_tasks(workers, [&](std::size_t w) {
-      const GasWorkerLayout& wl = layout_.workers[w];
-      auto acc = AccChannel::sender(fabric_, static_cast<WorkerId>(w));
-      active_copies_[w].for_each([&](std::size_t c) {
-        if (wl.is_master[c]) return;
-        const MirrorRef master = wl.master_of[c];
-        acc.send(master.worker, AccRecord{master.copy, partial_[w][c]});
-        snd_us[w] += sw.msg_serialize_us;
+    }
+    {
+      verify::PhaseScope vps(vcheck_, verify::Phase::kSend);
+      pool_.parallel_tasks(workers, [&](std::size_t w) {
+        const GasWorkerLayout& wl = layout_.workers[w];
+        auto acc = AccChannel::sender(fabric_, static_cast<WorkerId>(w), 0, &vcheck_,
+                                      CYCLOPS_VLOC);
+        active_copies_[w].for_each([&](std::size_t c) {
+          if (wl.is_master[c]) return;
+          const MirrorRef master = wl.master_of[c];
+          acc.send(master.worker, AccRecord{master.copy, partial_[w][c]});
+          snd_us[w] += sw.msg_serialize_us;
+        });
       });
-    });
+    }
     accumulate_exchange(step, workers);
-    pool_.parallel_tasks(workers, [&](std::size_t w) {
-      AccChannel::drain(fabric_, static_cast<WorkerId>(w), [&](const AccRecord& rec) {
-        partial_[w][rec.copy] = program_.merge(partial_[w][rec.copy], rec.acc);
-        snd_us[w] += sw.msg_deliver_us;
+    {
+      verify::PhaseScope vps(vcheck_, verify::Phase::kExchange);
+      pool_.parallel_tasks(workers, [&](std::size_t w) {
+        AccChannel::drain(fabric_, static_cast<WorkerId>(w), [&](const AccRecord& rec) {
+          partial_[w][rec.copy] = program_.merge(partial_[w][rec.copy], rec.acc);
+          snd_us[w] += sw.msg_deliver_us;
+        });
       });
-    });
+    }
 
     // --- Apply on masters; exchange 3: new value + scatter request to
     // mirrors (two messages, matching the paper's 1 apply + 1 scatter-side
     // request). ---
-    pool_.parallel_tasks(workers, [&](std::size_t w) {
-      const GasWorkerLayout& wl = layout_.workers[w];
-      active_copies_[w].for_each([&](std::size_t c) {
-        if (!wl.is_master[c]) return;
-        old_values_[w][c] = values_[w][c];
-        values_[w][c] = program_.apply(values_[w][c], partial_[w][c]);
-        cmp_us[w] += sw.vertex_op_us * sim::vertex_op_weight<Program>();
+    {
+      verify::PhaseScope vps(vcheck_, verify::Phase::kSend);
+      pool_.parallel_tasks(workers, [&](std::size_t w) {
+        const GasWorkerLayout& wl = layout_.workers[w];
+        active_copies_[w].for_each([&](std::size_t c) {
+          if (!wl.is_master[c]) return;
+          old_values_[w][c] = values_[w][c];
+          vcheck_.on_master_write(static_cast<WorkerId>(w), static_cast<WorkerId>(w),
+                                  static_cast<std::uint32_t>(c), CYCLOPS_VLOC);
+          values_[w][c] = program_.apply(values_[w][c], partial_[w][c]);
+          cmp_us[w] += sw.vertex_op_us * sim::vertex_op_weight<Program>();
+        });
       });
-    });
-    pool_.parallel_tasks(workers, [&](std::size_t w) {
-      const GasWorkerLayout& wl = layout_.workers[w];
-      // Two record types interleave on the same lane (value then request per
-      // mirror), matching the seed's wire layout byte-for-byte.
-      auto val = ValChannel::sender(fabric_, static_cast<WorkerId>(w));
-      auto req = ReqChannel::sender(fabric_, static_cast<WorkerId>(w));
-      active_copies_[w].for_each([&](std::size_t c) {
-        if (!wl.is_master[c]) return;
-        for (std::size_t m = wl.mirror_offsets[c]; m < wl.mirror_offsets[c + 1]; ++m) {
-          val.send(wl.mirrors[m].worker, ValRecord{wl.mirrors[m].copy, values_[w][c]});
-          req.send(wl.mirrors[m].worker, ReqRecord{wl.mirrors[m].copy});
-          snd_us[w] += 2.0 * sw.msg_serialize_us;
-        }
+      pool_.parallel_tasks(workers, [&](std::size_t w) {
+        const GasWorkerLayout& wl = layout_.workers[w];
+        // Two record types interleave on the same lane (value then request per
+        // mirror), matching the seed's wire layout byte-for-byte.
+        auto val = ValChannel::sender(fabric_, static_cast<WorkerId>(w), 0, &vcheck_,
+                                      CYCLOPS_VLOC);
+        auto req = ReqChannel::sender(fabric_, static_cast<WorkerId>(w), 0, &vcheck_,
+                                      CYCLOPS_VLOC);
+        active_copies_[w].for_each([&](std::size_t c) {
+          if (!wl.is_master[c]) return;
+          for (std::size_t m = wl.mirror_offsets[c]; m < wl.mirror_offsets[c + 1]; ++m) {
+            val.send(wl.mirrors[m].worker, ValRecord{wl.mirrors[m].copy, values_[w][c]});
+            req.send(wl.mirrors[m].worker, ReqRecord{wl.mirrors[m].copy});
+            snd_us[w] += 2.0 * sw.msg_serialize_us;
+          }
+        });
       });
-    });
+    }
     accumulate_exchange(step, workers);
-    pool_.parallel_tasks(workers, [&](std::size_t w) {
-      for (const sim::Package& pkg : fabric_.incoming(static_cast<WorkerId>(w))) {
-        runtime::PackageReader reader(pkg);
-        while (!reader.exhausted()) {
-          const auto rec = reader.read<ValRecord>();
-          old_values_[w][rec.copy] = values_[w][rec.copy];
-          values_[w][rec.copy] = rec.value;
-          (void)reader.read<ReqRecord>();  // scatter request
-          snd_us[w] += 2.0 * sw.msg_deliver_us;
+    {
+      verify::PhaseScope vps(vcheck_, verify::Phase::kExchange);
+      pool_.parallel_tasks(workers, [&](std::size_t w) {
+        for (const sim::Package& pkg : fabric_.incoming(static_cast<WorkerId>(w))) {
+          runtime::PackageReader reader(pkg);
+          while (!reader.exhausted()) {
+            const auto rec = reader.read<ValRecord>();
+            old_values_[w][rec.copy] = values_[w][rec.copy];
+            vcheck_.on_replica_write(static_cast<WorkerId>(w), static_cast<WorkerId>(w),
+                                     rec.copy, CYCLOPS_VLOC);
+            values_[w][rec.copy] = rec.value;
+            (void)reader.read<ReqRecord>();  // scatter request
+            snd_us[w] += 2.0 * sw.msg_deliver_us;
+          }
         }
-      }
-      fabric_.clear_incoming(static_cast<WorkerId>(w));
-    });
+        fabric_.clear_incoming(static_cast<WorkerId>(w));
+      });
+    }
 
-    // --- Scatter on every copy; exchange 4: activation replies to masters. ---
-    pool_.parallel_tasks(workers, [&](std::size_t w) {
-      const GasWorkerLayout& wl = layout_.workers[w];
-      active_copies_[w].for_each([&](std::size_t c) {
-        cmp_us[w] += sw.vertex_op_us;  // scatter predicate evaluation
-        if (!program_.scatter_activates(old_values_[w][c], values_[w][c])) return;
-        for (std::size_t e = wl.out_offsets[c]; e < wl.out_offsets[c + 1]; ++e) {
-          activated_copies_[w].set(wl.edges[wl.out_edge_ids[e]].dst);
-          cmp_us[w] += sw.edge_op_us;
-        }
+    // --- Scatter on every copy; exchange 4: activation replies to masters.
+    // Scatter reads are deliberately uninstrumented: scatter compares old and
+    // new values that apply/exchange-3 updated earlier this same iteration —
+    // legal in GAS, but indistinguishable from a stale-view read to the
+    // checker's single-superstep stamp model. ---
+    {
+      verify::PhaseScope vps(vcheck_, verify::Phase::kCompute);
+      pool_.parallel_tasks(workers, [&](std::size_t w) {
+        const GasWorkerLayout& wl = layout_.workers[w];
+        active_copies_[w].for_each([&](std::size_t c) {
+          cmp_us[w] += sw.vertex_op_us;  // scatter predicate evaluation
+          if (!program_.scatter_activates(old_values_[w][c], values_[w][c])) return;
+          for (std::size_t e = wl.out_offsets[c]; e < wl.out_offsets[c + 1]; ++e) {
+            activated_copies_[w].set(wl.edges[wl.out_edge_ids[e]].dst);
+            cmp_us[w] += sw.edge_op_us;
+          }
+        });
       });
-    });
-    pool_.parallel_tasks(workers, [&](std::size_t w) {
-      const GasWorkerLayout& wl = layout_.workers[w];
-      auto req = ReqChannel::sender(fabric_, static_cast<WorkerId>(w));
-      activated_copies_[w].for_each([&](std::size_t c) {
-        if (wl.is_master[c]) {
-          next_active_masters_[w].set(c);
-        } else {
-          const MirrorRef master = wl.master_of[c];
-          req.send(master.worker, ReqRecord{master.copy});
-          snd_us[w] += sw.msg_serialize_us;
-        }
+    }
+    {
+      verify::PhaseScope vps(vcheck_, verify::Phase::kSend);
+      pool_.parallel_tasks(workers, [&](std::size_t w) {
+        const GasWorkerLayout& wl = layout_.workers[w];
+        auto req = ReqChannel::sender(fabric_, static_cast<WorkerId>(w), 0, &vcheck_,
+                                      CYCLOPS_VLOC);
+        activated_copies_[w].for_each([&](std::size_t c) {
+          if (wl.is_master[c]) {
+            next_active_masters_[w].set(c);
+          } else {
+            const MirrorRef master = wl.master_of[c];
+            req.send(master.worker, ReqRecord{master.copy});
+            snd_us[w] += sw.msg_serialize_us;
+          }
+        });
       });
-    });
+    }
     accumulate_exchange(step, workers);
-    pool_.parallel_tasks(workers, [&](std::size_t w) {
-      ReqChannel::drain(fabric_, static_cast<WorkerId>(w), [&](const ReqRecord& rec) {
-        next_active_masters_[w].set(rec.copy);
-        snd_us[w] += sw.msg_deliver_us;
+    {
+      verify::PhaseScope vps(vcheck_, verify::Phase::kExchange);
+      pool_.parallel_tasks(workers, [&](std::size_t w) {
+        ReqChannel::drain(fabric_, static_cast<WorkerId>(w), [&](const ReqRecord& rec) {
+          next_active_masters_[w].set(rec.copy);
+          snd_us[w] += sw.msg_deliver_us;
+        });
       });
-    });
+    }
 
     double cmp_max = 0, snd_max = 0;
     for (WorkerId w = 0; w < workers; ++w) {
@@ -475,6 +550,7 @@ class Engine {
 
   runtime::SuperstepDriver driver_;
   runtime::ExchangeAccounting acct_;
+  verify::EngineChecker vcheck_;
   double ingress_s_ = 0;
   std::function<void(const metrics::SuperstepStats&)> observer_;
 };

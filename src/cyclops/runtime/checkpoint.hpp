@@ -49,8 +49,9 @@ enum class EngineTag : std::uint8_t { kBsp = 1, kCyclops = 2, kGas = 3 };
 /// recoverably) on the wrong engine, mode, or graph.
 inline void write_engine_header(ByteWriter& out, EngineTag tag, CheckpointMode mode,
                                 std::uint64_t num_vertices, std::uint64_t num_edges) {
-  out.write(static_cast<std::uint8_t>(tag));
-  out.write(static_cast<std::uint8_t>(mode));
+  // One-byte tag fields are the snapshot format, not accidental truncation.
+  out.write(static_cast<std::uint8_t>(tag));   // cyclops-lint: allow(wire-narrowing)
+  out.write(static_cast<std::uint8_t>(mode));  // cyclops-lint: allow(wire-narrowing)
   out.write(num_vertices);
   out.write(num_edges);
 }

@@ -21,6 +21,7 @@
 #include "cyclops/runtime/checkpoint.hpp"
 #include "cyclops/runtime/exchange_accounting.hpp"
 #include "cyclops/sim/fault.hpp"
+#include "cyclops/verify/verify.hpp"
 
 namespace cyclops::runtime {
 
@@ -40,6 +41,9 @@ class SuperstepDriver {
     bool done = false;
     while (!done) {
       if (faults_ != nullptr) faults_->begin_superstep(superstep_);
+      // The invariant checker observes every superstep boundary so violation
+      // reports carry the authoritative superstep counter.
+      if (checker_ != nullptr) checker_->begin_superstep(superstep_);
       metrics::SuperstepStats s;
       s.superstep = superstep_;
       done = step(s);
@@ -77,6 +81,10 @@ class SuperstepDriver {
   /// Not owned; nullptr disarms.
   void set_fault_injector(sim::FaultInjector* injector) noexcept { faults_ = injector; }
 
+  /// Attaches the engine's invariant checker (CYCLOPS_VERIFY builds); the
+  /// driver keeps its superstep counter current. Not owned; nullptr detaches.
+  void set_checker(verify::EngineChecker* checker) noexcept { checker_ = checker; }
+
   /// Attaches periodic checkpointing: when `manager` says a boundary is due,
   /// `save` serializes the engine into the provided writer (engines bind
   /// their checkpoint(ByteWriter&, mode) here). Not owned; nullptr detaches.
@@ -90,6 +98,7 @@ class SuperstepDriver {
   Superstep superstep_ = 0;
   double simulated_elapsed_s_ = 0;
   sim::FaultInjector* faults_ = nullptr;
+  verify::EngineChecker* checker_ = nullptr;
   CheckpointManager* checkpoint_ = nullptr;
   std::function<void(ByteWriter&)> save_;
 };

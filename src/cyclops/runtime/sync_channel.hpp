@@ -18,6 +18,7 @@
 #include "cyclops/common/check.hpp"
 #include "cyclops/common/types.hpp"
 #include "cyclops/sim/fabric.hpp"
+#include "cyclops/verify/verify.hpp"
 
 namespace cyclops::runtime {
 
@@ -54,10 +55,14 @@ class SyncChannel {
  public:
   /// Single-writer sending endpoint bound to one fabric lane. Distinct lanes
   /// may be held by distinct threads; one Sender must never be shared.
+  /// With a checker attached (CYCLOPS_VERIFY), every send is phase-checked:
+  /// wire traffic outside the send/exchange window is a discipline violation.
   class Sender {
    public:
-    Sender(sim::Fabric& fabric, WorkerId from, std::size_t lane = 0) noexcept
-        : box_(&fabric.outbox(from, lane)) {}
+    Sender(sim::Fabric& fabric, WorkerId from, std::size_t lane = 0,
+           verify::EngineChecker* checker = nullptr,
+           verify::SourceLoc loc = {}) noexcept
+        : box_(&fabric.outbox(from, lane)), from_(from), checker_(checker), loc_(loc) {}
 
     /// Pre-allocates room for `n_records` more records headed to `to`, so a
     /// batch of sends costs one buffer growth instead of one per record.
@@ -66,15 +71,23 @@ class SyncChannel {
     }
 
     /// Appends one record for `to` — counts as one logical message.
-    void send(WorkerId to, const Record& rec) { box_->send_record(to, rec); }
+    void send(WorkerId to, const Record& rec) {
+      if (checker_ != nullptr) checker_->on_send(from_, to, loc_);
+      box_->send_record(to, rec);
+    }
 
    private:
     sim::OutBox* box_;
+    WorkerId from_ = 0;
+    verify::EngineChecker* checker_ = nullptr;
+    verify::SourceLoc loc_;
   };
 
   [[nodiscard]] static Sender sender(sim::Fabric& fabric, WorkerId from,
-                                     std::size_t lane = 0) noexcept {
-    return Sender(fabric, from, lane);
+                                     std::size_t lane = 0,
+                                     verify::EngineChecker* checker = nullptr,
+                                     verify::SourceLoc loc = {}) noexcept {
+    return Sender(fabric, from, lane, checker, loc);
   }
 
   /// Typed receive over one package: fn(record) per record, in send order.

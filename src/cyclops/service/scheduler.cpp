@@ -23,7 +23,7 @@ JobScheduler::JobScheduler(ThreadPool& pool, SchedulerConfig cfg)
   // inline slot then lives on the dispatcher thread.
   const std::size_t pool_threads = std::max<std::size_t>(1, pool_.size());
   slots_ = std::clamp<std::size_t>(cfg_.workers, 1, pool_threads);
-  dispatcher_ = std::thread([this] {
+  dispatcher_ = Thread([this] {
     pool_.parallel_tasks(slots_, [this](std::size_t) { worker_loop(); });
   });
 }
@@ -34,7 +34,7 @@ Submission JobScheduler::submit(JobSpec spec, SnapshotRef snap) {
   CYCLOPS_CHECK(snap != nullptr);
   Submission out;
   const std::string invalid = validate(spec, *snap);
-  std::lock_guard lock(mutex_);
+  LockGuard<Mutex> lock(mutex_);
   if (draining_) {
     out.reason = "scheduler shutting down";
     ++counters_.rejected;
@@ -86,7 +86,7 @@ std::size_t JobScheduler::pick_locked() const {
 }
 
 void JobScheduler::worker_loop() {
-  std::unique_lock lock(mutex_);
+  UniqueLock<Mutex> lock(mutex_);
   for (;;) {
     cv_work_.wait(lock, [&] {
       if (draining_ && queue_.empty()) return true;
@@ -153,7 +153,7 @@ void JobScheduler::worker_loop() {
 }
 
 bool JobScheduler::cancel(std::uint64_t id) {
-  std::lock_guard lock(mutex_);
+  LockGuard<Mutex> lock(mutex_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end() || it->second->state != JobState::kQueued) return false;
   JobPtr job = it->second;
@@ -171,13 +171,13 @@ bool JobScheduler::cancel(std::uint64_t id) {
 }
 
 void JobScheduler::resume() {
-  std::lock_guard lock(mutex_);
+  LockGuard<Mutex> lock(mutex_);
   paused_ = false;
   cv_work_.notify_all();
 }
 
 void JobScheduler::wait(std::uint64_t id) {
-  std::unique_lock lock(mutex_);
+  UniqueLock<Mutex> lock(mutex_);
   const auto it = jobs_.find(id);
   CYCLOPS_CHECK(it != jobs_.end());
   JobPtr job = it->second;
@@ -185,7 +185,7 @@ void JobScheduler::wait(std::uint64_t id) {
 }
 
 void JobScheduler::wait_all() {
-  std::unique_lock lock(mutex_);
+  UniqueLock<Mutex> lock(mutex_);
   cv_done_.wait(lock, [&] {
     return running_ == 0 && (paused_ || queue_.empty());
   });
@@ -193,7 +193,7 @@ void JobScheduler::wait_all() {
 
 void JobScheduler::shutdown() {
   {
-    std::lock_guard lock(mutex_);
+    LockGuard<Mutex> lock(mutex_);
     draining_ = true;
     paused_ = false;  // a paused scheduler must still drain
     cv_work_.notify_all();
@@ -203,14 +203,14 @@ void JobScheduler::shutdown() {
 }
 
 metrics::JobStats JobScheduler::stats_for(std::uint64_t id) const {
-  std::lock_guard lock(mutex_);
+  LockGuard<Mutex> lock(mutex_);
   const auto it = jobs_.find(id);
   CYCLOPS_CHECK(it != jobs_.end());
   return it->second->stats;
 }
 
 std::vector<metrics::JobStats> JobScheduler::all_stats() const {
-  std::lock_guard lock(mutex_);
+  LockGuard<Mutex> lock(mutex_);
   std::vector<metrics::JobStats> out;
   out.reserve(order_.size());
   for (const JobPtr& job : order_) out.push_back(job->stats);
@@ -218,14 +218,14 @@ std::vector<metrics::JobStats> JobScheduler::all_stats() const {
 }
 
 std::shared_ptr<const JobResult> JobScheduler::result_for(std::uint64_t id) const {
-  std::lock_guard lock(mutex_);
+  LockGuard<Mutex> lock(mutex_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) return nullptr;
   return it->second->result;
 }
 
 SchedulerCounters JobScheduler::counters() const {
-  std::lock_guard lock(mutex_);
+  LockGuard<Mutex> lock(mutex_);
   return counters_;
 }
 

@@ -11,16 +11,14 @@
 // is the scheduler's, which keeps per-job results bit-deterministic.
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "cyclops/common/sync.hpp"
 #include "cyclops/common/thread_pool.hpp"
 #include "cyclops/metrics/job_stats.hpp"
 #include "cyclops/service/job.hpp"
@@ -117,9 +115,9 @@ class JobScheduler {
   std::size_t slots_ = 1;
   std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
+  mutable Mutex mutex_;
+  CondVar cv_work_;
+  CondVar cv_done_;
   std::deque<JobPtr> queue_;
   std::unordered_map<std::uint64_t, JobPtr> jobs_;
   std::vector<JobPtr> order_;
@@ -130,7 +128,7 @@ class JobScheduler {
   bool paused_ = false;
   bool draining_ = false;
 
-  std::thread dispatcher_;
+  Thread dispatcher_;
 };
 
 }  // namespace cyclops::service

@@ -43,6 +43,11 @@ Snapshot::Snapshot(Epoch epoch, graph::EdgeList edges, const SnapshotConfig& cfg
   vertex_cut_ = partition::RandomVertexCut{}.partition(edges_, cfg_.machines);
   build_s_ = timer.elapsed_s();
   checksum_ = edge_crc(edges_);
+  verify::EpochRegistry::instance().publish(epoch_);
+}
+
+Snapshot::~Snapshot() {
+  verify::EpochRegistry::instance().retire(epoch_, CYCLOPS_VLOC);
 }
 
 SnapshotStore::SnapshotStore(graph::EdgeList base, SnapshotConfig cfg)
@@ -52,12 +57,12 @@ SnapshotStore::SnapshotStore(graph::EdgeList base, SnapshotConfig cfg)
 }
 
 SnapshotRef SnapshotStore::current() const {
-  std::lock_guard lock(mutex_);
+  LockGuard<Mutex> lock(mutex_);
   return current_;
 }
 
 Epoch SnapshotStore::current_epoch() const {
-  std::lock_guard lock(mutex_);
+  LockGuard<Mutex> lock(mutex_);
   return current_->epoch();
 }
 
@@ -68,23 +73,23 @@ Epoch SnapshotStore::apply(const core::TopologyDelta& delta) {
   // race-free for the single writer.
   SnapshotRef base;
   {
-    std::lock_guard lock(mutex_);
+    LockGuard<Mutex> lock(mutex_);
     base = current_;
   }
   graph::EdgeList next = delta.applied(base->edges());
   SnapshotRef snap = publish(base->epoch() + 1, std::move(next));
-  std::lock_guard lock(mutex_);
+  LockGuard<Mutex> lock(mutex_);
   current_ = std::move(snap);
   return current_->epoch();
 }
 
 std::uint64_t SnapshotStore::live_snapshots() const {
-  std::lock_guard lock(mutex_);
+  LockGuard<Mutex> lock(mutex_);
   return stats_.epochs_published - retired_->load(std::memory_order_relaxed);
 }
 
 SnapshotStoreStats SnapshotStore::stats() const {
-  std::lock_guard lock(mutex_);
+  LockGuard<Mutex> lock(mutex_);
   SnapshotStoreStats s = stats_;
   s.epochs_retired = retired_->load(std::memory_order_relaxed);
   return s;
@@ -97,7 +102,7 @@ SnapshotRef SnapshotStore::publish(Epoch epoch, graph::EdgeList edges) {
                      retired->fetch_add(1, std::memory_order_relaxed);
                      delete s;
                    });
-  std::lock_guard lock(mutex_);
+  LockGuard<Mutex> lock(mutex_);
   ++stats_.epochs_published;
   stats_.last_build_s = snap->build_s();
   stats_.total_build_s += snap->build_s();

@@ -10,14 +10,15 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "cyclops/common/sync.hpp"
 #include "cyclops/core/mutation.hpp"
 #include "cyclops/graph/csr.hpp"
 #include "cyclops/graph/edge_list.hpp"
 #include "cyclops/partition/partition.hpp"
 #include "cyclops/partition/vertex_cut.hpp"
+#include "cyclops/verify/verify.hpp"
 
 namespace cyclops::service {
 
@@ -38,20 +39,35 @@ struct SnapshotConfig {
 class Snapshot {
  public:
   Snapshot(Epoch epoch, graph::EdgeList edges, const SnapshotConfig& cfg);
+  ~Snapshot();
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
 
+  // Every accessor that hands out epoch storage reports the read to the
+  // verify-layer epoch registry (no-op unless -DCYCLOPS_VERIFY): a caller
+  // still holding references past its SnapshotRef is a use-after-retire.
   [[nodiscard]] Epoch epoch() const noexcept { return epoch_; }
-  [[nodiscard]] const graph::EdgeList& edges() const noexcept { return edges_; }
-  [[nodiscard]] const graph::Csr& csr() const noexcept { return csr_; }
+  [[nodiscard]] const graph::EdgeList& edges() const noexcept {
+    verify::EpochRegistry::instance().on_read(epoch_, CYCLOPS_VLOC);
+    return edges_;
+  }
+  [[nodiscard]] const graph::Csr& csr() const noexcept {
+    verify::EpochRegistry::instance().on_read(epoch_, CYCLOPS_VLOC);
+    return csr_;
+  }
   /// Edge cut with machines * workers_per_machine parts (Hama, plain Cyclops).
   [[nodiscard]] const partition::EdgeCutPartition& edge_cut() const noexcept {
+    verify::EpochRegistry::instance().on_read(epoch_, CYCLOPS_VLOC);
     return edge_cut_;
   }
   /// Edge cut with one part per machine (CyclopsMT).
   [[nodiscard]] const partition::EdgeCutPartition& mt_edge_cut() const noexcept {
+    verify::EpochRegistry::instance().on_read(epoch_, CYCLOPS_VLOC);
     return mt_edge_cut_;
   }
   /// Vertex cut with one part per machine (PowerGraph/GAS).
   [[nodiscard]] const partition::VertexCutPartition& vertex_cut() const noexcept {
+    verify::EpochRegistry::instance().on_read(epoch_, CYCLOPS_VLOC);
     return vertex_cut_;
   }
   [[nodiscard]] const SnapshotConfig& config() const noexcept { return cfg_; }
@@ -104,7 +120,7 @@ class SnapshotStore {
  private:
   SnapshotRef publish(Epoch epoch, graph::EdgeList edges);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   SnapshotConfig cfg_;
   SnapshotRef current_;
   SnapshotStoreStats stats_;

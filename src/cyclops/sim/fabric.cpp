@@ -96,6 +96,16 @@ ExchangeStats Fabric::exchange(std::size_t barrier_participants) {
           }
         }
 
+        // Fold the package into the run's wire digest before delivery. The
+        // payload is already summarized by its CRC; folding (from, to, msgs,
+        // crc) in delivery order makes the digest sensitive to both content
+        // and ordering of everything that crossed the wire.
+        for (const std::uint64_t word :
+             {std::uint64_t{from}, std::uint64_t{to}, msgs, std::uint64_t{crc}}) {
+          wire_digest_ ^= word;
+          wire_digest_ *= 0x100000001b3ULL;  // FNV-1a prime
+        }
+
         inboxes_[to].push_back(Package{from, msgs, std::move(buf.bytes), crc});
         buf.bytes = {};
         buf.messages = 0;

@@ -62,13 +62,25 @@ class OutBox {
   /// Appends one trivially-copyable record directly — same wire bytes as
   /// serializing through ByteWriter and send(), without the intermediate
   /// buffer round-trip.
+  ///
+  /// Records with internal padding (e.g. a {uint32, double} wire record) get
+  /// their padding bits zeroed before hitting the buffer: padding content is
+  /// unspecified garbage that would otherwise leak into package CRCs and the
+  /// fabric's wire digest, breaking bit-identical traffic across runs.
   template <typename Record>
     requires std::is_trivially_copyable_v<Record>
   void send_record(WorkerId to, const Record& rec) {
     CYCLOPS_DCHECK(to < buffers_.size());
     Buffer& b = buffers_[to];
-    const auto* p = reinterpret_cast<const std::uint8_t*>(&rec);
-    b.bytes.insert(b.bytes.end(), p, p + sizeof(Record));
+    if constexpr (std::has_unique_object_representations_v<Record>) {
+      const auto* p = reinterpret_cast<const std::uint8_t*>(&rec);
+      b.bytes.insert(b.bytes.end(), p, p + sizeof(Record));
+    } else {
+      Record clean = rec;
+      __builtin_clear_padding(&clean);  // GCC/Clang >= 11; toolchain-pinned
+      const auto* p = reinterpret_cast<const std::uint8_t*>(&clean);
+      b.bytes.insert(b.bytes.end(), p, p + sizeof(Record));
+    }
     ++b.messages;
   }
 
@@ -136,6 +148,14 @@ class Fabric {
 
   void clear_incoming(WorkerId to) noexcept { inboxes_[to].clear(); }
 
+  /// Order-sensitive FNV-1a fold of every package delivered so far: (src,
+  /// dst, message count, payload CRC) in delivery order, across exchanges.
+  /// Two runs of the same seeded workload must produce identical digests —
+  /// the wire-determinism regression (tests/test_wire_determinism.cpp)
+  /// asserts this bit-for-bit, which is what makes hash-order iteration
+  /// feeding an OutBox a test failure rather than a latent flake.
+  [[nodiscard]] std::uint64_t wire_digest() const noexcept { return wire_digest_; }
+
   [[nodiscard]] NetSnapshot totals() const noexcept { return counters_.snapshot(); }
   [[nodiscard]] double total_modeled_comm_s() const noexcept { return modeled_comm_s_; }
   [[nodiscard]] double total_modeled_barrier_s() const noexcept { return modeled_barrier_s_; }
@@ -150,6 +170,7 @@ class Fabric {
   FaultInjector* faults_ = nullptr;
   double modeled_comm_s_ = 0;
   double modeled_barrier_s_ = 0;
+  std::uint64_t wire_digest_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
 };
 
 }  // namespace cyclops::sim

@@ -1,0 +1,516 @@
+#pragma once
+// BSP-aware immutable-view invariant checker (compile-time gated).
+//
+// The paper's correctness argument (§3–4) rests on a phase discipline the
+// type system cannot express: during a superstep's compute phase the
+// distributed immutable view is read-only — masters read neighbor data from
+// local shared memory, and only a vertex's owner worker may stage a write to
+// it; replica slots and GAS mirrors change only inside the sync/exchange
+// phase, each by its single designated writer. TSan can only stumble onto a
+// violation if two host threads happen to collide on the same cache line in
+// the same run; this checker enforces the discipline itself, so a violation
+// is caught deterministically on its first occurrence and attributed in the
+// paper's vocabulary: phase, superstep, vertex, and both access sites.
+//
+// Build with -DCYCLOPS_VERIFY (CMake option of the same name) to compile the
+// checker in; without it every hook is an empty inline function and the
+// instrumented engines are bit-identical to uninstrumented ones. When
+// compiled in, violations abort by default; tests install a collecting
+// handler instead.
+//
+// Two trackers live here:
+//   * EngineChecker — per-engine-instance slot/phase tracking (vertex state,
+//     replica slots, GAS mirrors, message sends).
+//   * EpochRegistry — process-global snapshot epoch liveness for the service
+//     layer; reading a retired epoch's snapshot is a use-after-retire.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cyclops/common/types.hpp"
+
+#ifdef CYCLOPS_VERIFY
+#include <atomic>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "cyclops/common/sync.hpp"
+#endif
+
+namespace cyclops::verify {
+
+/// True when the checker is compiled in; engines use it to skip building
+/// registration tables that the stub would discard.
+#ifdef CYCLOPS_VERIFY
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/// The superstep phases the discipline is defined over. Engines map their own
+/// stages onto these: Hama runs Parse/Compute/Send/Sync, Cyclops runs
+/// Compute/Send/Exchange/Sync (no parse — that is the point), GAS treats each
+/// gather/apply/scatter leg as Compute and its four exchanges as Send/Exchange.
+enum class Phase : std::uint8_t {
+  kIdle = 0,     ///< outside any superstep (construction, checkpoint, rebuild)
+  kParse = 1,    ///< BSP PRS: in-queue drained into mailboxes
+  kCompute = 2,  ///< vertex programs run over the immutable view
+  kSend = 3,     ///< owners apply staged state and emit sync messages
+  kExchange = 4, ///< barrier + delivery: replica/mirror slots updated
+  kSync = 5,     ///< active-set swap, termination vote
+};
+
+[[nodiscard]] inline const char* phase_name(Phase p) noexcept {
+  switch (p) {
+    case Phase::kIdle: return "idle";
+    case Phase::kParse: return "parse";
+    case Phase::kCompute: return "compute";
+    case Phase::kSend: return "send";
+    case Phase::kExchange: return "exchange";
+    case Phase::kSync: return "sync";
+  }
+  return "?";
+}
+
+/// What a violation broke. Names mirror the invariant list in DESIGN.md §7b.
+enum class ViolationKind : std::uint8_t {
+  kNonOwnerWrite,        ///< a worker wrote a vertex it does not master
+  kReplicaWriteInCompute,///< replica/mirror slot mutated while the view is live
+  kWriteOutsidePhase,    ///< write in a phase where that slot class is frozen
+  kStaleViewRead,        ///< compute read a slot written earlier this superstep
+  kSendOutsidePhase,     ///< wire traffic emitted outside the send/exchange window
+  kStaleEpochRead,       ///< snapshot accessor called after its epoch retired
+};
+
+[[nodiscard]] inline const char* violation_name(ViolationKind k) noexcept {
+  switch (k) {
+    case ViolationKind::kNonOwnerWrite: return "non-owner-write";
+    case ViolationKind::kReplicaWriteInCompute: return "replica-write-in-compute";
+    case ViolationKind::kWriteOutsidePhase: return "write-outside-phase";
+    case ViolationKind::kStaleViewRead: return "stale-view-read";
+    case ViolationKind::kSendOutsidePhase: return "send-outside-phase";
+    case ViolationKind::kStaleEpochRead: return "stale-epoch-read";
+  }
+  return "?";
+}
+
+/// Source location captured at each instrumented access (see CYCLOPS_VLOC).
+struct SourceLoc {
+  const char* file = nullptr;
+  int line = 0;
+};
+
+/// One recorded access: where, when (superstep + phase), and by whom.
+struct AccessSite {
+  SourceLoc loc;
+  Phase phase = Phase::kIdle;
+  Superstep superstep = 0;
+  WorkerId worker = kInvalidWorker;
+  [[nodiscard]] bool valid() const noexcept { return loc.file != nullptr; }
+};
+
+struct Violation {
+  ViolationKind kind = ViolationKind::kNonOwnerWrite;
+  VertexId vertex = kInvalidVertex;  ///< global id when slot-attributable
+  std::uint32_t slot = 0;
+  WorkerId worker = kInvalidWorker;  ///< worker hosting the violated state
+  std::uint64_t epoch = 0;           ///< stale-epoch reads only
+  AccessSite current;                ///< the access that broke the invariant
+  AccessSite previous;               ///< the conflicting earlier access, if any
+
+  [[nodiscard]] std::string describe() const;
+};
+
+#define CYCLOPS_VLOC \
+  ::cyclops::verify::SourceLoc { __FILE__, __LINE__ }
+
+#ifdef CYCLOPS_VERIFY
+
+inline std::string Violation::describe() const {
+  std::ostringstream os;
+  os << "invariant violation [" << violation_name(kind) << "]";
+  if (kind == ViolationKind::kStaleEpochRead) {
+    os << " epoch " << epoch;
+  } else {
+    os << " vertex " << vertex << " slot " << slot << " on worker " << worker;
+  }
+  os << "\n  at      " << (current.loc.file ? current.loc.file : "?") << ":"
+     << current.loc.line << " (phase " << phase_name(current.phase) << ", superstep "
+     << current.superstep << ", worker " << current.worker << ")";
+  if (previous.valid()) {
+    os << "\n  against " << previous.loc.file << ":" << previous.loc.line << " (phase "
+       << phase_name(previous.phase) << ", superstep " << previous.superstep
+       << ", worker " << previous.worker << ")";
+  }
+  return os.str();
+}
+
+using Handler = std::function<void(const Violation&)>;
+
+namespace detail {
+[[noreturn]] inline void abort_handler(const Violation& v) {
+  std::fprintf(stderr, "CYCLOPS_VERIFY: %s\n", v.describe().c_str());
+  std::fflush(nullptr);
+  std::abort();
+}
+}  // namespace detail
+
+/// Per-engine access tracker. Registration happens once at layout build;
+/// hooks are called from the engine's pool threads. Phase transitions occur
+/// only between parallel sections (the driver thread), so an atomic phase
+/// plus per-slot single-writer stamps need no further locking on the hot
+/// path; the violation sink serializes under a mutex.
+class EngineChecker {
+ public:
+  EngineChecker() = default;
+  EngineChecker(const EngineChecker&) = delete;
+  EngineChecker& operator=(const EngineChecker&) = delete;
+
+  /// Declares one worker's slot space. `slot_owner[s]` is the worker that
+  /// masters the vertex living in slot s (== w for master slots, the home
+  /// worker for replicas/mirrors); `slot_global[s]` is its global vertex id;
+  /// slots [0, num_masters) are the worker's own masters.
+  void register_worker(WorkerId w, std::uint32_t num_masters,
+                       std::vector<VertexId> slot_global,
+                       std::vector<WorkerId> slot_owner) {
+    if (workers_.size() <= w) workers_.resize(static_cast<std::size_t>(w) + 1);
+    WorkerState& ws = workers_[w];
+    ws.num_masters = num_masters;
+    ws.slot_global = std::move(slot_global);
+    ws.slot_owner = std::move(slot_owner);
+    ws.last_write.assign(ws.slot_global.size(), AccessSite{});
+  }
+
+  /// Clears per-slot stamps (engine restore/rebuild re-registers).
+  void reset() {
+    workers_.clear();
+    superstep_ = 0;
+    phase_.store(Phase::kIdle, std::memory_order_relaxed);
+  }
+
+  void begin_superstep(Superstep s) noexcept {
+    superstep_ = s;
+    phase_.store(Phase::kIdle, std::memory_order_relaxed);
+  }
+
+  void enter_phase(Phase p) noexcept { phase_.store(p, std::memory_order_release); }
+
+  [[nodiscard]] Phase phase() const noexcept {
+    return phase_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] Superstep superstep() const noexcept { return superstep_; }
+
+  /// Apply-write to a master slot of the exposed view (Cyclops' SND-phase
+  /// local apply, GAS' apply leg). Legal: the owner, during the send phase
+  /// (kIdle covers initialization/restore, which run outside supersteps).
+  /// During compute the view is frozen; any other phase is a discipline break.
+  void on_master_write(WorkerId executing, WorkerId host, std::uint32_t slot,
+                       SourceLoc loc) {
+    const Phase p = phase();
+    ++checked_;
+    WorkerState& ws = state(host);
+    const WorkerId owner = ws.owner_of(slot);
+    if (executing != owner) {
+      report(make(ViolationKind::kNonOwnerWrite, host, slot, executing, loc, p,
+                  ws.last(slot)));
+    } else if (p != Phase::kSend && p != Phase::kIdle) {
+      report(make(ViolationKind::kWriteOutsidePhase, host, slot, executing, loc, p,
+                  ws.last(slot)));
+    }
+    ws.stamp(slot, AccessSite{loc, p, superstep_, executing});
+  }
+
+  /// Staging write to master-private state during compute (set_value,
+  /// activate_neighbors' pending buffer). Checks ownership and phase but does
+  /// not stamp the slot: staged data is not part of the immutable view until
+  /// the send phase applies it.
+  void on_master_stage(WorkerId executing, WorkerId host, std::uint32_t slot,
+                       SourceLoc loc) {
+    const Phase p = phase();
+    ++checked_;
+    WorkerState& ws = state(host);
+    const WorkerId owner = ws.owner_of(slot);
+    if (executing != owner) {
+      report(make(ViolationKind::kNonOwnerWrite, host, slot, executing, loc, p,
+                  ws.last(slot)));
+    } else if (p == Phase::kExchange) {
+      report(make(ViolationKind::kWriteOutsidePhase, host, slot, executing, loc, p,
+                  ws.last(slot)));
+    }
+  }
+
+  /// Write to a replica/mirror-class slot. Legal only during the exchange
+  /// window, performed by the hosting worker's receive path (single writer
+  /// per slot, §3.4). kIdle is initialization/resync.
+  void on_replica_write(WorkerId executing, WorkerId host, std::uint32_t slot,
+                        SourceLoc loc) {
+    const Phase p = phase();
+    ++checked_;
+    WorkerState& ws = state(host);
+    if (p == Phase::kCompute || p == Phase::kParse) {
+      report(make(ViolationKind::kReplicaWriteInCompute, host, slot, executing, loc, p,
+                  ws.last(slot)));
+    } else if (p == Phase::kSend || p == Phase::kSync) {
+      report(make(ViolationKind::kWriteOutsidePhase, host, slot, executing, loc, p,
+                  ws.last(slot)));
+    } else if (p == Phase::kExchange && executing != host) {
+      // Cross-worker direct memory write: replicas are updated by their own
+      // worker's receiver from delivered packages, never by the sender.
+      report(make(ViolationKind::kNonOwnerWrite, host, slot, executing, loc, p,
+                  ws.last(slot)));
+    }
+    ws.stamp(slot, AccessSite{loc, p, superstep_, executing});
+  }
+
+  /// Read through the immutable view during compute. The slot must carry
+  /// last superstep's exposed value: a write stamped earlier in the *current*
+  /// superstep means the view was mutated under the readers.
+  void on_view_read(WorkerId executing, WorkerId host, std::uint32_t slot,
+                    SourceLoc loc) {
+    const Phase p = phase();
+    ++checked_;
+    WorkerState& ws = state(host);
+    const AccessSite prev = ws.last(slot);
+    if (p == Phase::kCompute && prev.valid() && prev.superstep == superstep_ &&
+        (prev.phase == Phase::kCompute || prev.phase == Phase::kSend)) {
+      report(make(ViolationKind::kStaleViewRead, host, slot, executing, loc, p, prev));
+    }
+  }
+
+  /// Wire emission. Legal during send and exchange phases only; compute must
+  /// not talk to the fabric (that is what staging is for).
+  void on_send(WorkerId from, WorkerId to, SourceLoc loc) {
+    const Phase p = phase();
+    ++checked_;
+    if (p == Phase::kCompute || p == Phase::kParse || p == Phase::kSync) {
+      Violation v;
+      v.kind = ViolationKind::kSendOutsidePhase;
+      v.worker = to;
+      v.vertex = kInvalidVertex;
+      v.current = AccessSite{loc, p, superstep_, from};
+      report(v);
+    }
+  }
+
+  /// Installs a violation sink (tests collect; default aborts the process).
+  void set_handler(Handler h) {
+    LockGuard<Mutex> lock(mutex_);
+    handler_ = std::move(h);
+  }
+
+  [[nodiscard]] std::uint64_t accesses_checked() const noexcept {
+    return checked_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t violations() const noexcept {
+    return violations_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::string summary() const {
+    std::ostringstream os;
+    os << "[verify] " << accesses_checked() << " accesses checked, " << violations()
+       << " violations";
+    return os.str();
+  }
+
+ private:
+  struct WorkerState {
+    std::uint32_t num_masters = 0;
+    std::vector<VertexId> slot_global;
+    std::vector<WorkerId> slot_owner;
+    std::vector<AccessSite> last_write;
+
+    [[nodiscard]] WorkerId owner_of(std::uint32_t slot) const noexcept {
+      return slot < slot_owner.size() ? slot_owner[slot] : kInvalidWorker;
+    }
+    [[nodiscard]] AccessSite last(std::uint32_t slot) const noexcept {
+      return slot < last_write.size() ? last_write[slot] : AccessSite{};
+    }
+    void stamp(std::uint32_t slot, AccessSite site) noexcept {
+      if (slot < last_write.size()) last_write[slot] = site;
+    }
+  };
+
+  WorkerState& state(WorkerId w) {
+    if (workers_.size() <= w) workers_.resize(static_cast<std::size_t>(w) + 1);
+    return workers_[w];
+  }
+
+  Violation make(ViolationKind kind, WorkerId host, std::uint32_t slot,
+                 WorkerId executing, SourceLoc loc, Phase p, AccessSite prev) {
+    Violation v;
+    v.kind = kind;
+    v.worker = host;
+    v.slot = slot;
+    const WorkerState& ws = workers_[host];
+    v.vertex = slot < ws.slot_global.size() ? ws.slot_global[slot] : kInvalidVertex;
+    v.current = AccessSite{loc, p, superstep_, executing};
+    v.previous = prev;
+    return v;
+  }
+
+  void report(const Violation& v) {
+    violations_.fetch_add(1, std::memory_order_relaxed);
+    Handler h;
+    {
+      LockGuard<Mutex> lock(mutex_);
+      h = handler_;
+    }
+    if (h) {
+      h(v);
+    } else {
+      detail::abort_handler(v);
+    }
+  }
+
+  std::vector<WorkerState> workers_;
+  Superstep superstep_ = 0;
+  std::atomic<Phase> phase_{Phase::kIdle};
+  std::atomic<std::uint64_t> checked_{0};
+  std::atomic<std::uint64_t> violations_{0};
+  Mutex mutex_;
+  Handler handler_;
+};
+
+/// RAII phase scope: enters `p` on construction, returns to kIdle (or the
+/// given exit phase) on destruction. Engines bracket each superstep stage.
+class PhaseScope {
+ public:
+  PhaseScope(EngineChecker& checker, Phase p, Phase exit = Phase::kIdle) noexcept
+      : checker_(checker), exit_(exit) {
+    checker_.enter_phase(p);
+  }
+  ~PhaseScope() { checker_.enter_phase(exit_); }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  EngineChecker& checker_;
+  Phase exit_;
+};
+
+/// Process-global snapshot epoch liveness (the service layer's immutable
+/// view). publish() on snapshot construction, retire() on destruction;
+/// on_read() from every snapshot accessor flags use-after-retire with the
+/// retire site as the conflicting access.
+class EpochRegistry {
+ public:
+  static EpochRegistry& instance() {
+    static EpochRegistry reg;
+    return reg;
+  }
+
+  void publish(std::uint64_t epoch) {
+    LockGuard<Mutex> lock(mutex_);
+    live_.insert(epoch);
+    retired_.erase(epoch);
+  }
+
+  void retire(std::uint64_t epoch, SourceLoc loc) {
+    LockGuard<Mutex> lock(mutex_);
+    live_.erase(epoch);
+    retired_[epoch] = AccessSite{loc, Phase::kIdle, 0, kInvalidWorker};
+  }
+
+  void on_read(std::uint64_t epoch, SourceLoc loc) {
+    checked_.fetch_add(1, std::memory_order_relaxed);
+    Handler h;
+    Violation v;
+    {
+      LockGuard<Mutex> lock(mutex_);
+      if (live_.count(epoch) > 0) return;
+      v.kind = ViolationKind::kStaleEpochRead;
+      v.epoch = epoch;
+      v.current = AccessSite{loc, Phase::kIdle, 0, kInvalidWorker};
+      const auto it = retired_.find(epoch);
+      if (it != retired_.end()) v.previous = it->second;
+      h = handler_;
+    }
+    violations_.fetch_add(1, std::memory_order_relaxed);
+    if (h) {
+      h(v);
+    } else {
+      detail::abort_handler(v);
+    }
+  }
+
+  void set_handler(Handler h) {
+    LockGuard<Mutex> lock(mutex_);
+    handler_ = std::move(h);
+  }
+
+  [[nodiscard]] std::uint64_t accesses_checked() const noexcept {
+    return checked_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t violations() const noexcept {
+    return violations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Mutex mutex_;
+  std::set<std::uint64_t> live_;
+  std::map<std::uint64_t, AccessSite> retired_;
+  std::atomic<std::uint64_t> checked_{0};
+  std::atomic<std::uint64_t> violations_{0};
+  Handler handler_;
+};
+
+#else  // !CYCLOPS_VERIFY — every hook is an empty inline no-op the optimizer
+       // deletes, so instrumented engines cost nothing when the gate is off.
+
+inline std::string Violation::describe() const { return "verification compiled out"; }
+
+using Handler = std::function<void(const Violation&)>;
+
+class EngineChecker {
+ public:
+  EngineChecker() = default;
+  EngineChecker(const EngineChecker&) = delete;
+  EngineChecker& operator=(const EngineChecker&) = delete;
+
+  void register_worker(WorkerId, std::uint32_t, std::vector<VertexId>,
+                       std::vector<WorkerId>) noexcept {}
+  void reset() noexcept {}
+  void begin_superstep(Superstep) noexcept {}
+  void enter_phase(Phase) noexcept {}
+  [[nodiscard]] Phase phase() const noexcept { return Phase::kIdle; }
+  [[nodiscard]] Superstep superstep() const noexcept { return 0; }
+  void on_master_write(WorkerId, WorkerId, std::uint32_t, SourceLoc) noexcept {}
+  void on_master_stage(WorkerId, WorkerId, std::uint32_t, SourceLoc) noexcept {}
+  void on_replica_write(WorkerId, WorkerId, std::uint32_t, SourceLoc) noexcept {}
+  void on_view_read(WorkerId, WorkerId, std::uint32_t, SourceLoc) noexcept {}
+  void on_send(WorkerId, WorkerId, SourceLoc) noexcept {}
+  void set_handler(Handler) noexcept {}
+  [[nodiscard]] std::uint64_t accesses_checked() const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t violations() const noexcept { return 0; }
+  [[nodiscard]] std::string summary() const {
+    return "[verify] compiled out (rebuild with -DCYCLOPS_VERIFY=ON)";
+  }
+};
+
+class PhaseScope {
+ public:
+  PhaseScope(EngineChecker&, Phase, Phase = Phase::kIdle) noexcept {}
+};
+
+class EpochRegistry {
+ public:
+  static EpochRegistry& instance() {
+    static EpochRegistry reg;
+    return reg;
+  }
+  void publish(std::uint64_t) noexcept {}
+  void retire(std::uint64_t, SourceLoc) noexcept {}
+  void on_read(std::uint64_t, SourceLoc) noexcept {}
+  void set_handler(Handler) noexcept {}
+  [[nodiscard]] std::uint64_t accesses_checked() const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t violations() const noexcept { return 0; }
+};
+
+#endif  // CYCLOPS_VERIFY
+
+}  // namespace cyclops::verify

@@ -1,0 +1,19 @@
+// Fixture: every line here that names wall-clock or global-state randomness
+// must be flagged by the `determinism` rule. Expected findings are asserted
+// in tests/test_lint.cpp — keep line numbers stable.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int fixture_determinism() {
+  int x = rand();                        // line 9: rand()
+  srand(42);                             // line 10: srand()
+  long t = time(nullptr);                // line 11: time()
+  std::random_device rd;                 // line 12: std::random_device
+  // "rand(" inside this comment must not be flagged, nor the string below.
+  const char* s = "call rand() at time()";
+  long elapsed_time(long);               // not flagged: identifier boundary
+  (void)s;
+  (void)elapsed_time;
+  return x + static_cast<int>(t) + static_cast<int>(rd.entropy());
+}

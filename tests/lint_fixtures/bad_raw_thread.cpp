@@ -1,0 +1,18 @@
+// Fixture for the `raw-thread` rule: naming the std primitives outside
+// common/ is flagged; the cyclops aliases and std::this_thread are not.
+// Expected findings are asserted in tests/test_lint.cpp — keep line numbers
+// stable.
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+void fixture_raw_thread() {
+  std::mutex m;                       // line 11: std::mutex
+  std::condition_variable cv;         // line 12: std::condition_variable
+  std::thread t([] {});               // line 13: std::thread
+  std::this_thread::yield();          // not flagged: this_thread is fine
+  t.join();
+  (void)m;
+  (void)cv;
+}

@@ -1,0 +1,41 @@
+// Fixture for the `unordered-wire` rule: hash-order iteration feeding the
+// wire is flagged; sorted drains and non-wire loop bodies are not. Expected
+// findings are asserted in tests/test_lint.cpp — keep line numbers stable.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Sender {
+  void send(std::uint32_t, std::uint64_t) {}
+};
+
+void fixture_unordered_wire(Sender& sender) {
+  std::unordered_map<std::uint32_t, std::uint64_t> combined;
+  std::unordered_set<std::uint32_t> targets;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> sorted_records;
+
+  for (const auto& [dst, msg] : combined) {  // line 19: feeds sender.send
+    sender.send(dst, msg);
+  }
+
+  for (std::uint32_t t : targets) sender.send(t, 0);  // line 23: braceless body
+
+  // Not flagged: drain to a vector, sort, then send — the repo's sanctioned
+  // pattern (see bsp::Engine's combiner path).
+  for (const auto& [dst, msg] : combined) {
+    sorted_records.push_back({dst, msg});
+  }
+  std::sort(sorted_records.begin(), sorted_records.end());
+  for (const auto& rec : sorted_records) {
+    sender.send(rec.first, rec.second);
+  }
+
+  // Not flagged: unordered iteration whose body never touches the wire.
+  std::uint64_t sum = 0;
+  for (const auto& [dst, msg] : combined) {
+    sum += msg + dst;
+  }
+  (void)sum;
+}

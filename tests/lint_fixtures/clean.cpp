@@ -1,0 +1,24 @@
+// Fixture: a file the linter must pass with zero findings. Exercises the
+// look-alikes each rule must NOT match.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+struct Sender {
+  void send(std::uint32_t, std::uint64_t) {}
+};
+
+// An ordered map may feed the wire directly: iteration order is the key
+// order, identical on every run.
+void fixture_clean(Sender& sender, const std::map<std::uint32_t, std::uint64_t>& combined) {
+  for (const auto& [dst, msg] : combined) {
+    sender.send(dst, msg);
+  }
+  // elapsed_time(, runtime(, strand( — identifier boundaries, not time()/rand().
+  const std::uint64_t runtime_us = 0;
+  auto elapsed_time = [] { return 0; };
+  (void)runtime_us;
+  (void)elapsed_time();
+  std::vector<std::uint8_t> bytes;
+  bytes.push_back(static_cast<std::uint8_t>(7));  // narrowing without a wire call
+}

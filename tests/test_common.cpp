@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "cyclops/common/bitset.hpp"
+#include "cyclops/common/check.hpp"
 #include "cyclops/common/exec.hpp"
 #include "cyclops/common/rng.hpp"
 #include "cyclops/common/serialize.hpp"
@@ -129,6 +130,19 @@ TEST(DenseBitset, ConcurrentSetIsLossless) {
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(bs.count(), 10000u);
+}
+
+TEST(CheckDeathTest, FailureReportsExpressionFileAndLine) {
+  // The diagnostic must carry the stringized expression and the call site —
+  // that is what makes a cold-path CHECK in a recovery loop debuggable from
+  // a CI log alone.
+  EXPECT_DEATH(CYCLOPS_CHECK(2 + 2 == 5), "CYCLOPS_CHECK failed: 2 \\+ 2 == 5");
+  EXPECT_DEATH(CYCLOPS_CHECK(2 + 2 == 5), "at .*test_common\\.cpp:[0-9]+ in ");
+}
+
+TEST(CheckDeathTest, PassingCheckIsSilent) {
+  CYCLOPS_CHECK(1 + 1 == 2);
+  CYCLOPS_DCHECK(1 + 1 == 2);
 }
 
 TEST(SpinLock, CountsAcquisitionsAndExcludes) {

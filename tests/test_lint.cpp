@@ -1,0 +1,123 @@
+// Unit tests for the cyclops-lint rule engine (tools/lint_core.hpp), run
+// against the fixture files in tests/lint_fixtures/. Each fixture documents
+// its expected findings inline; the assertions here are the goldens.
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint_core.hpp"
+
+namespace {
+
+using cyclops::lint::Finding;
+using cyclops::lint::classify_path;
+using cyclops::lint::lint_file;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture: " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Lints one fixture and returns sorted (line, rule) pairs — the shape the
+/// golden assertions compare against.
+std::vector<std::pair<int, std::string>> lint_fixture(const std::string& name) {
+  const std::string path = std::string(CYCLOPS_LINT_FIXTURE_DIR) + "/" + name;
+  std::vector<std::pair<int, std::string>> got;
+  for (const Finding& f : lint_file(path, slurp(path))) {
+    got.emplace_back(f.line, f.rule);
+  }
+  std::sort(got.begin(), got.end());
+  return got;
+}
+
+using Golden = std::vector<std::pair<int, std::string>>;
+
+TEST(Lint, DeterminismFixture) {
+  const Golden expected = {{9, "determinism"},
+                           {10, "determinism"},
+                           {11, "determinism"},
+                           {12, "determinism"}};
+  EXPECT_EQ(lint_fixture("bad_determinism.cpp"), expected);
+}
+
+TEST(Lint, UnorderedWireFixture) {
+  const Golden expected = {{19, "unordered-wire"}, {23, "unordered-wire"}};
+  EXPECT_EQ(lint_fixture("bad_unordered_wire.cpp"), expected);
+}
+
+TEST(Lint, RawThreadFixture) {
+  const Golden expected = {{11, "raw-thread"},
+                           {12, "raw-thread"},
+                           {13, "raw-thread"}};
+  EXPECT_EQ(lint_fixture("bad_raw_thread.cpp"), expected);
+}
+
+TEST(Lint, NarrowingFixtureHonoursSuppression) {
+  // Line 15 carries `// cyclops-lint: allow(wire-narrowing)` and must not
+  // appear; lines 17/18 split the cast and the wire call across lines.
+  const Golden expected = {{13, "wire-narrowing"}, {14, "wire-narrowing"}};
+  EXPECT_EQ(lint_fixture("bad_narrowing.cpp"), expected);
+}
+
+TEST(Lint, CleanFixtureHasZeroFindings) {
+  EXPECT_TRUE(lint_fixture("clean.cpp").empty());
+}
+
+TEST(Lint, CommonPathExemptsRawThread) {
+  const std::string body = "std::mutex m;\nstd::thread t;\n";
+  EXPECT_TRUE(lint_file("src/cyclops/common/sync.hpp", body).empty());
+  EXPECT_EQ(lint_file("src/cyclops/core/engine.hpp", body).size(), 2u);
+}
+
+TEST(Lint, ClassifyPath) {
+  EXPECT_TRUE(classify_path("src/cyclops/common/thread_pool.cpp").in_common);
+  EXPECT_FALSE(classify_path("src/cyclops/runtime/superstep_driver.hpp").in_common);
+}
+
+TEST(Lint, SuppressionOnPreviousLine) {
+  const std::string body =
+      "// cyclops-lint: allow(determinism)\n"
+      "long t = time(nullptr);\n"
+      "long u = time(nullptr);\n";
+  const auto findings = lint_file("x.cpp", body);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3);  // only the unsuppressed second call
+}
+
+TEST(LintDetail, CodeOnlyStripsCommentsAndStrings) {
+  bool in_block = false;
+  EXPECT_EQ(cyclops::lint::detail::code_only("x = 1; // rand()", in_block), "x = 1; ");
+  EXPECT_EQ(cyclops::lint::detail::code_only("s = \"rand()\";", in_block), "s = \";");
+  EXPECT_EQ(cyclops::lint::detail::code_only("a /* rand() */ b", in_block), "a  b");
+  EXPECT_FALSE(in_block);
+  EXPECT_EQ(cyclops::lint::detail::code_only("a /* open", in_block), "a ");
+  EXPECT_TRUE(in_block);
+  EXPECT_EQ(cyclops::lint::detail::code_only("still closed */ tail", in_block), " tail");
+  EXPECT_FALSE(in_block);
+}
+
+TEST(LintDetail, HasTokenRespectsIdentifierBoundary) {
+  EXPECT_TRUE(cyclops::lint::detail::has_token("t = time(nullptr);", "time("));
+  EXPECT_TRUE(cyclops::lint::detail::has_token("std::rand();", "rand("));
+  EXPECT_FALSE(cyclops::lint::detail::has_token("elapsed_time(x);", "time("));
+  EXPECT_FALSE(cyclops::lint::detail::has_token("strand(x);", "rand("));
+}
+
+TEST(LintDetail, RangeForTarget) {
+  EXPECT_EQ(cyclops::lint::detail::range_for_target(
+                "for (const auto& [k, v] : bucket.combined) {"),
+            "combined");
+  EXPECT_EQ(cyclops::lint::detail::range_for_target("for (auto x : ys)"), "ys");
+  EXPECT_EQ(cyclops::lint::detail::range_for_target("for (int i = 0; i < n; ++i)"), "");
+  EXPECT_EQ(cyclops::lint::detail::range_for_target("x = a ? b : c;"), "");
+}
+
+}  // namespace

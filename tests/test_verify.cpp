@@ -1,0 +1,230 @@
+// Tests for the immutable-view invariant checker (src/cyclops/verify/).
+//
+// The centerpiece is a deliberately-buggy mini engine: a hand-driven two-
+// worker superstep that commits the three classic Cyclops discipline breaks
+// — a mirror write during compute, a non-owner update, and a stale-epoch
+// snapshot read — and asserts the checker catches each one with the right
+// phase/superstep/vertex attribution. A clean run of the same mini engine and
+// a real Cyclops PageRank run prove the checker stays silent on correct code
+// (the zero-false-positive criterion).
+//
+// Every test skips when CYCLOPS_VERIFY is off: the hooks compile to no-ops
+// and there is nothing to observe.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cyclops/algorithms/pagerank.hpp"
+#include "cyclops/core/engine.hpp"
+#include "cyclops/graph/generators.hpp"
+#include "cyclops/verify/verify.hpp"
+#include "test_util.hpp"
+
+namespace cyclops::verify {
+namespace {
+
+#define SKIP_UNLESS_VERIFY()                                               \
+  do {                                                                     \
+    if (!kEnabled) GTEST_SKIP() << "built without -DCYCLOPS_VERIFY=ON";    \
+  } while (0)
+
+/// Collects violations instead of aborting.
+struct Collector {
+  std::vector<Violation> seen;
+  Handler handler() {
+    return [this](const Violation& v) { seen.push_back(v); };
+  }
+};
+
+/// A two-worker mini engine driven by hand. Worker 0 masters vertices {0, 1},
+/// worker 1 masters {2, 3}; each worker hosts one replica of the other's
+/// first master (slot layout: [master0, master1, replica]).
+struct MiniEngine {
+  EngineChecker checker;
+
+  MiniEngine() {
+    checker.register_worker(0, 2, {0, 1, 2}, {0, 0, 1});
+    checker.register_worker(1, 2, {2, 3, 0}, {1, 1, 0});
+  }
+
+  /// One discipline-respecting superstep: compute reads, send-phase owner
+  /// apply + wire emission, exchange-phase replica updates, sync barrier.
+  void run_clean_superstep(Superstep s) {
+    checker.begin_superstep(s);
+    {
+      PhaseScope cmp(checker, Phase::kCompute);
+      checker.on_view_read(0, 0, 2, CYCLOPS_VLOC);  // master reads its replica
+      checker.on_view_read(1, 1, 2, CYCLOPS_VLOC);
+      checker.on_master_stage(0, 0, 0, CYCLOPS_VLOC);  // set_value staging
+    }
+    {
+      PhaseScope snd(checker, Phase::kSend);
+      checker.on_master_write(0, 0, 0, CYCLOPS_VLOC);  // owner applies
+      checker.on_master_write(1, 1, 0, CYCLOPS_VLOC);
+      checker.on_send(0, 1, CYCLOPS_VLOC);
+    }
+    {
+      PhaseScope exch(checker, Phase::kExchange);
+      checker.on_replica_write(0, 0, 2, CYCLOPS_VLOC);  // own receiver updates
+      checker.on_replica_write(1, 1, 2, CYCLOPS_VLOC);
+    }
+    { PhaseScope syn(checker, Phase::kSync); }
+  }
+};
+
+TEST(Verify, CleanSuperstepHasZeroViolations) {
+  SKIP_UNLESS_VERIFY();
+  MiniEngine mini;
+  Collector col;
+  mini.checker.set_handler(col.handler());
+  for (Superstep s = 0; s < 3; ++s) mini.run_clean_superstep(s);
+  EXPECT_TRUE(col.seen.empty());
+  EXPECT_EQ(mini.checker.violations(), 0u);
+  EXPECT_GT(mini.checker.accesses_checked(), 0u);
+}
+
+TEST(Verify, MirrorWriteInComputeIsCaught) {
+  SKIP_UNLESS_VERIFY();
+  MiniEngine mini;
+  Collector col;
+  mini.checker.set_handler(col.handler());
+  mini.checker.begin_superstep(4);
+  PhaseScope cmp(mini.checker, Phase::kCompute);
+  // The seeded bug: mutating worker 0's replica slot while vertex programs
+  // are reading the immutable view.
+  mini.checker.on_replica_write(0, 0, 2, SourceLoc{"buggy.cpp", 10});
+  ASSERT_EQ(col.seen.size(), 1u);
+  const Violation& v = col.seen[0];
+  EXPECT_EQ(v.kind, ViolationKind::kReplicaWriteInCompute);
+  EXPECT_EQ(v.vertex, 2u);  // slot 2 on worker 0 hosts global vertex 2
+  EXPECT_EQ(v.slot, 2u);
+  EXPECT_EQ(v.worker, 0u);
+  EXPECT_EQ(v.current.phase, Phase::kCompute);
+  EXPECT_EQ(v.current.superstep, 4u);
+  EXPECT_STREQ(v.current.loc.file, "buggy.cpp");
+  EXPECT_EQ(v.current.loc.line, 10);
+}
+
+TEST(Verify, NonOwnerUpdateIsCaughtWithBothSites) {
+  SKIP_UNLESS_VERIFY();
+  MiniEngine mini;
+  Collector col;
+  mini.checker.set_handler(col.handler());
+  mini.run_clean_superstep(0);  // stamps slot 0 via the legal owner apply
+  mini.checker.begin_superstep(1);
+  PhaseScope snd(mini.checker, Phase::kSend);
+  // The seeded bug: worker 1 reaches across and writes worker 0's master.
+  mini.checker.on_master_write(1, 0, 0, SourceLoc{"buggy.cpp", 20});
+  ASSERT_EQ(col.seen.size(), 1u);
+  const Violation& v = col.seen[0];
+  EXPECT_EQ(v.kind, ViolationKind::kNonOwnerWrite);
+  EXPECT_EQ(v.vertex, 0u);
+  EXPECT_EQ(v.worker, 0u);          // the violated state lives on worker 0
+  EXPECT_EQ(v.current.worker, 1u);  // ...but worker 1 executed the write
+  EXPECT_EQ(v.current.superstep, 1u);
+  // The conflicting earlier access is superstep 0's legal owner apply.
+  ASSERT_TRUE(v.previous.valid());
+  EXPECT_EQ(v.previous.worker, 0u);
+  EXPECT_EQ(v.previous.superstep, 0u);
+  EXPECT_EQ(v.previous.phase, Phase::kSend);
+}
+
+TEST(Verify, StaleViewReadIsCaught) {
+  SKIP_UNLESS_VERIFY();
+  MiniEngine mini;
+  Collector col;
+  mini.checker.set_handler(col.handler());
+  mini.checker.begin_superstep(2);
+  {
+    // A buggy engine that applies before compute finished: the send-phase
+    // write lands in the same superstep a later compute read observes.
+    PhaseScope snd(mini.checker, Phase::kSend);
+    mini.checker.on_master_write(0, 0, 1, SourceLoc{"buggy.cpp", 30});
+  }
+  {
+    PhaseScope cmp(mini.checker, Phase::kCompute);
+    mini.checker.on_view_read(0, 0, 1, SourceLoc{"buggy.cpp", 31});
+  }
+  ASSERT_EQ(col.seen.size(), 1u);
+  const Violation& v = col.seen[0];
+  EXPECT_EQ(v.kind, ViolationKind::kStaleViewRead);
+  EXPECT_EQ(v.vertex, 1u);
+  EXPECT_EQ(v.current.loc.line, 31);
+  ASSERT_TRUE(v.previous.valid());
+  EXPECT_EQ(v.previous.loc.line, 30);
+  EXPECT_EQ(v.previous.phase, Phase::kSend);
+}
+
+TEST(Verify, SendDuringComputeIsCaught) {
+  SKIP_UNLESS_VERIFY();
+  MiniEngine mini;
+  Collector col;
+  mini.checker.set_handler(col.handler());
+  mini.checker.begin_superstep(0);
+  PhaseScope cmp(mini.checker, Phase::kCompute);
+  mini.checker.on_send(0, 1, SourceLoc{"buggy.cpp", 40});
+  ASSERT_EQ(col.seen.size(), 1u);
+  EXPECT_EQ(col.seen[0].kind, ViolationKind::kSendOutsidePhase);
+  EXPECT_EQ(col.seen[0].current.phase, Phase::kCompute);
+}
+
+TEST(Verify, StaleEpochReadIsCaughtWithRetireSite) {
+  SKIP_UNLESS_VERIFY();
+  Collector col;
+  EpochRegistry& reg = EpochRegistry::instance();
+  reg.set_handler(col.handler());
+  reg.publish(71);
+  reg.on_read(71, SourceLoc{"service.cpp", 50});  // live: silent
+  EXPECT_TRUE(col.seen.empty());
+  reg.retire(71, SourceLoc{"service.cpp", 60});
+  // The seeded bug: a job holds a snapshot pointer past its retirement.
+  reg.on_read(71, SourceLoc{"buggy.cpp", 70});
+  ASSERT_EQ(col.seen.size(), 1u);
+  const Violation& v = col.seen[0];
+  EXPECT_EQ(v.kind, ViolationKind::kStaleEpochRead);
+  EXPECT_EQ(v.epoch, 71u);
+  EXPECT_EQ(v.current.loc.line, 70);
+  ASSERT_TRUE(v.previous.valid());
+  EXPECT_EQ(v.previous.loc.line, 60);  // attributed to the retire site
+  reg.set_handler(Handler{});
+}
+
+TEST(Verify, ViolationDescribeNamesPhaseSuperstepVertexAndSites) {
+  SKIP_UNLESS_VERIFY();
+  MiniEngine mini;
+  Collector col;
+  mini.checker.set_handler(col.handler());
+  mini.checker.begin_superstep(9);
+  PhaseScope cmp(mini.checker, Phase::kCompute);
+  mini.checker.on_replica_write(0, 0, 2, SourceLoc{"buggy.cpp", 80});
+  ASSERT_EQ(col.seen.size(), 1u);
+  const std::string d = col.seen[0].describe();
+  EXPECT_NE(d.find("replica-write-in-compute"), std::string::npos);
+  EXPECT_NE(d.find("vertex 2"), std::string::npos);
+  EXPECT_NE(d.find("compute"), std::string::npos);
+  EXPECT_NE(d.find("superstep 9"), std::string::npos);
+  EXPECT_NE(d.find("buggy.cpp:80"), std::string::npos);
+}
+
+// The real engine, instrumented end-to-end, must be violation-free: PageRank
+// on an R-MAT graph across 4 workers exercises compute reads, staging,
+// owner applies, wire sends, and replica receives every superstep.
+TEST(Verify, CyclopsPageRankRunsCleanUnderVerification) {
+  SKIP_UNLESS_VERIFY();
+  const graph::Csr g = graph::Csr::build(graph::gen::rmat(8, 1200, 5));
+  algo::PageRankCyclops pr;
+  pr.epsilon = 1e-10;
+  core::Config cfg = core::Config::cyclops(2, 2);
+  cfg.max_supersteps = 60;
+  core::Engine<algo::PageRankCyclops> engine(g, test::hash_partition(g, 4), pr, cfg);
+  Collector col;
+  engine.verifier().set_handler(col.handler());
+  (void)engine.run();
+  EXPECT_TRUE(col.seen.empty()) << col.seen.front().describe();
+  EXPECT_EQ(engine.verifier().violations(), 0u);
+  EXPECT_GT(engine.verifier().accesses_checked(), 0u);
+  EXPECT_NE(engine.verifier().summary().find("0 violations"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cyclops::verify

@@ -62,6 +62,7 @@ struct Options {
   double scale = 1.0;        // generator scale factor
   std::string csv;           // per-superstep series output path
   bool stats_only = false;   // print graph stats and exit
+  bool verify_report = false;  // print the invariant checker's summary line
 
   // Multi-tenant serve mode: replay a scripted workload file against the
   // epoch-versioned service instead of running a single job.
@@ -118,6 +119,8 @@ struct Options {
       "  --scale F                   generator scale factor (default 1.0)\n"
       "  --csv PATH                  write per-superstep series as CSV\n"
       "  --stats                     print graph statistics and exit\n"
+      "  --verify                    print the immutable-view invariant checker\n"
+      "                              summary (needs -DCYCLOPS_VERIFY=ON build)\n"
       "\n"
       "serve mode (multi-tenant service replaying a scripted workload):\n"
       "  --serve FILE                workload script; lines are\n"
@@ -161,6 +164,7 @@ Options parse(int argc, char** argv) {
   o.scale = p.get("--scale", o.scale);
   o.csv = p.get("--csv", o.csv);
   o.stats_only = p.flag("--stats");
+  o.verify_report = p.flag("--verify");
   o.serve = p.get("--serve", o.serve);
   o.serve_workers = p.get("--serve-workers", o.serve_workers);
   o.serve_queue = p.get("--serve-queue", o.serve_queue);
@@ -274,6 +278,7 @@ int run_bsp(const Options& o, const graph::Csr& g, Prog prog) {
   bsp::Engine<Prog> engine(g, part, prog, cfg);
   const auto stats = engine.run();
   std::printf("%s\n", metrics::run_summary("hama/" + o.algo, stats).c_str());
+  if (o.verify_report) std::printf("%s\n", engine.verifier().summary().c_str());
   std::printf("%s\n", metrics::phase_breakdown_row("breakdown", stats, true).c_str());
   emit_csv(o, stats);
   return 0;
@@ -298,6 +303,7 @@ int run_cyclops(const Options& o, const graph::Csr& g, Prog prog, bool mt) {
   core::Engine<Prog> engine(g, part, prog, cfg);
   const auto stats = engine.run();
   std::printf("%s\n", metrics::run_summary(label, stats).c_str());
+  if (o.verify_report) std::printf("%s\n", engine.verifier().summary().c_str());
   std::printf("replication factor: %.2f, ingress %.3fs\n",
               engine.layout().replication_factor(g.num_vertices()), stats.ingress_s);
   std::printf("%s\n", metrics::phase_breakdown_row("breakdown", stats, true).c_str());
@@ -321,6 +327,7 @@ int run_gas(const Options& o, const graph::EdgeList& edges, Prog prog) {
   gas::Engine<Prog> engine(edges, cut, prog, cfg);
   const auto stats = engine.run();
   std::printf("%s\n", metrics::run_summary("powergraph/" + o.algo, stats).c_str());
+  if (o.verify_report) std::printf("%s\n", engine.verifier().summary().c_str());
   emit_csv(o, stats);
   return 0;
 }

@@ -1,0 +1,111 @@
+// cyclops-lint — repo-specific invariants that generic linters cannot know.
+//
+//   cyclops-lint <path>...        lint files / recurse directories
+//   cyclops-lint --rules          list the rules and exit
+//
+// Exit code 0 = clean, 1 = findings, 2 = usage or I/O error. Findings print
+// as `file:line: [rule] message`, one per line, in path order. The rule
+// engine lives in tools/lint_core.hpp and is unit-tested against fixture
+// files in tests/lint_fixtures/; CI runs this binary over src/cyclops as a
+// gate.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+bool skipped_dir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == "build" || name.rfind("build-", 0) == 0 || name == ".git" ||
+         name == "lint_fixtures" || name == "third_party";
+}
+
+std::vector<std::string> collect(const std::string& arg) {
+  std::vector<std::string> files;
+  const fs::path root(arg);
+  if (fs::is_regular_file(root)) {
+    files.push_back(root.string());
+    return files;
+  }
+  if (!fs::is_directory(root)) return files;
+  for (auto it = fs::recursive_directory_iterator(root);
+       it != fs::recursive_directory_iterator(); ++it) {
+    if (it->is_directory() && skipped_dir(it->path())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && lintable(it->path())) {
+      files.push_back(it->path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+void print_rules() {
+  std::printf(
+      "determinism     no rand()/srand()/time()/std::random_device in engine code\n"
+      "unordered-wire  no unordered_{map,set} iteration feeding the wire\n"
+      "raw-thread      no std::thread/std::mutex/std::condition_variable outside common/\n"
+      "wire-narrowing  no 8/16-bit narrowing casts on wire calls\n"
+      "\nsuppress with: // cyclops-lint: allow(<rule>)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: cyclops-lint <path>... | --rules\n");
+    return 2;
+  }
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rules") {
+      print_rules();
+      return 0;
+    }
+    if (!fs::exists(arg)) {
+      std::fprintf(stderr, "cyclops-lint: no such path: %s\n", arg.c_str());
+      return 2;
+    }
+    for (std::string& f : collect(arg)) files.push_back(std::move(f));
+  }
+
+  std::size_t total = 0;
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cyclops-lint: cannot read %s\n", file.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const auto findings = cyclops::lint::lint_file(file, buf.str());
+    for (const cyclops::lint::Finding& f : findings) {
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    }
+    total += findings.size();
+  }
+  if (total > 0) {
+    std::fprintf(stderr, "cyclops-lint: %zu finding%s in %zu file%s scanned\n", total,
+                 total == 1 ? "" : "s", files.size(), files.size() == 1 ? "" : "s");
+    return 1;
+  }
+  return 0;
+}

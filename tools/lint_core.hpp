@@ -1,0 +1,329 @@
+#pragma once
+// Rule engine for cyclops-lint (tools/cyclops_lint.cpp) — a line-oriented
+// token scanner, deliberately not a parser: every invariant it enforces is a
+// *textual* discipline this repo keeps so that simulated runs stay
+// bit-deterministic and the concurrency surface stays auditable. The rules:
+//
+//   determinism     rand()/srand()/time()/std::random_device in engine code
+//                   breaks seeded determinism — all randomness must flow from
+//                   seeded std::mt19937 instances.
+//   unordered-wire  iterating an unordered_{map,set} where the loop body
+//                   feeds the wire (send/send_record/serialize) lets hash
+//                   iteration order decide wire layout — traffic must be
+//                   bit-identical across runs (see bsp::Engine's combiner).
+//   raw-thread      std::thread/std::mutex/std::condition_variable outside
+//                   common/ — raw primitives live behind common/sync.hpp.
+//   wire-narrowing  a narrowing cast (to 8/16-bit) on the same line as a wire
+//                   call silently truncates wire-format integers.
+//
+// Suppress a finding with `// cyclops-lint: allow(<rule>)` on the same line
+// or the line above. The same engine is unit-tested against fixture files in
+// tests/lint_fixtures/ and run over the real tree as a ctest gate.
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cyclops::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+namespace detail {
+
+/// Strips string literals, char literals, and comments so token scans cannot
+/// match inside them. Block comments carry state across lines via in_block.
+inline std::string code_only(const std::string& line, bool& in_block) {
+  std::string out;
+  out.reserve(line.size());
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (in_block) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block = false;
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      in_block = true;
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\') {
+          ++i;
+        } else if (line[i] == quote) {
+          break;
+        }
+        ++i;
+      }
+      out.push_back(quote);  // keep a marker so adjacency checks still work
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+[[nodiscard]] inline bool ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `needle` occurs in `code` at an identifier boundary (the char
+/// before is not part of an identifier — `elapsed_time(` never matches
+/// `time(`, but `std::rand(` matches `rand(`).
+[[nodiscard]] inline bool has_token(std::string_view code, std::string_view needle) {
+  std::size_t pos = 0;
+  while ((pos = code.find(needle, pos)) != std::string_view::npos) {
+    if (pos == 0 || !ident_char(code[pos - 1])) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+[[nodiscard]] inline bool suppressed(const std::vector<std::string>& lines,
+                                     std::size_t idx, std::string_view rule) {
+  const std::string marker = "cyclops-lint: allow(" + std::string(rule) + ")";
+  if (lines[idx].find(marker) != std::string::npos) return true;
+  return idx > 0 && lines[idx - 1].find(marker) != std::string::npos;
+}
+
+/// Extracts the final identifier of the range expression in a range-for, or
+/// "" when the line is not a range-for. `for (auto& x : bucket.combined)`
+/// yields "combined".
+[[nodiscard]] inline std::string range_for_target(std::string_view code) {
+  const std::size_t f = code.find("for");
+  if (f == std::string_view::npos) return {};
+  if (f > 0 && ident_char(code[f - 1])) return {};
+  const std::size_t open = code.find('(', f);
+  if (open == std::string_view::npos) return {};
+  // The ':' of a range-for (ignoring "::" scopes) and the for-header's own
+  // matching ')' — NOT the line's last ')', which on a braceless one-liner
+  // like `for (x : xs) send(x);` belongs to the call in the body.
+  std::size_t colon = std::string_view::npos;
+  std::size_t close = std::string_view::npos;
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == '(') ++depth;
+    if (code[i] == ')') {
+      --depth;
+      if (depth == 0) {
+        close = i;
+        break;
+      }
+    }
+    if (code[i] == ':' && depth == 1 && colon == std::string_view::npos) {
+      const bool scope = (i + 1 < code.size() && code[i + 1] == ':') ||
+                         (i > 0 && code[i - 1] == ':');
+      if (!scope) colon = i;
+    }
+  }
+  if (colon == std::string_view::npos) return {};
+  if (close == std::string_view::npos || close <= colon) return {};
+  // Last identifier in the range expression.
+  std::size_t end = close;
+  while (end > colon && !ident_char(code[end - 1])) --end;
+  std::size_t begin = end;
+  while (begin > colon && ident_char(code[begin - 1])) --begin;
+  if (begin == end) return {};
+  return std::string(code.substr(begin, end - begin));
+}
+
+inline constexpr std::string_view kWireCalls[] = {"send(", "send_record(", ".write(",
+                                                 "write_vector(", "serialize("};
+
+[[nodiscard]] inline bool feeds_wire(std::string_view code) {
+  for (const std::string_view call : kWireCalls) {
+    if (code.find(call) != std::string_view::npos) return true;
+  }
+  return false;
+}
+
+inline constexpr std::string_view kNarrowCasts[] = {
+    "static_cast<std::uint8_t>",  "static_cast<std::int8_t>",
+    "static_cast<std::uint16_t>", "static_cast<std::int16_t>",
+    "static_cast<uint8_t>",       "static_cast<int8_t>",
+    "static_cast<uint16_t>",      "static_cast<int16_t>",
+    "static_cast<char>",          "static_cast<unsigned char>",
+    "static_cast<short>",         "static_cast<unsigned short>"};
+
+}  // namespace detail
+
+struct FileClass {
+  bool in_common = false;  ///< under common/: raw primitives are allowed here
+};
+
+[[nodiscard]] inline FileClass classify_path(std::string_view path) {
+  FileClass fc;
+  fc.in_common = path.find("common/") != std::string_view::npos ||
+                 path.find("common\\") != std::string_view::npos;
+  return fc;
+}
+
+/// Lints one file's content. `path` is used for reporting and for the
+/// common/-exemption of the raw-thread rule.
+inline std::vector<Finding> lint_file(const std::string& path, const std::string& content) {
+  const FileClass fc = classify_path(path);
+
+  std::vector<std::string> lines;
+  {
+    std::size_t start = 0;
+    while (start <= content.size()) {
+      const std::size_t nl = content.find('\n', start);
+      if (nl == std::string::npos) {
+        lines.push_back(content.substr(start));
+        break;
+      }
+      lines.push_back(content.substr(start, nl - start));
+      start = nl + 1;
+    }
+  }
+
+  std::vector<std::string> code(lines.size());
+  {
+    bool in_block = false;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      code[i] = detail::code_only(lines[i], in_block);
+    }
+  }
+
+  std::vector<Finding> findings;
+  const auto add = [&](std::size_t idx, std::string_view rule, std::string message) {
+    if (detail::suppressed(lines, idx, rule)) return;
+    findings.push_back(Finding{path, static_cast<int>(idx + 1), std::string(rule),
+                               std::move(message)});
+  };
+
+  // Identifiers declared as unordered containers anywhere in this file.
+  std::vector<std::string> unordered_idents;
+  for (const std::string& c : code) {
+    for (const std::string_view tok : {std::string_view("unordered_map<"),
+                                       std::string_view("unordered_set<")}) {
+      const std::size_t at = c.find(tok);
+      if (at == std::string::npos) continue;
+      // The declared name: the identifier after the closing '>' of the
+      // template args (single-line declarations only — this is a scanner).
+      int depth = 0;
+      std::size_t i = at + tok.size() - 1;  // at '<'
+      for (; i < c.size(); ++i) {
+        if (c[i] == '<') ++depth;
+        if (c[i] == '>' && --depth == 0) break;
+      }
+      if (i >= c.size()) continue;
+      ++i;
+      while (i < c.size() && (std::isspace(static_cast<unsigned char>(c[i])) != 0 ||
+                              c[i] == '&' || c[i] == '*')) {
+        ++i;
+      }
+      std::size_t end = i;
+      while (end < c.size() && detail::ident_char(c[end])) ++end;
+      if (end > i) unordered_idents.push_back(c.substr(i, end - i));
+    }
+  }
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string& c = code[i];
+    if (c.empty()) continue;
+
+    // determinism
+    for (const std::string_view tok : {std::string_view("rand("),
+                                       std::string_view("srand("),
+                                       std::string_view("time(")}) {
+      if (detail::has_token(c, tok)) {
+        add(i, "determinism",
+            std::string(tok.substr(0, tok.size() - 1)) +
+                "() is wall-clock/global-state randomness; use a seeded "
+                "std::mt19937 so runs stay reproducible");
+        break;
+      }
+    }
+    if (c.find("std::random_device") != std::string::npos) {
+      add(i, "determinism",
+          "std::random_device is nondeterministic; seed a std::mt19937 from "
+          "config instead");
+    }
+
+    // raw-thread
+    if (!fc.in_common) {
+      for (const std::string_view tok : {std::string_view("std::thread"),
+                                         std::string_view("std::mutex"),
+                                         std::string_view("std::condition_variable")}) {
+        const std::size_t at = c.find(tok);
+        if (at == std::string::npos) continue;
+        // std::this_thread and std::thread:: members (e.g. hardware_concurrency
+        // via the alias) still name the raw type; only exact-token hits count.
+        if (at + tok.size() < c.size() && detail::ident_char(c[at + tok.size()])) continue;
+        add(i, "raw-thread",
+            std::string(tok) + " outside common/; use the cyclops::Thread / "
+                               "Mutex / CondVar aliases from common/sync.hpp");
+        break;
+      }
+    }
+
+    // wire-narrowing
+    if (detail::feeds_wire(c)) {
+      for (const std::string_view cast : detail::kNarrowCasts) {
+        if (c.find(cast) != std::string::npos) {
+          add(i, "wire-narrowing",
+              std::string(cast) + " on a wire call truncates the value on the "
+                                  "wire; widen the wire field or suppress if "
+                                  "the narrowing is the format");
+          break;
+        }
+      }
+    }
+
+    // unordered-wire: a range-for over an unordered container whose body
+    // (up to the matching close brace, 60-line cap) feeds the wire.
+    const std::string target = detail::range_for_target(c);
+    if (!target.empty()) {
+      bool is_unordered = false;
+      for (const std::string& ident : unordered_idents) {
+        if (ident == target) {
+          is_unordered = true;
+          break;
+        }
+      }
+      if (is_unordered) {
+        int depth = 0;
+        bool entered = false;
+        const std::size_t cap = std::min(lines.size(), i + 60);
+        for (std::size_t j = i; j < cap; ++j) {
+          for (const char ch : code[j]) {
+            if (ch == '{') {
+              ++depth;
+              entered = true;
+            }
+            if (ch == '}') --depth;
+          }
+          // j == i covers the braceless same-line body: the for-header itself
+          // is `for (decl : ident)` and cannot contain a call.
+          if (detail::feeds_wire(code[j])) {
+            add(i, "unordered-wire",
+                "iteration over unordered container '" + target +
+                    "' feeds the wire; hash order is not deterministic across "
+                    "runs — drain into a sorted vector first");
+            break;
+          }
+          if (entered && depth <= 0) break;
+          if (!entered && j > i + 1) break;  // braceless body: for-line + 2
+        }
+      }
+    }
+  }
+
+  return findings;
+}
+
+}  // namespace cyclops::lint
