@@ -139,6 +139,7 @@ class Engine {
       fabric_.install_faults(config_.faults.get());
       driver_.set_fault_injector(config_.faults.get());
     }
+    if (config_.schedule) pool_.set_task_order(config_.schedule.get());
     driver_.set_checker(&vcheck_);
     build_local_state();
   }
@@ -373,10 +374,16 @@ class Engine {
       verify::PhaseScope vps(vcheck_, verify::Phase::kParse);
       pool_.parallel_tasks(workers, [&](std::size_t w) {
         auto& queue = inqueue_[w];
+        // Read-then-clear of the global in-queue: a write stamp conflicts
+        // with any unordered enqueue still in flight from the exchange.
+        vcheck_.on_queue_access(static_cast<WorkerId>(w), static_cast<WorkerId>(w),
+                                /*is_write=*/true, CYCLOPS_VLOC);
         parsed[w] = queue.size();
         for (const WireRecord& rec : queue) {
           vcheck_.on_master_stage(static_cast<WorkerId>(w), static_cast<WorkerId>(w),
                                   rec.dst, CYCLOPS_VLOC);
+          vcheck_.on_mailbox_write(static_cast<WorkerId>(w), static_cast<WorkerId>(w),
+                                   rec.dst, CYCLOPS_VLOC);
           mailbox_[rec.dst].push_back(rec.payload);
           active_.set(rec.dst);
           halted_.clear(rec.dst);
@@ -396,6 +403,8 @@ class Engine {
         for (VertexId v : local_vertices_[w]) {
           if (!active_.test(v)) continue;
           Context ctx(*this, static_cast<WorkerId>(w), v);
+          vcheck_.on_mailbox_read(static_cast<WorkerId>(w), static_cast<WorkerId>(w), v,
+                                  CYCLOPS_VLOC);
           program_.compute(ctx, std::span<const Message>(mailbox_[v]));
           ++computed[w];
           consumed[w] += mailbox_[v].size();
@@ -403,7 +412,11 @@ class Engine {
             halted_.set(v);
             active_.clear(v);
           }
-          if (!mailbox_[v].empty()) std::vector<Message>().swap(mailbox_[v]);
+          if (!mailbox_[v].empty()) {
+            vcheck_.on_mailbox_write(static_cast<WorkerId>(w), static_cast<WorkerId>(w), v,
+                                     CYCLOPS_VLOC);
+            std::vector<Message>().swap(mailbox_[v]);
+          }
         }
       });
     }
@@ -469,6 +482,11 @@ class Engine {
       pool_.parallel_tasks(workers, [&](std::size_t w) {
         Channel::drain(fabric_, static_cast<WorkerId>(w), [&](const WireRecord& rec) {
           inqueue_locks_[w].lock();
+          // Stamped inside the critical section: the SpinLock's release/
+          // acquire clock is what orders concurrent enqueuers, so an
+          // unguarded push shows up as a queue-cell race.
+          vcheck_.on_queue_access(static_cast<WorkerId>(w), static_cast<WorkerId>(w),
+                                  /*is_write=*/true, CYCLOPS_VLOC);
           inqueue_[w].push_back(rec);
           inqueue_locks_[w].unlock();
           ++delivered[w];

@@ -8,6 +8,7 @@
 #include "cyclops/common/types.hpp"
 #include "cyclops/sim/cost_model.hpp"
 #include "cyclops/sim/fault.hpp"
+#include "cyclops/sim/sched.hpp"
 #include "cyclops/sim/software_model.hpp"
 
 namespace cyclops::bsp {
@@ -23,6 +24,10 @@ struct Config {
   /// Fault schedule shared across engine incarnations of a recovering run
   /// (see sim/fault.hpp); null runs fault-free.
   std::shared_ptr<sim::FaultInjector> faults;
+
+  /// Seeded schedule explorer for the pool (see sim/sched.hpp); null keeps
+  /// the native static schedule.
+  std::shared_ptr<sim::ScheduleExplorer> schedule;
 
   /// Deterministic per-operation software costs (see sim/software_model.hpp).
   sim::SoftwareModel software = sim::SoftwareModel::hama_java();

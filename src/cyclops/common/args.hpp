@@ -78,7 +78,7 @@ class Parser {
 
   [[noreturn]] static void fail(const std::string& msg) {
     std::fprintf(stderr, "%s\n", msg.c_str());
-    std::exit(2);
+    std::exit(2);  // NOLINT(concurrency-mt-unsafe) — parse-time fail path
   }
 
  private:

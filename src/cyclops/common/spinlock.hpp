@@ -6,6 +6,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "cyclops/verify/race.hpp"
+
 namespace cyclops {
 
 class SpinLock {
@@ -18,9 +20,13 @@ class SpinLock {
       }
     }
     acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    verify::race::lock_acquired(this);
   }
 
-  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+  void unlock() noexcept {
+    verify::race::lock_released(this);
+    flag_.store(false, std::memory_order_release);
+  }
 
   [[nodiscard]] std::uint64_t acquisitions() const noexcept {
     return acquisitions_.load(std::memory_order_relaxed);

@@ -30,12 +30,14 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen_generation = 0;
   for (;;) {
     const std::function<void(std::size_t)>* fn = nullptr;
+    const verify::race::Region* region = nullptr;
     {
       std::unique_lock lock(mutex_);
       cv_start_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
       if (stop_) return;
       seen_generation = generation_;
       fn = job_.fn;
+      region = job_.region;
     }
     for (;;) {
       std::size_t task;
@@ -44,6 +46,7 @@ void ThreadPool::worker_loop() {
         if (next_task_ >= job_.tasks) break;
         task = next_task_++;
       }
+      verify::race::TaskScope scope(*region, task);
       (*fn)(task);
     }
     {
@@ -55,14 +58,35 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_tasks(std::size_t tasks, const std::function<void(std::size_t)>& fn) {
   if (tasks == 0) return;
+  // One logical happens-before context per task, joined at return — the race
+  // analyzer's fork/join edges. The pool's own mutex/condvar are deliberately
+  // not modeled: logical tasks stay concurrent no matter which host thread
+  // (or serial order) executes them.
+  verify::race::Region region(tasks);
+  if (order_hook_ != nullptr) {
+    // Explorer mode: serial execution in the planned order. The permutation
+    // IS the interleaving — with one task at a time there is nothing else
+    // the schedule can vary, so a (seed, schedule) pair replays exactly.
+    order_.clear();
+    order_hook_->plan_region(tasks, order_);
+    CYCLOPS_CHECK(order_.size() == tasks);
+    for (const std::size_t t : order_) {
+      verify::race::TaskScope scope(region, t);
+      fn(t);
+    }
+    return;
+  }
   if (workers_.empty() || tasks == 1) {
-    for (std::size_t i = 0; i < tasks; ++i) fn(i);
+    for (std::size_t i = 0; i < tasks; ++i) {
+      verify::race::TaskScope scope(region, i);
+      fn(i);
+    }
     return;
   }
   {
     std::lock_guard lock(mutex_);
     CYCLOPS_CHECK(pending_ == 0);  // no nested/concurrent pool use
-    job_ = Job{&fn, tasks};
+    job_ = Job{&fn, tasks, &region};
     next_task_ = 0;
     pending_ = workers_.size();
     ++generation_;
@@ -76,11 +100,15 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
   const std::size_t threads = workers_.empty() ? 1 : workers_.size();
-  if (threads == 1) {
+  if (threads == 1 && order_hook_ == nullptr) {
     fn(0, n);
     return;
   }
-  const std::size_t chunks = std::min(n, threads * 4);
+  std::size_t chunks = std::min(n, threads * 4);
+  if (order_hook_ != nullptr) {
+    chunks = order_hook_->plan_chunks(n, threads, chunks);
+    chunks = std::max<std::size_t>(1, std::min(n, chunks));
+  }
   const std::size_t chunk = (n + chunks - 1) / chunks;
   std::function<void(std::size_t)> task = [&](std::size_t c) {
     const std::size_t begin = c * chunk;

@@ -144,6 +144,7 @@ class Engine {
       fabric_.install_faults(config_.faults.get());
       driver_.set_fault_injector(config_.faults.get());
     }
+    if (config_.schedule) pool_.set_task_order(config_.schedule.get());
     driver_.set_checker(&vcheck_);
     Timer ingress;
     layout_ = build_layout(g, part);
@@ -395,6 +396,9 @@ class Engine {
         const Message& msg = shared_data_[w][i];
         for (std::size_t r = wl.rep_offsets[i]; r < wl.rep_offsets[i + 1]; ++r) {
           const ReplicaRef ref = wl.rep_targets[r];
+          // Driver-thread write, stamped so a concurrent reader shows up as a
+          // race rather than silently observing a half-resynced view.
+          vcheck_.on_replica_write(ref.worker, ref.worker, ref.slot, CYCLOPS_VLOC);
           shared_data_[ref.worker][ref.slot] = msg;
         }
       }

@@ -12,6 +12,7 @@
 #include "cyclops/common/types.hpp"
 #include "cyclops/sim/cost_model.hpp"
 #include "cyclops/sim/fault.hpp"
+#include "cyclops/sim/sched.hpp"
 #include "cyclops/sim/software_model.hpp"
 
 namespace cyclops::core {
@@ -25,6 +26,12 @@ struct Config {
   /// Fault schedule shared across engine incarnations of a recovering run
   /// (see sim/fault.hpp); null runs fault-free.
   std::shared_ptr<sim::FaultInjector> faults;
+
+  /// Seeded schedule explorer installed on the engine's pool: permutes task
+  /// order per parallel region so N seeds explore N interleavings, each
+  /// bit-identically replayable (see sim/sched.hpp). Null runs the pool's
+  /// native static schedule.
+  std::shared_ptr<sim::ScheduleExplorer> schedule;
 
   unsigned compute_threads = 1;   ///< simulated threads per worker (T in MxWxT/R)
   unsigned receiver_threads = 1;  ///< simulated message receivers per worker (R)

@@ -38,6 +38,7 @@
 #include "cyclops/runtime/sync_channel.hpp"
 #include "cyclops/sim/fabric.hpp"
 #include "cyclops/sim/fault.hpp"
+#include "cyclops/sim/sched.hpp"
 #include "cyclops/sim/software_model.hpp"
 #include "cyclops/verify/verify.hpp"
 
@@ -53,6 +54,10 @@ struct Config {
   /// Fault schedule shared across engine incarnations of a recovering run
   /// (see sim/fault.hpp); null runs fault-free.
   std::shared_ptr<sim::FaultInjector> faults;
+
+  /// Seeded schedule explorer for the pool (see sim/sched.hpp); null keeps
+  /// the native static schedule.
+  std::shared_ptr<sim::ScheduleExplorer> schedule;
 
   [[nodiscard]] static Config workers(WorkerId w) {
     Config c;
@@ -81,6 +86,7 @@ class Engine {
       fabric_.install_faults(config_.faults.get());
       driver_.set_fault_injector(config_.faults.get());
     }
+    if (config_.schedule) pool_.set_task_order(config_.schedule.get());
     driver_.set_checker(&vcheck_);
     Timer ingress;
     layout_ = build_gas_layout(edges, part);
@@ -223,6 +229,10 @@ class Engine {
       for (Copy c = 0; c < wl.num_copies(); ++c) {
         if (wl.is_master[c]) continue;
         const MirrorRef m = wl.master_of[c];
+        // Mirror slots are rewritten outside any superstep (kIdle), on the
+        // driver thread; the stamp keeps the restore path inside both the
+        // phase discipline and the happens-before model.
+        vcheck_.on_replica_write(w, w, static_cast<std::uint32_t>(c), CYCLOPS_VLOC);
         values_[w][c] = values_[m.worker][m.copy];
         old_values_[w][c] = values_[w][c];
       }

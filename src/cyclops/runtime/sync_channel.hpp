@@ -62,7 +62,8 @@ class SyncChannel {
     Sender(sim::Fabric& fabric, WorkerId from, std::size_t lane = 0,
            verify::EngineChecker* checker = nullptr,
            verify::SourceLoc loc = {}) noexcept
-        : box_(&fabric.outbox(from, lane)), from_(from), checker_(checker), loc_(loc) {}
+        : box_(&fabric.outbox(from, lane)), from_(from), lane_(lane),
+          checker_(checker), loc_(loc) {}
 
     /// Pre-allocates room for `n_records` more records headed to `to`, so a
     /// batch of sends costs one buffer growth instead of one per record.
@@ -70,15 +71,19 @@ class SyncChannel {
       box_->reserve(to, n_records * sizeof(Record));
     }
 
-    /// Appends one record for `to` — counts as one logical message.
+    /// Appends one record for `to` — counts as one logical message. The
+    /// lane-aware checker hook both phase-checks the send and race-stamps
+    /// the (from, lane) cell: two unordered writers sharing a lane is a
+    /// happens-before violation of the single-writer-per-lane discipline.
     void send(WorkerId to, const Record& rec) {
-      if (checker_ != nullptr) checker_->on_send(from_, to, loc_);
+      if (checker_ != nullptr) checker_->on_send(from_, to, lane_, loc_);
       box_->send_record(to, rec);
     }
 
    private:
     sim::OutBox* box_;
     WorkerId from_ = 0;
+    std::size_t lane_ = 0;
     verify::EngineChecker* checker_ = nullptr;
     verify::SourceLoc loc_;
   };

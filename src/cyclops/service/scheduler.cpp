@@ -35,6 +35,7 @@ Submission JobScheduler::submit(JobSpec spec, SnapshotRef snap) {
   Submission out;
   const std::string invalid = validate(spec, *snap);
   LockGuard<Mutex> lock(mutex_);
+  verify::race::MutexObserver mo(&mutex_);
   if (draining_) {
     out.reason = "scheduler shutting down";
     ++counters_.rejected;
@@ -62,6 +63,7 @@ Submission JobScheduler::submit(JobSpec spec, SnapshotRef snap) {
   job->stats.engine = engine_name(job->spec.engine);
   job->stats.epoch = job->snap->epoch();
   job->stats.priority = job->spec.priority;
+  stamp_job_locked(job->id, /*is_write=*/true, CYCLOPS_VLOC);
   queue_.push_back(job);
   jobs_.emplace(job->id, job);
   order_.push_back(job);
@@ -87,19 +89,28 @@ std::size_t JobScheduler::pick_locked() const {
 
 void JobScheduler::worker_loop() {
   UniqueLock<Mutex> lock(mutex_);
+  // Every real acquire/release of mutex_ inside this loop carries a matching
+  // lock-clock annotation — including the ones hidden inside the condvar
+  // waits — so the kJob cell stamps below are ordered exactly when the lock
+  // orders them and never otherwise.
+  verify::race::lock_acquired(&mutex_);
   for (;;) {
-    cv_work_.wait(lock, [&] {
+    verify::race::annotated_wait(cv_work_, lock, &mutex_, [&] {
       if (draining_ && queue_.empty()) return true;
       return !paused_ && pick_locked() != kNpos;
     });
     if (queue_.empty()) {
-      if (draining_) return;
+      if (draining_) {
+        verify::race::lock_released(&mutex_);
+        return;
+      }
       continue;  // woken for a job another worker already claimed
     }
     const std::size_t idx = pick_locked();
     if (idx == kNpos) continue;
     JobPtr job = queue_[idx];
     queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+    stamp_job_locked(job->id, /*is_write=*/true, CYCLOPS_VLOC);
     job->state = JobState::kRunning;
     job->stats.queue_wait_s = std::chrono::duration<double>(
                                   std::chrono::steady_clock::now() - job->submitted)
@@ -107,6 +118,7 @@ void JobScheduler::worker_loop() {
     job->stats.started_s = now_s();
     ++tenant_running_[job->spec.tenant];
     ++running_;
+    verify::race::lock_released(&mutex_);
     lock.unlock();
 
     std::shared_ptr<JobResult> result;
@@ -129,6 +141,8 @@ void JobScheduler::worker_loop() {
             .count();
 
     lock.lock();
+    verify::race::lock_acquired(&mutex_);
+    stamp_job_locked(job->id, /*is_write=*/true, CYCLOPS_VLOC);
     job->stats.run_s = run_s;
     job->stats.finished_s = now_s();
     job->stats.modeled_comm_s = modeled;
@@ -154,9 +168,11 @@ void JobScheduler::worker_loop() {
 
 bool JobScheduler::cancel(std::uint64_t id) {
   LockGuard<Mutex> lock(mutex_);
+  verify::race::MutexObserver mo(&mutex_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end() || it->second->state != JobState::kQueued) return false;
   JobPtr job = it->second;
+  stamp_job_locked(job->id, /*is_write=*/true, CYCLOPS_VLOC);
   queue_.erase(std::find(queue_.begin(), queue_.end(), job));
   job->state = JobState::kCancelled;
   job->stats.outcome = "cancelled";
@@ -172,21 +188,25 @@ bool JobScheduler::cancel(std::uint64_t id) {
 
 void JobScheduler::resume() {
   LockGuard<Mutex> lock(mutex_);
+  verify::race::MutexObserver mo(&mutex_);
   paused_ = false;
   cv_work_.notify_all();
 }
 
 void JobScheduler::wait(std::uint64_t id) {
   UniqueLock<Mutex> lock(mutex_);
+  verify::race::MutexObserver mo(&mutex_);
   const auto it = jobs_.find(id);
   CYCLOPS_CHECK(it != jobs_.end());
   JobPtr job = it->second;
-  cv_done_.wait(lock, [&] { return terminal(job->state); });
+  verify::race::annotated_wait(cv_done_, lock, &mutex_, [&] { return terminal(job->state); });
+  stamp_job_locked(job->id, /*is_write=*/false, CYCLOPS_VLOC);
 }
 
 void JobScheduler::wait_all() {
   UniqueLock<Mutex> lock(mutex_);
-  cv_done_.wait(lock, [&] {
+  verify::race::MutexObserver mo(&mutex_);
+  verify::race::annotated_wait(cv_done_, lock, &mutex_, [&] {
     return running_ == 0 && (paused_ || queue_.empty());
   });
 }
@@ -194,6 +214,7 @@ void JobScheduler::wait_all() {
 void JobScheduler::shutdown() {
   {
     LockGuard<Mutex> lock(mutex_);
+    verify::race::MutexObserver mo(&mutex_);
     draining_ = true;
     paused_ = false;  // a paused scheduler must still drain
     cv_work_.notify_all();
@@ -204,28 +225,37 @@ void JobScheduler::shutdown() {
 
 metrics::JobStats JobScheduler::stats_for(std::uint64_t id) const {
   LockGuard<Mutex> lock(mutex_);
+  verify::race::MutexObserver mo(&mutex_);
   const auto it = jobs_.find(id);
   CYCLOPS_CHECK(it != jobs_.end());
+  stamp_job_locked(id, /*is_write=*/false, CYCLOPS_VLOC);
   return it->second->stats;
 }
 
 std::vector<metrics::JobStats> JobScheduler::all_stats() const {
   LockGuard<Mutex> lock(mutex_);
+  verify::race::MutexObserver mo(&mutex_);
   std::vector<metrics::JobStats> out;
   out.reserve(order_.size());
-  for (const JobPtr& job : order_) out.push_back(job->stats);
+  for (const JobPtr& job : order_) {
+    stamp_job_locked(job->id, /*is_write=*/false, CYCLOPS_VLOC);
+    out.push_back(job->stats);
+  }
   return out;
 }
 
 std::shared_ptr<const JobResult> JobScheduler::result_for(std::uint64_t id) const {
   LockGuard<Mutex> lock(mutex_);
+  verify::race::MutexObserver mo(&mutex_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) return nullptr;
+  stamp_job_locked(id, /*is_write=*/false, CYCLOPS_VLOC);
   return it->second->result;
 }
 
 SchedulerCounters JobScheduler::counters() const {
   LockGuard<Mutex> lock(mutex_);
+  verify::race::MutexObserver mo(&mutex_);
   return counters_;
 }
 

@@ -23,6 +23,7 @@
 #include "cyclops/metrics/job_stats.hpp"
 #include "cyclops/service/job.hpp"
 #include "cyclops/service/snapshot.hpp"
+#include "cyclops/verify/race.hpp"
 
 namespace cyclops::service {
 
@@ -87,6 +88,12 @@ class JobScheduler {
   [[nodiscard]] SchedulerCounters counters() const;
   [[nodiscard]] std::size_t worker_slots() const noexcept { return slots_; }
 
+  /// Happens-before detector over job records (kJob cells): submit / claim /
+  /// complete stamp writes, stats and result queries stamp reads, all ordered
+  /// by mutex_'s lock clock. A no-op object unless -DCYCLOPS_VERIFY and
+  /// verify::race::enable(true).
+  [[nodiscard]] verify::race::Detector& racer() const noexcept { return racer_; }
+
  private:
   struct Job {
     std::uint64_t id = 0;
@@ -102,6 +109,13 @@ class JobScheduler {
   void worker_loop();
   /// Index into queue_ of the next dispatchable job, or npos.
   [[nodiscard]] std::size_t pick_locked() const;
+  /// Stamps the job's kJob race cell (caller holds mutex_, whose lock clock
+  /// provides the ordering being checked).
+  void stamp_job_locked(std::uint64_t id, bool is_write, verify::SourceLoc loc) const {
+    racer_.on_access(verify::race::CellClass::kJob, /*worker=*/0, id,
+                     static_cast<VertexId>(id), is_write, loc, verify::Phase::kIdle,
+                     /*step=*/0, /*executing=*/0);
+  }
   [[nodiscard]] double now_s() const {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_)
         .count();
@@ -127,6 +141,7 @@ class JobScheduler {
   SchedulerCounters counters_;
   bool paused_ = false;
   bool draining_ = false;
+  mutable verify::race::Detector racer_;
 
   Thread dispatcher_;
 };

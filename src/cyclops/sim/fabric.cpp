@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "cyclops/verify/race.hpp"
+
 namespace cyclops::sim {
 
 Fabric::Fabric(Topology topo, CostModel model, std::size_t lanes_per_worker)
@@ -15,6 +17,10 @@ Fabric::Fabric(Topology topo, CostModel model, std::size_t lanes_per_worker)
 ExchangeStats Fabric::exchange(std::size_t barrier_participants) {
   ExchangeStats stats;
   const WorkerId workers = topo_.total_workers();
+
+  // The global barrier is a happens-before epoch for the race analyzer: every
+  // lane filled before it is drained here, on the driver's clock.
+  verify::race::exchange_barrier();
 
   // Fault boundary: a machine scheduled to die at this superstep dies before
   // delivering anything — its outbound traffic and every peer's in-flight

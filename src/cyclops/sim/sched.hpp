@@ -1,0 +1,108 @@
+#pragma once
+// Seeded deterministic schedule explorer (PCT-flavored, after Burckhardt et
+// al.'s probabilistic concurrency testing): a TaskOrderHook that permutes the
+// execution order of every ThreadPool region and the chunk split of every
+// parallel_for, all as a pure function of (seed, decision index). N seeds
+// explore N distinct interleavings of the engines' logical tasks; the same
+// seed replays the same interleaving bit-identically, because the pool runs
+// hooked regions serially in the planned order — there is no residual host
+// nondeterminism left to leak in.
+//
+// The rolling FNV digest over every decision is the "schedule" half of a race
+// report's (seed, schedule) pair: it names the exact prefix of scheduling
+// decisions that led to the race, and is also what the schedule-independence
+// tests compare (same seed => same digest; any seed => same wire traffic).
+//
+// Works with or without CYCLOPS_VERIFY — schedule sweeps check wire/value
+// determinism on their own; the race analyzer rides along when compiled in
+// (note_schedule stamps reports, a no-op otherwise).
+//
+// Not thread-safe: one explorer serves one ThreadPool's (serialized) regions.
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cyclops/common/thread_pool.hpp"
+#include "cyclops/verify/race.hpp"
+
+namespace cyclops::sim {
+
+class ScheduleExplorer final : public TaskOrderHook {
+ public:
+  explicit ScheduleExplorer(std::uint64_t seed) noexcept : seed_(seed) {}
+
+  void plan_region(std::size_t tasks, std::vector<std::size_t>& order) override {
+    order.resize(tasks);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    // Fisher-Yates with a hand-rolled draw (rng() % i): uniform_int_distribution
+    // is implementation-defined, and the whole point of a schedule digest is
+    // that a seed means the same interleaving everywhere.
+    std::uint64_t rng = mix(seed_, ++decisions_);
+    for (std::size_t i = tasks; i > 1; --i) {
+      rng = next(rng);
+      std::swap(order[i - 1], order[rng % i]);
+    }
+    fold(0x5245u);  // "RE"gion
+    fold(tasks);
+    for (const std::size_t t : order) fold(t);
+    ++regions_;
+    verify::race::note_schedule(seed_, digest_);
+  }
+
+  std::size_t plan_chunks(std::size_t n, std::size_t threads,
+                          std::size_t default_chunks) override {
+    const std::size_t cap =
+        std::max<std::size_t>(default_chunks, std::min(n, threads * 4));
+    const std::uint64_t draw = next(mix(seed_, ++decisions_));
+    const std::size_t chunks = 1 + static_cast<std::size_t>(draw % cap);
+    fold(0x4348u);  // "CH"unks
+    fold(n);
+    fold(chunks);
+    verify::race::note_schedule(seed_, digest_);
+    return chunks;
+  }
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  /// Rolling digest of every scheduling decision taken so far.
+  [[nodiscard]] std::uint64_t digest() const noexcept { return digest_; }
+  [[nodiscard]] std::uint64_t regions() const noexcept { return regions_; }
+
+  [[nodiscard]] std::string describe() const {
+    std::ostringstream os;
+    os << "schedule seed=" << seed_ << " digest=0x" << std::hex << digest_
+       << std::dec << " regions=" << regions_;
+    return os.str();
+  }
+
+ private:
+  /// splitmix64 — the standard seeding scrambler; decision index in, state out.
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t seed,
+                                         std::uint64_t decision) noexcept {
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (decision + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  [[nodiscard]] static std::uint64_t next(std::uint64_t s) noexcept {
+    return mix(s, 0x6a09e667f3bcc908ULL);
+  }
+
+  void fold(std::uint64_t v) noexcept {
+    // FNV-1a over the value's 8 bytes.
+    for (int b = 0; b < 8; ++b) {
+      digest_ ^= (v >> (8 * b)) & 0xffu;
+      digest_ *= 0x100000001b3ULL;
+    }
+  }
+
+  std::uint64_t seed_;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t regions_ = 0;
+  std::uint64_t digest_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+};
+
+}  // namespace cyclops::sim

@@ -1,0 +1,66 @@
+#pragma once
+// Shared vocabulary of the verification layer: superstep phases, source
+// locations, and access sites. Split out of verify.hpp so the race analyzer
+// (verify/race.hpp) and the low-level primitives it instruments (ThreadPool,
+// SpinLock, Fabric) can name these types without pulling in the full
+// EngineChecker. Everything here is compiled unconditionally — only the
+// trackers themselves are gated on CYCLOPS_VERIFY.
+
+#include <cstdint>
+
+#include "cyclops/common/types.hpp"
+
+namespace cyclops::verify {
+
+/// True when the checker is compiled in; engines use it to skip building
+/// registration tables that the stub would discard.
+#ifdef CYCLOPS_VERIFY
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/// The superstep phases the discipline is defined over. Engines map their own
+/// stages onto these: Hama runs Parse/Compute/Send/Sync, Cyclops runs
+/// Compute/Send/Exchange/Sync (no parse — that is the point), GAS treats each
+/// gather/apply/scatter leg as Compute and its four exchanges as Send/Exchange.
+enum class Phase : std::uint8_t {
+  kIdle = 0,     ///< outside any superstep (construction, checkpoint, rebuild)
+  kParse = 1,    ///< BSP PRS: in-queue drained into mailboxes
+  kCompute = 2,  ///< vertex programs run over the immutable view
+  kSend = 3,     ///< owners apply staged state and emit sync messages
+  kExchange = 4, ///< barrier + delivery: replica/mirror slots updated
+  kSync = 5,     ///< active-set swap, termination vote
+};
+
+[[nodiscard]] inline const char* phase_name(Phase p) noexcept {
+  switch (p) {
+    case Phase::kIdle: return "idle";
+    case Phase::kParse: return "parse";
+    case Phase::kCompute: return "compute";
+    case Phase::kSend: return "send";
+    case Phase::kExchange: return "exchange";
+    case Phase::kSync: return "sync";
+  }
+  return "?";
+}
+
+/// Source location captured at each instrumented access (see CYCLOPS_VLOC).
+struct SourceLoc {
+  const char* file = nullptr;
+  int line = 0;
+};
+
+/// One recorded access: where, when (superstep + phase), and by whom.
+struct AccessSite {
+  SourceLoc loc;
+  Phase phase = Phase::kIdle;
+  Superstep superstep = 0;
+  WorkerId worker = kInvalidWorker;
+  [[nodiscard]] bool valid() const noexcept { return loc.file != nullptr; }
+};
+
+#define CYCLOPS_VLOC \
+  ::cyclops::verify::SourceLoc { __FILE__, __LINE__ }
+
+}  // namespace cyclops::verify

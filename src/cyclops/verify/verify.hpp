@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "cyclops/common/types.hpp"
+#include "cyclops/verify/race.hpp"
+#include "cyclops/verify/site.hpp"
 
 #ifdef CYCLOPS_VERIFY
 #include <atomic>
@@ -44,38 +46,9 @@
 
 namespace cyclops::verify {
 
-/// True when the checker is compiled in; engines use it to skip building
-/// registration tables that the stub would discard.
-#ifdef CYCLOPS_VERIFY
-inline constexpr bool kEnabled = true;
-#else
-inline constexpr bool kEnabled = false;
-#endif
-
-/// The superstep phases the discipline is defined over. Engines map their own
-/// stages onto these: Hama runs Parse/Compute/Send/Sync, Cyclops runs
-/// Compute/Send/Exchange/Sync (no parse — that is the point), GAS treats each
-/// gather/apply/scatter leg as Compute and its four exchanges as Send/Exchange.
-enum class Phase : std::uint8_t {
-  kIdle = 0,     ///< outside any superstep (construction, checkpoint, rebuild)
-  kParse = 1,    ///< BSP PRS: in-queue drained into mailboxes
-  kCompute = 2,  ///< vertex programs run over the immutable view
-  kSend = 3,     ///< owners apply staged state and emit sync messages
-  kExchange = 4, ///< barrier + delivery: replica/mirror slots updated
-  kSync = 5,     ///< active-set swap, termination vote
-};
-
-[[nodiscard]] inline const char* phase_name(Phase p) noexcept {
-  switch (p) {
-    case Phase::kIdle: return "idle";
-    case Phase::kParse: return "parse";
-    case Phase::kCompute: return "compute";
-    case Phase::kSend: return "send";
-    case Phase::kExchange: return "exchange";
-    case Phase::kSync: return "sync";
-  }
-  return "?";
-}
+// kEnabled, Phase, phase_name, SourceLoc, AccessSite, and CYCLOPS_VLOC moved
+// to verify/site.hpp (shared with the race analyzer); the happens-before
+// race detector itself lives in verify/race.hpp.
 
 /// What a violation broke. Names mirror the invariant list in DESIGN.md §7b.
 enum class ViolationKind : std::uint8_t {
@@ -99,21 +72,6 @@ enum class ViolationKind : std::uint8_t {
   return "?";
 }
 
-/// Source location captured at each instrumented access (see CYCLOPS_VLOC).
-struct SourceLoc {
-  const char* file = nullptr;
-  int line = 0;
-};
-
-/// One recorded access: where, when (superstep + phase), and by whom.
-struct AccessSite {
-  SourceLoc loc;
-  Phase phase = Phase::kIdle;
-  Superstep superstep = 0;
-  WorkerId worker = kInvalidWorker;
-  [[nodiscard]] bool valid() const noexcept { return loc.file != nullptr; }
-};
-
 struct Violation {
   ViolationKind kind = ViolationKind::kNonOwnerWrite;
   VertexId vertex = kInvalidVertex;  ///< global id when slot-attributable
@@ -125,9 +83,6 @@ struct Violation {
 
   [[nodiscard]] std::string describe() const;
 };
-
-#define CYCLOPS_VLOC \
-  ::cyclops::verify::SourceLoc { __FILE__, __LINE__ }
 
 #ifdef CYCLOPS_VERIFY
 
@@ -191,6 +146,7 @@ class EngineChecker {
     workers_.clear();
     superstep_ = 0;
     phase_.store(Phase::kIdle, std::memory_order_relaxed);
+    racer_.reset();
   }
 
   void begin_superstep(Superstep s) noexcept {
@@ -223,6 +179,8 @@ class EngineChecker {
                   ws.last(slot)));
     }
     ws.stamp(slot, AccessSite{loc, p, superstep_, executing});
+    racer_.on_access(race::CellClass::kSlot, host, slot, ws.global_of(slot),
+                     /*is_write=*/true, loc, p, superstep_, executing);
   }
 
   /// Staging write to master-private state during compute (set_value,
@@ -242,6 +200,8 @@ class EngineChecker {
       report(make(ViolationKind::kWriteOutsidePhase, host, slot, executing, loc, p,
                   ws.last(slot)));
     }
+    racer_.on_access(race::CellClass::kStage, host, slot, ws.global_of(slot),
+                     /*is_write=*/true, loc, p, superstep_, executing);
   }
 
   /// Write to a replica/mirror-class slot. Legal only during the exchange
@@ -265,6 +225,8 @@ class EngineChecker {
                   ws.last(slot)));
     }
     ws.stamp(slot, AccessSite{loc, p, superstep_, executing});
+    racer_.on_access(race::CellClass::kSlot, host, slot, ws.global_of(slot),
+                     /*is_write=*/true, loc, p, superstep_, executing);
   }
 
   /// Read through the immutable view during compute. The slot must carry
@@ -280,6 +242,8 @@ class EngineChecker {
         (prev.phase == Phase::kCompute || prev.phase == Phase::kSend)) {
       report(make(ViolationKind::kStaleViewRead, host, slot, executing, loc, p, prev));
     }
+    racer_.on_access(race::CellClass::kSlot, host, slot, ws.global_of(slot),
+                     /*is_write=*/false, loc, p, superstep_, executing);
   }
 
   /// Wire emission. Legal during send and exchange phases only; compute must
@@ -296,6 +260,44 @@ class EngineChecker {
       report(v);
     }
   }
+
+  /// Wire emission through a known sender lane: the phase check above plus a
+  /// race stamp on the (from, lane) cell — OutBox lanes admit at most one
+  /// concurrent writer (CyclopsMT's private out-queues, §5).
+  void on_send(WorkerId from, WorkerId to, std::size_t lane, SourceLoc loc) {
+    on_send(from, to, loc);
+    racer_.on_access(race::CellClass::kLane, from, lane, kInvalidVertex,
+                     /*is_write=*/true, loc, phase(), superstep_, from);
+  }
+
+  /// BSP mailbox access: per-vertex message lists written by the parse phase
+  /// (owner worker's drain task) and read-then-cleared by the owner's compute
+  /// task. No phase rule of its own — the single-writer claim is exactly the
+  /// happens-before property the race detector checks.
+  void on_mailbox_write(WorkerId executing, WorkerId host, std::uint64_t mailbox,
+                        SourceLoc loc) {
+    racer_.on_access(race::CellClass::kMailbox, host, mailbox,
+                     static_cast<VertexId>(mailbox), /*is_write=*/true, loc, phase(),
+                     superstep_, executing);
+  }
+
+  void on_mailbox_read(WorkerId executing, WorkerId host, std::uint64_t mailbox,
+                       SourceLoc loc) {
+    racer_.on_access(race::CellClass::kMailbox, host, mailbox,
+                     static_cast<VertexId>(mailbox), /*is_write=*/false, loc, phase(),
+                     superstep_, executing);
+  }
+
+  /// Shared in-queue access (Hama's SpinLock-guarded global queue): raced
+  /// unless the lock's acquire/release edges order the writers.
+  void on_queue_access(WorkerId executing, WorkerId host, bool is_write,
+                       SourceLoc loc) {
+    racer_.on_access(race::CellClass::kQueue, host, /*key=*/0, kInvalidVertex,
+                     is_write, loc, phase(), superstep_, executing);
+  }
+
+  /// The happens-before race detector layered under this checker.
+  [[nodiscard]] race::Detector& racer() noexcept { return racer_; }
 
   /// Installs a violation sink (tests collect; default aborts the process).
   void set_handler(Handler h) {
@@ -326,6 +328,9 @@ class EngineChecker {
 
     [[nodiscard]] WorkerId owner_of(std::uint32_t slot) const noexcept {
       return slot < slot_owner.size() ? slot_owner[slot] : kInvalidWorker;
+    }
+    [[nodiscard]] VertexId global_of(std::uint32_t slot) const noexcept {
+      return slot < slot_global.size() ? slot_global[slot] : kInvalidVertex;
     }
     [[nodiscard]] AccessSite last(std::uint32_t slot) const noexcept {
       return slot < last_write.size() ? last_write[slot] : AccessSite{};
@@ -374,6 +379,7 @@ class EngineChecker {
   std::atomic<std::uint64_t> violations_{0};
   Mutex mutex_;
   Handler handler_;
+  race::Detector racer_;
 };
 
 /// RAII phase scope: enters `p` on construction, returns to kIdle (or the
@@ -484,12 +490,20 @@ class EngineChecker {
   void on_replica_write(WorkerId, WorkerId, std::uint32_t, SourceLoc) noexcept {}
   void on_view_read(WorkerId, WorkerId, std::uint32_t, SourceLoc) noexcept {}
   void on_send(WorkerId, WorkerId, SourceLoc) noexcept {}
+  void on_send(WorkerId, WorkerId, std::size_t, SourceLoc) noexcept {}
+  void on_mailbox_write(WorkerId, WorkerId, std::uint64_t, SourceLoc) noexcept {}
+  void on_mailbox_read(WorkerId, WorkerId, std::uint64_t, SourceLoc) noexcept {}
+  void on_queue_access(WorkerId, WorkerId, bool, SourceLoc) noexcept {}
+  [[nodiscard]] race::Detector& racer() noexcept { return racer_; }
   void set_handler(Handler) noexcept {}
   [[nodiscard]] std::uint64_t accesses_checked() const noexcept { return 0; }
   [[nodiscard]] std::uint64_t violations() const noexcept { return 0; }
   [[nodiscard]] std::string summary() const {
     return "[verify] compiled out (rebuild with -DCYCLOPS_VERIFY=ON)";
   }
+
+ private:
+  race::Detector racer_;  // stub: every hook is a no-op
 };
 
 class PhaseScope {

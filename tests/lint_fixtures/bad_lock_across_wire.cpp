@@ -1,0 +1,67 @@
+// Fixture for the `lock-across-wire` rule: wire calls made while a lock
+// guard may still be held are flagged; send-after-release and staged-drain
+// patterns are not. Expected findings are asserted in tests/test_lint.cpp —
+// keep line numbers stable. (Deliberately no std:: primitives here — the
+// raw-thread rule has its own fixture.)
+#include <cstdint>
+#include <vector>
+
+struct Sender {
+  void send(std::uint32_t, std::uint64_t) {}
+  void send_record(std::uint32_t, std::uint64_t) {}
+};
+
+struct Spin {
+  void lock() {}
+  void unlock() {}
+};
+
+template <typename M>
+struct LockGuard {
+  explicit LockGuard(M& m) : m_(m) { m_.lock(); }
+  ~LockGuard() { m_.unlock(); }
+  M& m_;
+};
+
+void fixture_guard_over_send(Sender& sender, Spin& mu,
+                             const std::vector<std::uint64_t>& items) {
+  LockGuard<Spin> guard(mu);      // line 28: guard
+  sender.send(0, items.front());  // line 29: flagged (RAII guard held)
+}
+
+void fixture_manual_lock_over_send(Sender& sender, Spin& mu,
+                                   const std::vector<std::uint64_t>& items) {
+  mu.lock();
+  sender.send_record(1, items.back());  // line 35: flagged (.lock() held)
+  mu.unlock();
+}
+
+void fixture_send_after_unlock(Sender& sender, Spin& mu,
+                               const std::vector<std::uint64_t>& items) {
+  mu.lock();
+  const std::uint64_t payload = items.back();
+  mu.unlock();
+  sender.send(2, payload);  // not flagged: lock released first
+}
+
+void fixture_send_after_scope(Sender& sender, Spin& mu,
+                              const std::vector<std::uint64_t>& items) {
+  std::uint64_t payload = 0;
+  {
+    LockGuard<Spin> guard(mu);
+    payload = items.front();
+  }
+  sender.send(3, payload);  // not flagged: guard scope closed
+}
+
+void fixture_staged_drain(Sender& sender, Spin& mu,
+                          const std::vector<std::uint64_t>& items) {
+  std::vector<std::uint64_t> staged;
+  {
+    LockGuard<Spin> guard(mu);
+    staged = items;  // stage under the lock...
+  }
+  for (const std::uint64_t m : staged) {
+    sender.send(4, m);  // ...send after releasing: the sanctioned pattern
+  }
+}

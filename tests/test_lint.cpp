@@ -67,6 +67,22 @@ TEST(Lint, NarrowingFixtureHonoursSuppression) {
   EXPECT_EQ(lint_fixture("bad_narrowing.cpp"), expected);
 }
 
+TEST(Lint, LockAcrossWireFixture) {
+  // Lines 29/35: a send under an RAII guard and under a manual .lock().
+  // The release patterns (send after .unlock(), after the guard's scope
+  // closes, staged-drain) must stay silent.
+  const Golden expected = {{29, "lock-across-wire"}, {35, "lock-across-wire"}};
+  EXPECT_EQ(lint_fixture("bad_lock_across_wire.cpp"), expected);
+}
+
+TEST(Lint, LockAcrossWireHonoursSuppression) {
+  const std::string body =
+      "mu.lock();\n"
+      "sender.send(0, x);  // cyclops-lint: allow(lock-across-wire)\n"
+      "mu.unlock();\n";
+  EXPECT_TRUE(lint_file("x.cpp", body).empty());
+}
+
 TEST(Lint, CleanFixtureHasZeroFindings) {
   EXPECT_TRUE(lint_fixture("clean.cpp").empty());
 }
@@ -102,6 +118,54 @@ TEST(LintDetail, CodeOnlyStripsCommentsAndStrings) {
   EXPECT_TRUE(in_block);
   EXPECT_EQ(cyclops::lint::detail::code_only("still closed */ tail", in_block), " tail");
   EXPECT_FALSE(in_block);
+}
+
+TEST(LintDetail, CodeOnlyHandlesEscapedQuotes) {
+  bool in_block = false;
+  // An escaped quote must not close the literal early: rand() stays hidden.
+  EXPECT_EQ(cyclops::lint::detail::code_only("s = \"\\\"rand()\\\"\";", in_block),
+            "s = \";");
+  EXPECT_EQ(cyclops::lint::detail::code_only("c = '\\''; t = time(0);", in_block),
+            "c = '; t = time(0);");
+  EXPECT_EQ(cyclops::lint::detail::code_only("s = \"tail\\\\\"; rand();", in_block),
+            "s = \"; rand();");
+  EXPECT_FALSE(in_block);
+}
+
+TEST(LintDetail, CodeOnlyHandlesRawStrings) {
+  using cyclops::lint::detail::ScanState;
+  ScanState st;
+  // The inner quote of a raw literal is not a terminator: everything up to
+  // )" is literal body, including the ") that used to desync the scanner.
+  EXPECT_EQ(cyclops::lint::detail::code_only("s = R\"(a \" b rand() c)\";", st), "s = R\";");
+  EXPECT_FALSE(st.in_raw);
+  // Custom delimiter: )x" inside the body is not the close for )delim".
+  EXPECT_EQ(cyclops::lint::detail::code_only("s = R\"delim(x)\" rand() )delim\";", st),
+            "s = R\";");
+  EXPECT_FALSE(st.in_raw);
+  // Encoding prefixes still open a raw literal.
+  EXPECT_EQ(cyclops::lint::detail::code_only("s = u8R\"(time(0))\";", st), "s = u8R\";");
+  // Multi-line raw literal: state carries across lines, the body never
+  // reaches token scans, and code after the close on the final line does.
+  EXPECT_EQ(cyclops::lint::detail::code_only("s = R\"(first", st), "s = R\"");
+  EXPECT_TRUE(st.in_raw);
+  EXPECT_EQ(cyclops::lint::detail::code_only("rand() \" /* neither */", st), "");
+  EXPECT_TRUE(st.in_raw);
+  EXPECT_EQ(cyclops::lint::detail::code_only(")\"; t = time(0);", st), "; t = time(0);");
+  EXPECT_FALSE(st.in_raw);
+  // An identifier ending in R is not a raw-string prefix.
+  EXPECT_EQ(cyclops::lint::detail::code_only("x = VAR\"s\";", st), "x = VAR\";");
+}
+
+TEST(Lint, RawStringBodyDoesNotTriggerRules) {
+  // Before the ScanState fix the inner `"` ended the literal scan early and
+  // the rest of the body leaked into code — time( here would false-positive.
+  const std::string body =
+      "const char* doc = R\"(call \" time(now) \" anywhere)\";\n"
+      "const char* multi = R\"(spans\n"
+      "time(lines) rand()\n"
+      ")\";\n";
+  EXPECT_TRUE(lint_file("x.cpp", body).empty());
 }
 
 TEST(LintDetail, HasTokenRespectsIdentifierBoundary) {

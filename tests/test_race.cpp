@@ -1,0 +1,298 @@
+// Tests for the happens-before race analyzer (src/cyclops/verify/race.hpp)
+// and the deterministic schedule explorer (src/cyclops/sim/sched.hpp).
+//
+// The centerpiece is a planted race: four logical tasks of a parallel region
+// write the same cell with no synchronization. Because the analyzer tracks
+// *logical* task contexts — the pool's own handoff machinery deliberately
+// carries no happens-before edges — the race is detected even on a 1-thread
+// pool running the tasks serially, which is exactly what makes every report
+// bit-identically replayable from its (seed, schedule) pair. A SpinLock
+// around the same writes restores order through the lock clock and the
+// analyzer goes silent; so do back-to-back regions (fork/join edges) and a
+// real PageRank/BSP run under explored schedules.
+//
+// Explorer-only tests (determinism, permutation validity) run in every build;
+// detection tests skip without -DCYCLOPS_VERIFY, where the hooks are no-ops.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "cyclops/algorithms/pagerank.hpp"
+#include "cyclops/bsp/engine.hpp"
+#include "cyclops/common/spinlock.hpp"
+#include "cyclops/common/thread_pool.hpp"
+#include "cyclops/core/engine.hpp"
+#include "cyclops/graph/generators.hpp"
+#include "cyclops/sim/sched.hpp"
+#include "cyclops/verify/race.hpp"
+#include "test_util.hpp"
+
+namespace cyclops::verify::race {
+namespace {
+
+#define SKIP_UNLESS_VERIFY()                                            \
+  do {                                                                  \
+    if (!kEnabled) GTEST_SKIP() << "built without -DCYCLOPS_VERIFY=ON"; \
+  } while (0)
+
+/// Turns detection on for one test body and always off again after, so a
+/// failing test cannot leak an enabled analyzer into its neighbours.
+struct Enabled {
+  Enabled() { enable(true); }
+  ~Enabled() { enable(false); }
+};
+
+struct Collector {
+  std::vector<Report> seen;
+  ReportHandler handler() {
+    return [this](const Report& r) { seen.push_back(r); };
+  }
+};
+
+/// The planted fixture: `tasks` unsynchronized writers to one kSlot cell,
+/// scheduled by `seed`. Returns the collected reports and the explorer's
+/// final digest. Serial 1-thread execution — races found here are ordering
+/// facts, not lucky thread timings.
+struct PlantedOutcome {
+  std::vector<Report> reports;
+  std::uint64_t digest = 0;
+};
+
+PlantedOutcome run_planted(std::uint64_t seed, std::size_t tasks) {
+  ThreadPool pool(1);
+  sim::ScheduleExplorer explorer(seed);
+  pool.set_task_order(&explorer);
+  Detector detector;
+  Collector col;
+  detector.set_handler(col.handler());
+  pool.parallel_tasks(tasks, [&](std::size_t t) {
+    // Two distinct source lines so a report carries two different sites.
+    if (t % 2 == 0) {
+      detector.on_access(CellClass::kSlot, 0, 7, 7, /*is_write=*/true, CYCLOPS_VLOC,
+                         Phase::kCompute, 3, 0);
+    } else {
+      detector.on_access(CellClass::kSlot, 0, 7, 7, /*is_write=*/true, CYCLOPS_VLOC,
+                         Phase::kCompute, 3, 0);
+    }
+  });
+  return PlantedOutcome{std::move(col.seen), explorer.digest()};
+}
+
+TEST(Race, PlantedUnsynchronizedWriteIsDetected) {
+  SKIP_UNLESS_VERIFY();
+  Enabled on;
+  const PlantedOutcome out = run_planted(11, 4);
+  // Every write after the first is unordered against the previous stamp:
+  // 4 writers, 3 write-write reports.
+  ASSERT_EQ(out.reports.size(), 3u);
+  for (const Report& r : out.reports) {
+    EXPECT_EQ(r.kind, RaceKind::kWriteWrite);
+    EXPECT_EQ(r.cell, CellClass::kSlot);
+    EXPECT_EQ(r.worker, 0u);
+    EXPECT_EQ(r.key, 7u);
+    EXPECT_EQ(r.vertex, 7u);
+    // Dual-site attribution: both the racing access and the one it raced
+    // against point back into this file, with full phase/superstep context.
+    ASSERT_TRUE(r.current.valid());
+    ASSERT_TRUE(r.previous.valid());
+    EXPECT_NE(std::string(r.current.loc.file).find("test_race.cpp"), std::string::npos);
+    EXPECT_NE(std::string(r.previous.loc.file).find("test_race.cpp"), std::string::npos);
+    EXPECT_GT(r.current.loc.line, 0);
+    EXPECT_GT(r.previous.loc.line, 0);
+    EXPECT_EQ(r.current.phase, Phase::kCompute);
+    EXPECT_EQ(r.current.superstep, 3u);
+    // Replay stamp: the seed that produced this schedule.
+    EXPECT_EQ(r.seed, 11u);
+    EXPECT_EQ(r.schedule, out.digest);
+  }
+}
+
+TEST(Race, ReplayIsBitIdentical) {
+  SKIP_UNLESS_VERIFY();
+  Enabled on;
+  const PlantedOutcome a = run_planted(42, 6);
+  const PlantedOutcome b = run_planted(42, 6);
+  EXPECT_EQ(a.digest, b.digest);
+  ASSERT_EQ(a.reports.size(), b.reports.size());
+  for (std::size_t i = 0; i < a.reports.size(); ++i) {
+    EXPECT_EQ(a.reports[i].describe(), b.reports[i].describe());
+  }
+  // A different seed is a different schedule (digest), same race count.
+  const PlantedOutcome c = run_planted(43, 6);
+  EXPECT_NE(c.digest, a.digest);
+  EXPECT_EQ(c.reports.size(), a.reports.size());
+}
+
+TEST(Race, SpinLockOrdersTheSameWrites) {
+  SKIP_UNLESS_VERIFY();
+  Enabled on;
+  ThreadPool pool(1);
+  sim::ScheduleExplorer explorer(11);
+  pool.set_task_order(&explorer);
+  SpinLock guard;
+  Detector detector;
+  Collector col;
+  detector.set_handler(col.handler());
+  pool.parallel_tasks(4, [&](std::size_t) {
+    guard.lock();
+    detector.on_access(CellClass::kSlot, 0, 7, 7, /*is_write=*/true, CYCLOPS_VLOC,
+                       Phase::kCompute, 3, 0);
+    guard.unlock();
+  });
+  EXPECT_TRUE(col.seen.empty()) << col.seen.front().describe();
+  EXPECT_EQ(detector.races(), 0u);
+  EXPECT_GT(detector.accesses_checked(), 0u);
+}
+
+TEST(Race, RegionJoinOrdersSequentialRegions) {
+  SKIP_UNLESS_VERIFY();
+  Enabled on;
+  ThreadPool pool(1);
+  sim::ScheduleExplorer explorer(5);
+  pool.set_task_order(&explorer);
+  Detector detector;
+  Collector col;
+  detector.set_handler(col.handler());
+  // Task t writes cell t: in-region accesses never collide, and the join at
+  // the end of region 1 orders every region-2 access after them.
+  for (int round = 0; round < 2; ++round) {
+    pool.parallel_tasks(4, [&](std::size_t t) {
+      detector.on_access(CellClass::kStage, 0, t, static_cast<VertexId>(t),
+                         /*is_write=*/true, CYCLOPS_VLOC, Phase::kCompute, 0, 0);
+    });
+  }
+  EXPECT_TRUE(col.seen.empty()) << col.seen.front().describe();
+}
+
+TEST(Race, ReadersDoNotRaceWithReaders) {
+  SKIP_UNLESS_VERIFY();
+  Enabled on;
+  ThreadPool pool(1);
+  Detector detector;
+  Collector col;
+  detector.set_handler(col.handler());
+  pool.parallel_tasks(4, [&](std::size_t) {
+    detector.on_access(CellClass::kSlot, 1, 9, 9, /*is_write=*/false, CYCLOPS_VLOC,
+                       Phase::kCompute, 0, 1);
+  });
+  EXPECT_TRUE(col.seen.empty());
+  // ...but a write unordered against a concurrent read of the same cell
+  // (both in one region, so no join edge orders them) is a race.
+  pool.parallel_tasks(2, [&](std::size_t t) {
+    detector.on_access(CellClass::kSlot, 1, 9, 9, /*is_write=*/(t == 0), CYCLOPS_VLOC,
+                       Phase::kSend, 0, 1);
+  });
+  EXPECT_FALSE(col.seen.empty());
+}
+
+TEST(Race, DisabledAnalyzerIsSilent) {
+  // No Enabled guard: detection stays off, stamps are no-ops.
+  const PlantedOutcome out = run_planted(11, 4);
+  EXPECT_TRUE(out.reports.empty());
+}
+
+// The real engines, instrumented end-to-end, must be race-free under explored
+// schedules: the immutable-view discipline (chunk-partitioned masters, one
+// receiver per replica slot, per-thread sender lanes) leaves nothing
+// unordered to find.
+TEST(Race, CyclopsPageRankIsRaceFreeUnderExploredSchedules) {
+  SKIP_UNLESS_VERIFY();
+  Enabled on;
+  const graph::Csr g = graph::Csr::build(graph::gen::rmat(8, 1200, 5));
+  for (std::uint64_t seed : {0ull, 1ull, 2ull}) {
+    algo::PageRankCyclops pr;
+    pr.epsilon = 1e-10;
+    core::Config cfg = core::Config::cyclops(2, 2);
+    cfg.max_supersteps = 40;
+    cfg.schedule = std::make_shared<sim::ScheduleExplorer>(seed);
+    core::Engine<algo::PageRankCyclops> engine(g, test::hash_partition(g, 4), pr, cfg);
+    Collector col;
+    engine.verifier().racer().set_handler(col.handler());
+    (void)engine.run();
+    EXPECT_TRUE(col.seen.empty()) << "seed " << seed << ": "
+                                  << col.seen.front().describe();
+    EXPECT_GT(engine.verifier().racer().accesses_checked(), 0u);
+  }
+}
+
+TEST(Race, BspPageRankIsRaceFreeUnderExploredSchedules) {
+  SKIP_UNLESS_VERIFY();
+  Enabled on;
+  const graph::Csr g = graph::Csr::build(graph::gen::rmat(8, 1200, 5));
+  for (std::uint64_t seed : {0ull, 3ull}) {
+    algo::PageRankBsp pr;
+    pr.epsilon = 1e-10;
+    bsp::Config cfg = bsp::Config::workers(4);
+    cfg.max_supersteps = 40;
+    cfg.schedule = std::make_shared<sim::ScheduleExplorer>(seed);
+    bsp::Engine<algo::PageRankBsp> engine(g, test::hash_partition(g, 4), pr, cfg);
+    Collector col;
+    engine.verifier().racer().set_handler(col.handler());
+    (void)engine.run();
+    EXPECT_TRUE(col.seen.empty()) << "seed " << seed << ": "
+                                  << col.seen.front().describe();
+    EXPECT_GT(engine.verifier().racer().accesses_checked(), 0u);
+  }
+}
+
+// ---- Explorer-only tests: run in every build (no CYCLOPS_VERIFY needed) ----
+
+TEST(ScheduleExplorer, PlansAreValidPermutations) {
+  sim::ScheduleExplorer explorer(123);
+  std::vector<std::size_t> order;
+  for (std::size_t tasks : {1u, 2u, 7u, 64u}) {
+    order.clear();
+    explorer.plan_region(tasks, order);
+    ASSERT_EQ(order.size(), tasks);
+    std::vector<std::size_t> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<std::size_t> iota(tasks);
+    std::iota(iota.begin(), iota.end(), 0);
+    EXPECT_EQ(sorted, iota);
+  }
+}
+
+TEST(ScheduleExplorer, SameSeedSamePlan) {
+  sim::ScheduleExplorer a(9), b(9), c(10);
+  std::vector<std::size_t> oa, ob, oc;
+  a.plan_region(16, oa);
+  b.plan_region(16, ob);
+  c.plan_region(16, oc);
+  EXPECT_EQ(oa, ob);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
+  EXPECT_NE(oa, oc);  // 16! plans; distinct seeds virtually never coincide
+}
+
+TEST(ScheduleExplorer, ChunkPlansAreBoundedAndSeeded) {
+  sim::ScheduleExplorer a(77), b(77);
+  for (int i = 0; i < 20; ++i) {
+    const std::size_t ca = a.plan_chunks(1000, 4, 16);
+    const std::size_t cb = b.plan_chunks(1000, 4, 16);
+    EXPECT_EQ(ca, cb);
+    EXPECT_GE(ca, 1u);
+    EXPECT_LE(ca, 16u);
+  }
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(ScheduleExplorer, PermutedPoolStillRunsEveryTask) {
+  ThreadPool pool(1);
+  sim::ScheduleExplorer explorer(31);
+  pool.set_task_order(&explorer);
+  std::vector<int> hits(24, 0);
+  pool.parallel_tasks(hits.size(), [&](std::size_t t) { ++hits[t]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+  std::uint64_t sum = 0;
+  pool.parallel_for(1000, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 499500u);
+  EXPECT_GT(explorer.regions(), 0u);
+}
+
+}  // namespace
+}  // namespace cyclops::verify::race

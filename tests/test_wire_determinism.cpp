@@ -8,12 +8,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 
+#include "cyclops/algorithms/cc.hpp"
 #include "cyclops/algorithms/pagerank.hpp"
 #include "cyclops/algorithms/sssp.hpp"
 #include "cyclops/bsp/engine.hpp"
 #include "cyclops/core/engine.hpp"
 #include "cyclops/graph/generators.hpp"
+#include "cyclops/sim/sched.hpp"
 #include "test_util.hpp"
 
 namespace cyclops {
@@ -82,6 +85,77 @@ TEST(WireDeterminism, DigestDistinguishesCombinerWireLayout) {
   const RunResult combined = run_bsp_pagerank(/*use_combiner=*/true);
   const RunResult plain = run_bsp_pagerank(/*use_combiner=*/false);
   EXPECT_NE(combined.digest, plain.digest);
+}
+
+// ---- Schedule independence: the stronger claim. Not only must identical
+// runs agree — runs under *different task interleavings* must too. Each seed
+// pins the engine's pool to a distinct permuted schedule (and chunking) via
+// sim::ScheduleExplorer; wire digest and every final value must come out
+// bit-identical, or the engine's output depends on execution order. ----
+
+constexpr std::uint64_t kSeeds[] = {0, 1, 2, 3, 4, 5, 6, 7};
+
+/// Runs `Prog` on a Cyclops engine pinned to `seed`'s schedule.
+template <typename Prog>
+RunResult run_cyclops_scheduled(Prog prog, std::uint64_t seed, std::uint64_t graph_seed) {
+  const graph::Csr g = graph::Csr::build(graph::gen::rmat(8, 1500, graph_seed));
+  core::Config cfg = core::Config::cyclops(2, 2);
+  cfg.max_supersteps = 200;
+  cfg.schedule = std::make_shared<sim::ScheduleExplorer>(seed);
+  core::Engine<Prog> engine(g, test::hash_partition(g, 4), prog, cfg);
+  (void)engine.run();
+  const auto span = engine.values();
+  return RunResult{engine.fabric().wire_digest(),
+                   std::vector<double>(span.begin(), span.end())};
+}
+
+template <typename Prog>
+void expect_schedule_independent(Prog prog, std::uint64_t graph_seed) {
+  const RunResult base = run_cyclops_scheduled(prog, kSeeds[0], graph_seed);
+  EXPECT_NE(base.digest, 0xcbf29ce484222325ULL);
+  for (std::size_t i = 1; i < std::size(kSeeds); ++i) {
+    const RunResult r = run_cyclops_scheduled(prog, kSeeds[i], graph_seed);
+    EXPECT_EQ(r.digest, base.digest) << "wire digest diverged at seed " << kSeeds[i];
+    EXPECT_EQ(r.values, base.values) << "values diverged at seed " << kSeeds[i];
+  }
+}
+
+TEST(ScheduleIndependence, CyclopsPageRankIsBitIdenticalAcross8Schedules) {
+  algo::PageRankCyclops pr;
+  pr.epsilon = 1e-11;
+  expect_schedule_independent(pr, 13);
+}
+
+TEST(ScheduleIndependence, CyclopsSsspIsBitIdenticalAcross8Schedules) {
+  expect_schedule_independent(algo::SsspCyclops{}, 29);
+}
+
+TEST(ScheduleIndependence, CyclopsCcIsBitIdenticalAcross8Schedules) {
+  expect_schedule_independent(algo::CcCyclops{}, 47);
+}
+
+TEST(ScheduleIndependence, BspPageRankIsBitIdenticalAcross8Schedules) {
+  const graph::Csr g = graph::Csr::build(graph::gen::rmat(8, 1500, 13));
+  RunResult base;
+  for (std::size_t i = 0; i < std::size(kSeeds); ++i) {
+    algo::PageRankBsp pr;
+    pr.epsilon = 1e-11;
+    bsp::Config cfg = bsp::Config::workers(4);
+    cfg.max_supersteps = 120;
+    cfg.use_combiner = true;
+    cfg.schedule = std::make_shared<sim::ScheduleExplorer>(kSeeds[i]);
+    bsp::Engine<algo::PageRankBsp> engine(g, test::hash_partition(g, 4), pr, cfg);
+    (void)engine.run();
+    const auto span = engine.values();
+    RunResult r{engine.fabric().wire_digest(),
+                std::vector<double>(span.begin(), span.end())};
+    if (i == 0) {
+      base = std::move(r);
+      continue;
+    }
+    EXPECT_EQ(r.digest, base.digest) << "wire digest diverged at seed " << kSeeds[i];
+    EXPECT_EQ(r.values, base.values) << "values diverged at seed " << kSeeds[i];
+  }
 }
 
 }  // namespace

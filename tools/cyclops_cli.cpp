@@ -40,6 +40,8 @@
 #include "cyclops/runtime/recovery.hpp"
 #include "cyclops/service/service.hpp"
 #include "cyclops/sim/fault.hpp"
+#include "cyclops/sim/sched.hpp"
+#include "cyclops/verify/race.hpp"
 
 namespace {
 
@@ -63,6 +65,7 @@ struct Options {
   std::string csv;           // per-superstep series output path
   bool stats_only = false;   // print graph stats and exit
   bool verify_report = false;  // print the invariant checker's summary line
+  unsigned race_seeds = 0;   // --race[=N]: happens-before sweep over N schedules
 
   // Multi-tenant serve mode: replay a scripted workload file against the
   // epoch-versioned service instead of running a single job.
@@ -121,6 +124,12 @@ struct Options {
       "  --stats                     print graph statistics and exit\n"
       "  --verify                    print the immutable-view invariant checker\n"
       "                              summary (needs -DCYCLOPS_VERIFY=ON build)\n"
+      "  --race[=N]                  sweep N schedule-explorer seeds (default 8)\n"
+      "                              through the happens-before race analyzer;\n"
+      "                              one fresh engine per seed, prints a [race]\n"
+      "                              line per seed and any race reports, exits\n"
+      "                              nonzero on races or wire-digest divergence\n"
+      "                              (detection needs -DCYCLOPS_VERIFY=ON)\n"
       "\n"
       "serve mode (multi-tenant service replaying a scripted workload):\n"
       "  --serve FILE                workload script; lines are\n"
@@ -141,13 +150,33 @@ struct Options {
       "  --drop-rate P               package drop probability (retransmitted)\n"
       "  --corrupt-rate P            package bit-flip probability (CRC-caught)\n"
       "  --fault-seed S              deterministic fault schedule seed\n");
-  std::exit(code);
+  std::exit(code);  // NOLINT(concurrency-mt-unsafe) — single-threaded startup
 }
 
 Options parse(int argc, char** argv) {
-  args::Parser p(argc, argv);
-  if (p.flag("--help") || p.flag("-h")) usage(0);
+  // --race carries an optional inline count (--race=N), which the
+  // consume-style Parser cannot express; strip it out up front.
   Options o;
+  std::vector<char*> rest;
+  rest.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--race") == 0) {
+      o.race_seeds = 8;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--race=", 7) == 0) {
+      char* end = nullptr;
+      const long n = std::strtol(argv[i] + 7, &end, 10);
+      if (n <= 0 || end == argv[i] + 7 || *end != '\0') {
+        args::Parser::fail("--race needs a positive seed count");
+      }
+      o.race_seeds = static_cast<unsigned>(n);
+      continue;
+    }
+    rest.push_back(argv[i]);
+  }
+  args::Parser p(static_cast<int>(rest.size()), rest.data());
+  if (p.flag("--help") || p.flag("-h")) usage(0);
   o.algo = p.get("--algo", o.algo);
   o.engine = p.get("--engine", o.engine);
   o.graph = p.get("--graph", o.graph);
@@ -180,7 +209,7 @@ Options parse(int argc, char** argv) {
   p.finish();
   if (o.workers == 0 || o.machines == 0 || o.workers % o.machines != 0) {
     std::fprintf(stderr, "--workers must be a positive multiple of --machines\n");
-    std::exit(2);
+    std::exit(2);  // NOLINT(concurrency-mt-unsafe) — single-threaded startup
   }
   if (o.engine != "hama" && o.engine != "cyclops" && o.engine != "mt" &&
       o.engine != "gas") {
@@ -194,11 +223,17 @@ Options parse(int argc, char** argv) {
   if (!o.checkpoint_mode.empty() && o.checkpoint_mode != "light" &&
       o.checkpoint_mode != "heavy") {
     std::fprintf(stderr, "--checkpoint-mode must be light or heavy\n");
-    std::exit(2);
+    std::exit(2);  // NOLINT(concurrency-mt-unsafe) — single-threaded startup
   }
   if (o.fail_at != sim::kNeverCrash && o.checkpoint_every == 0) {
     std::fprintf(stderr,
                  "note: --fail-at without --checkpoint-every replays from scratch\n");
+  }
+  if (o.race_seeds > 0 && !o.serve.empty()) {
+    args::Parser::fail("--race is not supported in --serve mode");
+  }
+  if (o.race_seeds > 0 && o.fault_tolerant()) {
+    args::Parser::fail("--race runs fault-free engines; drop the fault flags");
   }
   return o;
 }
@@ -222,7 +257,7 @@ graph::EdgeList load_graph(Options& o) {
   else if (name == "roadca") d = algo::make_road_ca(scale);
   else {
     std::fprintf(stderr, "unknown generator '%s'\n", name.c_str());
-    std::exit(2);
+    std::exit(2);  // NOLINT(concurrency-mt-unsafe) — single-threaded startup
   }
   if (o.num_users == 0) o.num_users = d.num_users;
   std::printf("dataset: %s\n", d.describe().c_str());
@@ -236,7 +271,7 @@ partition::EdgeCutPartition make_partition(const Options& o, const graph::Csr& g
     return partition::MultilevelPartitioner{}.partition(g, o.workers);
   }
   std::fprintf(stderr, "unknown partitioner '%s'\n", o.partitioner.c_str());
-  std::exit(2);
+  std::exit(2);  // NOLINT(concurrency-mt-unsafe) — single-threaded startup
 }
 
 void emit_csv(const Options& o, const metrics::RunStats& stats) {
@@ -244,6 +279,60 @@ void emit_csv(const Options& o, const metrics::RunStats& stats) {
   std::ofstream out(o.csv);
   out << metrics::superstep_series_csv(stats);
   std::printf("wrote per-superstep series to %s\n", o.csv.c_str());
+}
+
+/// One seed's outcome inside a race sweep: the fabric's wire digest plus the
+/// number of accesses the happens-before analyzer actually checked (zero in
+/// non-verify builds — the figure EXPERIMENTS.md cites as "checker work").
+struct SweepRun {
+  std::uint64_t wire = 0;
+  std::uint64_t accesses = 0;
+};
+
+/// Sweeps o.race_seeds schedule-explorer seeds through the happens-before
+/// analyzer: one fresh engine per seed, each pinned to that seed's permuted
+/// task schedule, each collecting race reports. Any race, or any wire-digest
+/// divergence across schedules, fails the sweep. `run_one(explorer, reports)`
+/// builds the engine (with cfg.schedule = explorer), attaches a collecting
+/// handler, runs to termination, and returns the fabric's wire digest plus
+/// the analyzer's accesses-checked count.
+template <typename RunOne>
+int race_sweep(const Options& o, const std::string& label, RunOne&& run_one) {
+  if constexpr (!verify::kEnabled) {
+    std::printf("[race] %s: built without -DCYCLOPS_VERIFY — schedule sweep only, "
+                "races cannot be observed\n", label.c_str());
+  }
+  int bad_seeds = 0;
+  bool diverged = false;
+  std::optional<std::uint64_t> first_wire;
+  for (unsigned seed = 0; seed < o.race_seeds; ++seed) {
+    auto explorer = std::make_shared<sim::ScheduleExplorer>(seed);
+    std::vector<std::string> reports;
+    verify::race::enable(true);
+    const SweepRun run = run_one(explorer, reports);
+    verify::race::enable(false);
+    const std::uint64_t wire = run.wire;
+    std::printf("[race] %s seed=%u schedule=0x%016llx races=%zu checked=%llu "
+                "wire=0x%016llx\n",
+                label.c_str(), seed,
+                static_cast<unsigned long long>(explorer->digest()), reports.size(),
+                static_cast<unsigned long long>(run.accesses),
+                static_cast<unsigned long long>(wire));
+    for (const std::string& r : reports) std::printf("%s\n", r.c_str());
+    if (!reports.empty()) ++bad_seeds;
+    if (!first_wire) {
+      first_wire = wire;
+    } else if (*first_wire != wire) {
+      std::printf("[race] %s seed=%u wire digest diverged from seed 0 "
+                  "(0x%016llx vs 0x%016llx): schedule-dependent traffic\n",
+                  label.c_str(), seed, static_cast<unsigned long long>(wire),
+                  static_cast<unsigned long long>(*first_wire));
+      diverged = true;
+    }
+  }
+  std::printf("[race] %s: %u seeds, %d with races%s\n", label.c_str(), o.race_seeds,
+              bad_seeds, diverged ? ", wire digest DIVERGED" : "");
+  return (bad_seeds > 0 || diverged) ? 1 : 0;
 }
 
 /// Runs an engine factory through the automated checkpoint/recovery runtime
@@ -269,6 +358,22 @@ int run_bsp(const Options& o, const graph::Csr& g, Prog prog) {
   cfg.topo = sim::Topology{o.machines, o.workers / o.machines};
   cfg.max_supersteps = o.max_supersteps;
   const auto part = make_partition(o, g);
+  if (o.race_seeds > 0) {
+    return race_sweep(o, "hama/" + o.algo,
+                      [&](std::shared_ptr<sim::ScheduleExplorer> sched,
+                          std::vector<std::string>& reports) {
+                        bsp::Config rcfg = cfg;
+                        rcfg.schedule = std::move(sched);
+                        bsp::Engine<Prog> engine(g, part, prog, rcfg);
+                        engine.verifier().racer().set_handler(
+                            [&reports](const verify::race::Report& r) {
+                              reports.push_back(r.describe());
+                            });
+                        engine.run();
+                        return SweepRun{engine.fabric().wire_digest(),
+                                        engine.verifier().racer().accesses_checked()};
+                      });
+  }
   if (o.fault_tolerant()) {
     cfg.faults = std::make_shared<sim::FaultInjector>(o.fault_plan());
     return run_fault_tolerant(
@@ -294,6 +399,22 @@ int run_cyclops(const Options& o, const graph::Csr& g, Prog prog, bool mt) {
   po.workers = parts;
   const std::string label = (mt ? "cyclops-mt/" : "cyclops/") + o.algo;
   const auto part = make_partition(po, g);
+  if (o.race_seeds > 0) {
+    return race_sweep(o, label,
+                      [&](std::shared_ptr<sim::ScheduleExplorer> sched,
+                          std::vector<std::string>& reports) {
+                        core::Config rcfg = cfg;
+                        rcfg.schedule = std::move(sched);
+                        core::Engine<Prog> engine(g, part, prog, rcfg);
+                        engine.verifier().racer().set_handler(
+                            [&reports](const verify::race::Report& r) {
+                              reports.push_back(r.describe());
+                            });
+                        engine.run();
+                        return SweepRun{engine.fabric().wire_digest(),
+                                        engine.verifier().racer().accesses_checked()};
+                      });
+  }
   if (o.fault_tolerant()) {
     cfg.faults = std::make_shared<sim::FaultInjector>(o.fault_plan());
     return run_fault_tolerant(
@@ -317,6 +438,22 @@ int run_gas(const Options& o, const graph::EdgeList& edges, Prog prog) {
   cfg.topo = sim::Topology{o.machines, 1};
   cfg.max_iterations = o.max_supersteps;
   const auto cut = partition::RandomVertexCut{}.partition(edges, o.machines);
+  if (o.race_seeds > 0) {
+    return race_sweep(o, "powergraph/" + o.algo,
+                      [&](std::shared_ptr<sim::ScheduleExplorer> sched,
+                          std::vector<std::string>& reports) {
+                        gas::Config rcfg = cfg;
+                        rcfg.schedule = std::move(sched);
+                        gas::Engine<Prog> engine(edges, cut, prog, rcfg);
+                        engine.verifier().racer().set_handler(
+                            [&reports](const verify::race::Report& r) {
+                              reports.push_back(r.describe());
+                            });
+                        engine.run();
+                        return SweepRun{engine.fabric().wire_digest(),
+                                        engine.verifier().racer().accesses_checked()};
+                      });
+  }
   if (o.fault_tolerant()) {
     cfg.faults = std::make_shared<sim::FaultInjector>(o.fault_plan());
     return run_fault_tolerant(

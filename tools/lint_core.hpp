@@ -15,6 +15,11 @@
 //                   common/ — raw primitives live behind common/sync.hpp.
 //   wire-narrowing  a narrowing cast (to 8/16-bit) on the same line as a wire
 //                   call silently truncates wire-format integers.
+//   lock-across-wire  a lock guard (or manual .lock()) held in the same or an
+//                   enclosing scope as a wire call serializes simulated wire
+//                   traffic behind a host lock — the §2.2.2 contention point
+//                   Cyclops exists to remove. Release before sending, or
+//                   stage under the lock and send after.
 //
 // Suppress a finding with `// cyclops-lint: allow(<rule>)` on the same line
 // or the line above. The same engine is unit-tested against fixture files in
@@ -37,15 +42,55 @@ struct Finding {
 
 namespace detail {
 
-/// Strips string literals, char literals, and comments so token scans cannot
-/// match inside them. Block comments carry state across lines via in_block.
-inline std::string code_only(const std::string& line, bool& in_block) {
+[[nodiscard]] inline bool ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Scanner state carried across lines. Block comments and raw string
+/// literals both span lines; a plain bool cannot represent the latter, which
+/// is how `R"(...)"` bodies used to leak into token scans (the scanner took
+/// the inner `"` for a literal close and re-entered code mode mid-string).
+struct ScanState {
+  bool in_block = false;    ///< inside /* ... */
+  bool in_raw = false;      ///< inside R"delim( ... )delim"
+  std::string raw_delim;    ///< the delim of the raw literal being skipped
+};
+
+/// True when the code emitted so far ends with a raw-string prefix (R, uR,
+/// u8R, UR, LR) at an identifier boundary, i.e. the `"` about to be scanned
+/// opens a raw literal rather than an ordinary one.
+[[nodiscard]] inline bool ends_with_raw_prefix(const std::string& out) {
+  const std::size_t n = out.size();
+  if (n == 0 || out[n - 1] != 'R') return false;
+  std::size_t start = n - 1;  // index of 'R'
+  if (start >= 2 && out[start - 2] == 'u' && out[start - 1] == '8') {
+    start -= 2;
+  } else if (start >= 1 &&
+             (out[start - 1] == 'u' || out[start - 1] == 'U' || out[start - 1] == 'L')) {
+    start -= 1;
+  }
+  return start == 0 || !ident_char(out[start - 1]);
+}
+
+/// Strips string literals (including raw literals), char literals, and
+/// comments so token scans cannot match inside them. Multi-line constructs
+/// carry state across lines via `st`.
+inline std::string code_only(const std::string& line, ScanState& st) {
   std::string out;
   out.reserve(line.size());
-  for (std::size_t i = 0; i < line.size(); ++i) {
-    if (in_block) {
+  std::size_t i = 0;
+  if (st.in_raw) {
+    const std::string close = ")" + st.raw_delim + "\"";
+    const std::size_t end = line.find(close);
+    if (end == std::string::npos) return out;  // whole line is literal body
+    st.in_raw = false;
+    st.raw_delim.clear();
+    i = end + close.size();
+  }
+  for (; i < line.size(); ++i) {
+    if (st.in_block) {
       if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
-        in_block = false;
+        st.in_block = false;
         ++i;
       }
       continue;
@@ -53,8 +98,25 @@ inline std::string code_only(const std::string& line, bool& in_block) {
     const char c = line[i];
     if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
     if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-      in_block = true;
+      st.in_block = true;
       ++i;
+      continue;
+    }
+    if (c == '"' && ends_with_raw_prefix(out)) {
+      // R"delim( ... )delim" — no escapes inside; the only terminator is the
+      // exact close sequence, possibly on a later line.
+      const std::size_t open = line.find('(', i + 1);
+      if (open == std::string::npos) break;  // malformed; drop the tail
+      const std::string delim = line.substr(i + 1, open - i - 1);
+      const std::string close = ")" + delim + "\"";
+      const std::size_t end = line.find(close, open + 1);
+      out.push_back('"');  // marker, as for ordinary literals
+      if (end == std::string::npos) {
+        st.in_raw = true;
+        st.raw_delim = delim;
+        return out;
+      }
+      i = end + close.size() - 1;
       continue;
     }
     if (c == '"' || c == '\'') {
@@ -76,8 +138,13 @@ inline std::string code_only(const std::string& line, bool& in_block) {
   return out;
 }
 
-[[nodiscard]] inline bool ident_char(char c) noexcept {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+/// Back-compat overload for callers that only track block comments.
+inline std::string code_only(const std::string& line, bool& in_block) {
+  ScanState st;
+  st.in_block = in_block;
+  std::string out = code_only(line, st);
+  in_block = st.in_block;
+  return out;
 }
 
 /// True when `needle` occurs in `code` at an identifier boundary (the char
@@ -150,6 +217,20 @@ inline constexpr std::string_view kWireCalls[] = {"send(", "send_record(", ".wri
   return false;
 }
 
+/// Tokens that take (or declare RAII holders of) a lock. The aliases from
+/// common/sync.hpp and the raw std guards both count; so does a manual
+/// `.lock()` call (SpinLock or std primitives alike).
+inline constexpr std::string_view kGuardTokens[] = {
+    "LockGuard<",  "lock_guard<",  "UniqueLock<",  "unique_lock<",
+    "ScopedLock<", "scoped_lock<", ".lock()"};
+
+[[nodiscard]] inline bool takes_lock(std::string_view code) {
+  for (const std::string_view tok : kGuardTokens) {
+    if (code.find(tok) != std::string_view::npos) return true;
+  }
+  return false;
+}
+
 inline constexpr std::string_view kNarrowCasts[] = {
     "static_cast<std::uint8_t>",  "static_cast<std::int8_t>",
     "static_cast<std::uint16_t>", "static_cast<std::int16_t>",
@@ -192,9 +273,9 @@ inline std::vector<Finding> lint_file(const std::string& path, const std::string
 
   std::vector<std::string> code(lines.size());
   {
-    bool in_block = false;
+    detail::ScanState st;
     for (std::size_t i = 0; i < lines.size(); ++i) {
-      code[i] = detail::code_only(lines[i], in_block);
+      code[i] = detail::code_only(lines[i], st);
     }
   }
 
@@ -231,6 +312,10 @@ inline std::vector<Finding> lint_file(const std::string& path, const std::string
       if (end > i) unordered_idents.push_back(c.substr(i, end - i));
     }
   }
+
+  // Wire lines already attributed to a lock scope (two overlapping guards
+  // must not double-report the same send).
+  std::vector<bool> wire_under_lock(lines.size(), false);
 
   for (std::size_t i = 0; i < code.size(); ++i) {
     const std::string& c = code[i];
@@ -319,6 +404,32 @@ inline std::vector<Finding> lint_file(const std::string& path, const std::string
           if (entered && depth <= 0) break;
           if (!entered && j > i + 1) break;  // braceless body: for-line + 2
         }
+      }
+    }
+
+    // lock-across-wire: from a guard acquisition forward, flag every wire
+    // call made while the guard can still be held — same or nested scope,
+    // no intervening .unlock(), 60-line cap. Findings land on the wire
+    // call's line (the fix site: move the send out of the critical section).
+    if (detail::takes_lock(c)) {
+      int depth = 0;
+      const std::size_t cap = std::min(lines.size(), i + 60);
+      for (std::size_t j = i; j < cap; ++j) {
+        const std::string& cj = code[j];
+        if (j > i && cj.find(".unlock()") != std::string::npos) break;
+        if (detail::feeds_wire(cj) && !wire_under_lock[j]) {
+          wire_under_lock[j] = true;
+          add(j, "lock-across-wire",
+              "wire call while a lock taken at line " + std::to_string(i + 1) +
+                  " may still be held; sending under a lock serializes wire "
+                  "traffic behind host contention — stage the payload and "
+                  "send after releasing");
+        }
+        for (const char ch : cj) {
+          if (ch == '{') ++depth;
+          if (ch == '}') --depth;
+        }
+        if (depth < 0) break;  // left the scope the guard lives in
       }
     }
   }
