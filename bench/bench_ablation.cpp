@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/algorithms/pagerank.hpp"
 #include "cyclops/bsp/engine.hpp"
 #include "cyclops/common/table.hpp"

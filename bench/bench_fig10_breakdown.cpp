@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/common/table.hpp"
 #include "cyclops/metrics/reporter.hpp"
 #include "harness.hpp"

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <string>
 
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/common/table.hpp"
 #include "cyclops/partition/multilevel.hpp"
 #include "cyclops/partition/partition.hpp"

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <string>
 
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/algorithms/pagerank.hpp"
 #include "cyclops/common/table.hpp"
 #include "cyclops/core/engine.hpp"

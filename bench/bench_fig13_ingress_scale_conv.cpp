@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/algorithms/pagerank.hpp"
 #include "cyclops/common/table.hpp"
 #include "cyclops/common/timer.hpp"

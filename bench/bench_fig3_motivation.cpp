@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/algorithms/pagerank.hpp"
 #include "cyclops/bsp/engine.hpp"
 #include "cyclops/common/table.hpp"

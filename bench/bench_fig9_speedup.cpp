@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <string>
 
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/common/table.hpp"
 #include "harness.hpp"
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/common/table.hpp"
 #include "cyclops/runtime/recovery.hpp"
 #include "cyclops/sim/fault.hpp"
@@ -97,10 +98,10 @@ Row run_powergraph(const algo::Dataset& d, const graph::Csr& g, const RunOptions
   cfg.cost = sim::CostModel::boost_cpp();
   cfg.max_iterations = kMaxSupersteps;
   cfg.faults = std::make_shared<sim::FaultInjector>(crash_plan());
-  const auto vcut = partition::RandomVertexCut{}.partition(d.edges, opts.machines);
+  const auto vcut = partition::RandomVertexCut{}.partition(g, opts.machines);
   return run_cell_recovery(
       d, "PowerGraph", runtime::CheckpointMode::kLightweight, cfg.faults.get(), [&] {
-        return std::make_unique<gas::Engine<algo::PageRankGas>>(d.edges, vcut, prog, cfg);
+        return std::make_unique<gas::Engine<algo::PageRankGas>>(g, vcut, prog, cfg);
       });
 }
 

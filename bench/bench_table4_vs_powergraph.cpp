@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/common/table.hpp"
 #include "harness.hpp"
 

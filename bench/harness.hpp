@@ -20,7 +20,7 @@
 #include "cyclops/bsp/engine.hpp"
 #include "cyclops/core/engine.hpp"
 #include "cyclops/gas/engine.hpp"
-#include "cyclops/graph/csr.hpp"
+#include "cyclops/graph/store.hpp"
 #include "cyclops/metrics/superstep_stats.hpp"
 #include "cyclops/partition/hash.hpp"
 #include "cyclops/partition/multilevel.hpp"
@@ -48,6 +48,11 @@ struct RunOptions {
   double epsilon = 1e-9;
   Superstep max_supersteps = 30;
   std::uint64_t partition_seed = 42;
+  args::StoreArgs store;           ///< graph store backend selection
+
+  [[nodiscard]] graph::StoreOptions store_options() const {
+    return graph::make_store_options(store.kind, store.mem_cap_mb, store.spill_dir);
+  }
 };
 
 /// Shared flag block for bench mains: overrides the harness defaults from the
@@ -61,6 +66,7 @@ inline RunOptions parse_run_options(args::Parser& p, RunOptions o = {}) {
   o.epsilon = p.get("--epsilon", o.epsilon);
   o.max_supersteps = p.get("--max-supersteps", o.max_supersteps);
   o.partition_seed = p.get("--seed", o.partition_seed);
+  o.store = args::store_args(p);
   return o;
 }
 
@@ -76,7 +82,7 @@ struct CellResult {
   }
 };
 
-inline partition::EdgeCutPartition make_edge_cut(const graph::Csr& g,
+inline partition::EdgeCutPartition make_edge_cut(const graph::GraphStore& g,
                                                  const RunOptions& opts,
                                                  WorkerId parts) {
   if (opts.multilevel) {
@@ -103,7 +109,7 @@ CellResult collect(Engine& engine, metrics::RunStats stats, double replication) 
 }
 
 template <typename Prog>
-CellResult run_bsp(const graph::Csr& g, const algo::Dataset& d, Prog prog,
+CellResult run_bsp(const graph::GraphStore& g, const algo::Dataset& d, Prog prog,
                    const RunOptions& opts) {
   (void)d;
   bsp::Config cfg;
@@ -116,7 +122,7 @@ CellResult run_bsp(const graph::Csr& g, const algo::Dataset& d, Prog prog,
 }
 
 template <typename Prog>
-CellResult run_cyclops(const graph::Csr& g, const algo::Dataset& d, Prog prog,
+CellResult run_cyclops(const graph::GraphStore& g, const algo::Dataset& d, Prog prog,
                        const RunOptions& opts, bool mt) {
   (void)d;
   core::Config cfg;
@@ -140,7 +146,7 @@ CellResult run_cyclops(const graph::Csr& g, const algo::Dataset& d, Prog prog,
 
 /// Runs the dataset's designated workload (Table 1 mapping) on one engine.
 /// PowerGraph only supports PageRank here (that is all the paper compares).
-inline CellResult run_cell(const algo::Dataset& d, const graph::Csr& g, EngineKind kind,
+inline CellResult run_cell(const algo::Dataset& d, const graph::GraphStore& g, EngineKind kind,
                            const RunOptions& opts) {
   switch (d.workload) {
     case algo::Workload::kPageRank: {
@@ -163,9 +169,9 @@ inline CellResult run_cell(const algo::Dataset& d, const graph::Csr& g, EngineKi
         const WorkerId parts = cfg.topo.total_workers();
         const auto vcut = opts.multilevel
                               ? partition::GreedyVertexCut{opts.partition_seed}.partition(
-                                    d.edges, parts)
-                              : partition::RandomVertexCut{}.partition(d.edges, parts);
-        gas::Engine<algo::PageRankGas> engine(d.edges, vcut, prog, cfg);
+                                    g, parts)
+                              : partition::RandomVertexCut{}.partition(g, parts);
+        gas::Engine<algo::PageRankGas> engine(g, vcut, prog, cfg);
         auto stats = engine.run();
         return detail::collect(engine, std::move(stats),
                                engine.layout().replication_factor(g.num_vertices()));

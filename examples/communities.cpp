@@ -10,6 +10,7 @@
 
 #include "cyclops/algorithms/cd.hpp"
 #include "cyclops/core/engine.hpp"
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/graph/generators.hpp"
 #include "cyclops/partition/multilevel.hpp"
 

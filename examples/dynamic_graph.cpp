@@ -13,6 +13,7 @@
 #include "cyclops/algorithms/sssp.hpp"
 #include "cyclops/core/engine.hpp"
 #include "cyclops/core/mutation.hpp"
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/graph/generators.hpp"
 #include "cyclops/partition/hash.hpp"
 

@@ -13,6 +13,7 @@
 #include "cyclops/common/table.hpp"
 #include "cyclops/core/engine.hpp"
 #include "cyclops/gas/engine.hpp"
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/graph/generators.hpp"
 #include "cyclops/partition/hash.hpp"
 #include "cyclops/partition/vertex_cut.hpp"
@@ -83,7 +84,7 @@ int main() {
     // Random vertex-cut, matching the paper's hash-based comparison where
     // both systems see similar replication factors (Table 4).
     gas::Engine<algo::PageRankGas> engine(
-        edges, partition::RandomVertexCut{}.partition(edges, workers), prog, cfg);
+        g, partition::RandomVertexCut{}.partition(g, workers), prog, cfg);
     const auto stats = engine.run();
     const auto values = engine.values();
     std::vector<double> ranks(g.num_vertices());

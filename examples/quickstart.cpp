@@ -12,6 +12,7 @@
 
 #include "cyclops/algorithms/pagerank.hpp"
 #include "cyclops/core/engine.hpp"
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/graph/generators.hpp"
 #include "cyclops/graph/loader.hpp"
 #include "cyclops/metrics/reporter.hpp"

@@ -9,6 +9,7 @@
 
 #include "cyclops/algorithms/als.hpp"
 #include "cyclops/core/engine.hpp"
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/graph/generators.hpp"
 #include "cyclops/partition/hash.hpp"
 

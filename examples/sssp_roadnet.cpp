@@ -9,6 +9,7 @@
 #include "cyclops/algorithms/sssp.hpp"
 #include "cyclops/bsp/engine.hpp"
 #include "cyclops/core/engine.hpp"
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/graph/generators.hpp"
 #include "cyclops/metrics/reporter.hpp"
 #include "cyclops/partition/multilevel.hpp"

@@ -33,11 +33,12 @@ Factor als_solve(std::span<const Factor> neighbor_factors, std::span<const doubl
   return x;
 }
 
-double als_rmse(const graph::Csr& g, VertexId num_users, std::span<const Factor> factors) {
+double als_rmse(const graph::GraphStore& g, VertexId num_users, std::span<const Factor> factors) {
   double sq = 0;
   std::size_t count = 0;
+  graph::AdjCursor cur;
   for (VertexId u = 0; u < num_users && u < g.num_vertices(); ++u) {
-    for (const graph::Adj& a : g.out_neighbors(u)) {
+    for (const graph::Adj& a : g.out_neighbors(u, cur)) {
       if (a.neighbor < num_users) continue;  // user-user edge: not a rating
       const double predicted = dot(factors[u], factors[a.neighbor]);
       const double err = predicted - a.weight;
@@ -48,13 +49,14 @@ double als_rmse(const graph::Csr& g, VertexId num_users, std::span<const Factor>
   return count > 0 ? std::sqrt(sq / static_cast<double>(count)) : 0.0;
 }
 
-std::vector<Factor> als_reference(const graph::Csr& g, VertexId num_users, unsigned rounds,
+std::vector<Factor> als_reference(const graph::GraphStore& g, VertexId num_users, unsigned rounds,
                                   double lambda) {
   const VertexId n = g.num_vertices();
   std::vector<Factor> factors(n);
   for (VertexId v = 0; v < n; ++v) factors[v] = als_init_factor(v);
   std::vector<Factor> nbr;
   std::vector<double> ratings;
+  graph::AdjCursor cur;
   for (unsigned round = 0; round < rounds; ++round) {
     const bool users_turn = (round % 2) == 0;
     std::vector<Factor> next = factors;
@@ -63,7 +65,7 @@ std::vector<Factor> als_reference(const graph::Csr& g, VertexId num_users, unsig
       if (is_user != users_turn) continue;
       nbr.clear();
       ratings.clear();
-      for (const graph::Adj& a : g.in_neighbors(v)) {
+      for (const graph::Adj& a : g.in_neighbors(v, cur)) {
         nbr.push_back(factors[a.neighbor]);
         ratings.push_back(a.weight);
       }

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "cyclops/algorithms/linalg.hpp"
-#include "cyclops/graph/csr.hpp"
+#include "cyclops/graph/store.hpp"
 
 namespace cyclops::algo {
 
@@ -29,12 +29,12 @@ using Factor = Vec<kAlsRank>;
 
 /// Root-mean-square rating error of a factor assignment over the graph's
 /// user->item edges (vertices < num_users are users).
-[[nodiscard]] double als_rmse(const graph::Csr& g, VertexId num_users,
+[[nodiscard]] double als_rmse(const graph::GraphStore& g, VertexId num_users,
                               std::span<const Factor> factors);
 
 /// Sequential ALS reference: `rounds` alternating side-updates (round 0
 /// updates users from item factors, round 1 items, ...).
-[[nodiscard]] std::vector<Factor> als_reference(const graph::Csr& g, VertexId num_users,
+[[nodiscard]] std::vector<Factor> als_reference(const graph::GraphStore& g, VertexId num_users,
                                                 unsigned rounds, double lambda);
 
 struct AlsMessagePayload {
@@ -57,7 +57,7 @@ struct AlsBsp {
   double lambda = 0.05;
   unsigned rounds = 10;  ///< total side-updates before halting
 
-  [[nodiscard]] Value init(VertexId v, const graph::Csr&) const noexcept {
+  [[nodiscard]] Value init(VertexId v, const graph::GraphStore&) const noexcept {
     return als_init_factor(v);
   }
 
@@ -110,13 +110,13 @@ struct AlsCyclops {
   double lambda = 0.05;
   unsigned rounds = 10;
 
-  [[nodiscard]] Value init(VertexId v, const graph::Csr&) const noexcept {
+  [[nodiscard]] Value init(VertexId v, const graph::GraphStore&) const noexcept {
     return als_init_factor(v);
   }
-  [[nodiscard]] Message init_shared(VertexId v, const graph::Csr&) const noexcept {
+  [[nodiscard]] Message init_shared(VertexId v, const graph::GraphStore&) const noexcept {
     return Message{v, als_init_factor(v)};
   }
-  [[nodiscard]] bool initially_active(VertexId v, const graph::Csr&) const noexcept {
+  [[nodiscard]] bool initially_active(VertexId v, const graph::GraphStore&) const noexcept {
     return v < num_users;  // users update first, from initial item factors
   }
 

@@ -16,12 +16,13 @@ VertexId find_root(std::vector<VertexId>& parent, VertexId v) {
 }
 }  // namespace
 
-std::vector<VertexId> cc_reference(const graph::Csr& g) {
+std::vector<VertexId> cc_reference(const graph::GraphStore& g) {
   const VertexId n = g.num_vertices();
   std::vector<VertexId> parent(n);
   std::iota(parent.begin(), parent.end(), VertexId{0});
+  graph::AdjCursor cur;
   for (VertexId v = 0; v < n; ++v) {
-    for (const graph::Adj& a : g.out_neighbors(v)) {
+    for (const graph::Adj& a : g.out_neighbors(v, cur)) {
       const VertexId ra = find_root(parent, v);
       const VertexId rb = find_root(parent, a.neighbor);
       if (ra != rb) parent[std::max(ra, rb)] = std::min(ra, rb);

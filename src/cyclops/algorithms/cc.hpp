@@ -9,7 +9,7 @@
 #include <span>
 #include <vector>
 
-#include "cyclops/graph/csr.hpp"
+#include "cyclops/graph/store.hpp"
 
 namespace cyclops::algo {
 
@@ -23,7 +23,7 @@ struct CcBsp {
     return a < b ? a : b;
   }
 
-  [[nodiscard]] Value init(VertexId v, const graph::Csr&) const noexcept { return v; }
+  [[nodiscard]] Value init(VertexId v, const graph::GraphStore&) const noexcept { return v; }
 
   template <typename Ctx>
   void compute(Ctx& ctx, std::span<const Message> msgs) const {
@@ -42,11 +42,11 @@ struct CcCyclops {
   using Value = VertexId;
   using Message = VertexId;
 
-  [[nodiscard]] Value init(VertexId v, const graph::Csr&) const noexcept { return v; }
-  [[nodiscard]] Message init_shared(VertexId v, const graph::Csr&) const noexcept {
+  [[nodiscard]] Value init(VertexId v, const graph::GraphStore&) const noexcept { return v; }
+  [[nodiscard]] Message init_shared(VertexId v, const graph::GraphStore&) const noexcept {
     return v;
   }
-  [[nodiscard]] bool initially_active(VertexId, const graph::Csr&) const noexcept {
+  [[nodiscard]] bool initially_active(VertexId, const graph::GraphStore&) const noexcept {
     return true;
   }
 
@@ -65,7 +65,7 @@ struct CcCyclops {
 };
 
 /// Union-find ground truth (labels = minimum vertex id per component).
-[[nodiscard]] std::vector<VertexId> cc_reference(const graph::Csr& g);
+[[nodiscard]] std::vector<VertexId> cc_reference(const graph::GraphStore& g);
 
 /// Number of distinct components in a labeling.
 [[nodiscard]] std::size_t count_components(std::span<const VertexId> labels);

@@ -2,17 +2,18 @@
 
 namespace cyclops::algo {
 
-std::vector<Label> cd_reference(const graph::Csr& g, unsigned max_iterations) {
+std::vector<Label> cd_reference(const graph::GraphStore& g, unsigned max_iterations) {
   const VertexId n = g.num_vertices();
   std::vector<Label> labels(n);
   for (VertexId v = 0; v < n; ++v) labels[v] = v;
   std::vector<Label> next(n);
   std::vector<Label> scratch;
+  graph::AdjCursor cur;
   for (unsigned it = 0; it < max_iterations; ++it) {
     bool any_change = false;
     for (VertexId v = 0; v < n; ++v) {
       scratch.clear();
-      for (const graph::Adj& a : g.in_neighbors(v)) scratch.push_back(labels[a.neighbor]);
+      for (const graph::Adj& a : g.in_neighbors(v, cur)) scratch.push_back(labels[a.neighbor]);
       next[v] = detail::majority_label(scratch, labels[v]);
       any_change = any_change || next[v] != labels[v];
     }
@@ -22,11 +23,12 @@ std::vector<Label> cd_reference(const graph::Csr& g, unsigned max_iterations) {
   return labels;
 }
 
-double label_agreement(const graph::Csr& g, std::span<const Label> labels) {
+double label_agreement(const graph::GraphStore& g, std::span<const Label> labels) {
   std::size_t agree = 0;
   std::size_t total = 0;
+  graph::AdjCursor cur;
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    for (const graph::Adj& a : g.out_neighbors(v)) {
+    for (const graph::Adj& a : g.out_neighbors(v, cur)) {
       ++total;
       if (labels[v] == labels[a.neighbor]) ++agree;
     }

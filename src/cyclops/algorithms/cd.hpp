@@ -8,7 +8,7 @@
 #include <span>
 #include <vector>
 
-#include "cyclops/graph/csr.hpp"
+#include "cyclops/graph/store.hpp"
 
 namespace cyclops::algo {
 
@@ -49,7 +49,7 @@ struct CdBsp {
 
   double stop_change_ratio = 0.0;  ///< halt when avg change indicator <= this
 
-  [[nodiscard]] Value init(VertexId v, const graph::Csr&) const noexcept { return v; }
+  [[nodiscard]] Value init(VertexId v, const graph::GraphStore&) const noexcept { return v; }
 
   template <typename Ctx>
   void compute(Ctx& ctx, std::span<const Message> msgs) const {
@@ -78,11 +78,11 @@ struct CdCyclops {
   static constexpr double kEdgeOpWeight = 3.0;
   static constexpr double kVertexOpWeight = 1.0;
 
-  [[nodiscard]] Value init(VertexId v, const graph::Csr&) const noexcept { return v; }
-  [[nodiscard]] Message init_shared(VertexId v, const graph::Csr&) const noexcept {
+  [[nodiscard]] Value init(VertexId v, const graph::GraphStore&) const noexcept { return v; }
+  [[nodiscard]] Message init_shared(VertexId v, const graph::GraphStore&) const noexcept {
     return v;
   }
-  [[nodiscard]] bool initially_active(VertexId, const graph::Csr&) const noexcept {
+  [[nodiscard]] bool initially_active(VertexId, const graph::GraphStore&) const noexcept {
     return true;
   }
 
@@ -100,10 +100,10 @@ struct CdCyclops {
 };
 
 /// Sequential synchronous label propagation with identical tie-breaking.
-[[nodiscard]] std::vector<Label> cd_reference(const graph::Csr& g, unsigned max_iterations);
+[[nodiscard]] std::vector<Label> cd_reference(const graph::GraphStore& g, unsigned max_iterations);
 
 /// Fraction of (undirected) edges whose endpoints share a label — the
 /// community-quality score examples report.
-[[nodiscard]] double label_agreement(const graph::Csr& g, std::span<const Label> labels);
+[[nodiscard]] double label_agreement(const graph::GraphStore& g, std::span<const Label> labels);
 
 }  // namespace cyclops::algo

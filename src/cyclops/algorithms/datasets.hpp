@@ -7,7 +7,7 @@
 #include <string>
 #include <vector>
 
-#include "cyclops/graph/csr.hpp"
+#include "cyclops/graph/store.hpp"
 #include "cyclops/graph/edge_list.hpp"
 
 namespace cyclops::algo {

@@ -4,17 +4,18 @@
 
 namespace cyclops::algo {
 
-std::vector<double> pagerank_reference(const graph::Csr& g, unsigned max_iterations,
+std::vector<double> pagerank_reference(const graph::GraphStore& g, unsigned max_iterations,
                                        double tolerance) {
   const VertexId n = g.num_vertices();
   if (n == 0) return {};
   std::vector<double> rank(n, 1.0 / static_cast<double>(n));
   std::vector<double> next(n);
+  graph::AdjCursor cur;
   for (unsigned it = 0; it < max_iterations; ++it) {
     double delta = 0;
     for (VertexId v = 0; v < n; ++v) {
       double sum = 0;
-      for (const graph::Adj& a : g.in_neighbors(v)) {
+      for (const graph::Adj& a : g.in_neighbors(v, cur)) {
         const auto d = g.out_degree(a.neighbor);
         if (d > 0) sum += rank[a.neighbor] / static_cast<double>(d);
       }

@@ -9,7 +9,7 @@
 #include <span>
 #include <vector>
 
-#include "cyclops/graph/csr.hpp"
+#include "cyclops/graph/store.hpp"
 
 namespace cyclops::algo {
 
@@ -33,7 +33,7 @@ struct PageRankBsp {
     return std::abs(a - b) <= redundancy_rel_epsilon * std::abs(a);
   }
 
-  [[nodiscard]] Value init(VertexId, const graph::Csr& g) const noexcept {
+  [[nodiscard]] Value init(VertexId, const graph::GraphStore& g) const noexcept {
     return 1.0 / static_cast<double>(g.num_vertices());
   }
 
@@ -71,14 +71,14 @@ struct PageRankCyclops {
 
   double epsilon = 1e-9;
 
-  [[nodiscard]] Value init(VertexId, const graph::Csr& g) const noexcept {
+  [[nodiscard]] Value init(VertexId, const graph::GraphStore& g) const noexcept {
     return 1.0 / static_cast<double>(g.num_vertices());
   }
-  [[nodiscard]] Message init_shared(VertexId v, const graph::Csr& g) const noexcept {
+  [[nodiscard]] Message init_shared(VertexId v, const graph::GraphStore& g) const noexcept {
     const auto d = g.out_degree(v);
     return d > 0 ? init(v, g) / static_cast<double>(d) : 0.0;
   }
-  [[nodiscard]] bool initially_active(VertexId, const graph::Csr&) const noexcept {
+  [[nodiscard]] bool initially_active(VertexId, const graph::GraphStore&) const noexcept {
     return true;
   }
 
@@ -131,7 +131,7 @@ struct PageRankGas {
 
 /// Sequential power iteration to (near-)fixpoint; the ground truth used by
 /// correctness tests and the L1 convergence tracker.
-[[nodiscard]] std::vector<double> pagerank_reference(const graph::Csr& g,
+[[nodiscard]] std::vector<double> pagerank_reference(const graph::GraphStore& g,
                                                      unsigned max_iterations = 200,
                                                      double tolerance = 1e-13);
 

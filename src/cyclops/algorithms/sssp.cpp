@@ -6,18 +6,19 @@
 
 namespace cyclops::algo {
 
-std::vector<double> sssp_reference(const graph::Csr& g, VertexId source) {
+std::vector<double> sssp_reference(const graph::GraphStore& g, VertexId source) {
   CYCLOPS_CHECK(source < g.num_vertices());
   std::vector<double> dist(g.num_vertices(), kInfDistance);
   using Entry = std::pair<double, VertexId>;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
   dist[source] = 0.0;
   heap.emplace(0.0, source);
+  graph::AdjCursor cur;
   while (!heap.empty()) {
     const auto [d, v] = heap.top();
     heap.pop();
     if (d > dist[v]) continue;
-    for (const graph::Adj& a : g.out_neighbors(v)) {
+    for (const graph::Adj& a : g.out_neighbors(v, cur)) {
       const double nd = d + a.weight;
       if (nd < dist[a.neighbor]) {
         dist[a.neighbor] = nd;

@@ -7,7 +7,7 @@
 #include <span>
 #include <vector>
 
-#include "cyclops/graph/csr.hpp"
+#include "cyclops/graph/store.hpp"
 
 namespace cyclops::algo {
 
@@ -25,7 +25,7 @@ struct SsspBsp {
     return a < b ? a : b;
   }
 
-  [[nodiscard]] Value init(VertexId v, const graph::Csr&) const noexcept {
+  [[nodiscard]] Value init(VertexId v, const graph::GraphStore&) const noexcept {
     return v == source ? 0.0 : kInfDistance;
   }
 
@@ -51,13 +51,13 @@ struct SsspCyclops {
 
   VertexId source = 0;
 
-  [[nodiscard]] Value init(VertexId v, const graph::Csr&) const noexcept {
+  [[nodiscard]] Value init(VertexId v, const graph::GraphStore&) const noexcept {
     return v == source ? 0.0 : kInfDistance;
   }
-  [[nodiscard]] Message init_shared(VertexId v, const graph::Csr& g) const noexcept {
+  [[nodiscard]] Message init_shared(VertexId v, const graph::GraphStore& g) const noexcept {
     return init(v, g);
   }
-  [[nodiscard]] bool initially_active(VertexId v, const graph::Csr&) const noexcept {
+  [[nodiscard]] bool initially_active(VertexId v, const graph::GraphStore&) const noexcept {
     return v == source;
   }
 
@@ -105,6 +105,6 @@ struct SsspGas {
 };
 
 /// Sequential Dijkstra ground truth.
-[[nodiscard]] std::vector<double> sssp_reference(const graph::Csr& g, VertexId source);
+[[nodiscard]] std::vector<double> sssp_reference(const graph::GraphStore& g, VertexId source);
 
 }  // namespace cyclops::algo

@@ -13,7 +13,7 @@
 //   struct P {
 //     using Value;                       // per-vertex state
 //     using Message;                     // trivially copyable wire payload
-//     Value init(VertexId v, const graph::Csr& g) const;
+//     Value init(VertexId v, const graph::GraphStore& g) const;
 //     template <typename Ctx> void compute(Ctx& ctx, std::span<const Message> msgs) const;
 //   };
 // Optionally `static constexpr bool kCombinable = true` plus
@@ -34,7 +34,7 @@
 #include "cyclops/common/spinlock.hpp"
 #include "cyclops/common/thread_pool.hpp"
 #include "cyclops/common/timer.hpp"
-#include "cyclops/graph/csr.hpp"
+#include "cyclops/graph/store.hpp"
 #include "cyclops/metrics/memory_model.hpp"
 #include "cyclops/metrics/superstep_stats.hpp"
 #include "cyclops/partition/partition.hpp"
@@ -88,8 +88,10 @@ class Engine {
       engine_.values_[vertex_] = v;
     }
 
-    [[nodiscard]] std::span<const graph::Adj> out_edges() const noexcept {
-      return engine_.graph_->out_neighbors(vertex_);
+    /// Adjacency via the worker's cursor: valid until this worker's next
+    /// adjacency query (compute runs one task per worker).
+    [[nodiscard]] std::span<const graph::Adj> out_edges() const {
+      return engine_.graph_->out_neighbors(vertex_, engine_.cursors_[worker_]);
     }
     [[nodiscard]] std::size_t out_degree() const noexcept {
       return engine_.graph_->out_degree(vertex_);
@@ -125,7 +127,7 @@ class Engine {
 
   /// The engine copies the partition (owner table) so callers may pass
   /// temporaries; the graph must outlive the engine.
-  Engine(const graph::Csr& g, partition::EdgeCutPartition part, Program program,
+  Engine(const graph::GraphStore& g, partition::EdgeCutPartition part, Program program,
          Config config)
       : graph_(&g),
         part_(std::move(part)),
@@ -141,6 +143,9 @@ class Engine {
     }
     if (config_.schedule) pool_.set_task_order(config_.schedule.get());
     driver_.set_checker(&vcheck_);
+    if (const std::uint64_t budget = graph_->message_budget_bytes(); budget > 0) {
+      acct_.arm_spill(budget, config_.cost.disk_byte_us);
+    }
     build_local_state();
   }
 
@@ -238,10 +243,16 @@ class Engine {
   /// once on the wire, once in the global in-queue, and once in a mailbox.
   [[nodiscard]] metrics::MemoryReport memory_report() const noexcept {
     metrics::MemoryReport r;
-    r.vertex_state_bytes =
-        graph_->num_vertices() * sizeof(Value) + graph_->num_edges() * sizeof(graph::Adj);
+    const graph::StoreMemory sm = graph_->memory();
+    r.vertex_state_bytes = graph_->num_vertices() * sizeof(Value) + sm.resident_bytes;
+    r.store_resident_bytes = sm.resident_bytes;
+    r.store_on_disk_bytes = sm.on_disk_bytes;
     r.replica_bytes = 0;
     r.peak_message_bytes = acct_.peak_buffered_bytes();
+    if (acct_.spill_budget_bytes() > 0) {
+      r.peak_message_bytes = std::min(r.peak_message_bytes, acct_.spill_budget_bytes());
+    }
+    r.message_spill_bytes = acct_.spill_bytes();
     r.message_churn_bytes = acct_.churn_bytes();
     r.message_alloc_count = fabric_.totals().total_messages();
     return r;
@@ -285,6 +296,7 @@ class Engine {
     halted_.resize(n);
     local_vertices_.assign(workers, {});
     for (VertexId v = 0; v < n; ++v) local_vertices_[part_.owner(v)].push_back(v);
+    cursors_ = std::vector<graph::AdjCursor>(workers);
     staged_.assign(workers, std::vector<StageBucket>(workers));
     inqueue_.assign(workers, {});
     inqueue_locks_ = std::vector<SpinLock>(workers);
@@ -525,7 +537,8 @@ class Engine {
     return !any_pending && !any_active;
   }
 
-  const graph::Csr* graph_;
+  const graph::GraphStore* graph_;
+  mutable std::vector<graph::AdjCursor> cursors_;  // one per worker task
   partition::EdgeCutPartition part_;
   Program program_;
   Config config_;

@@ -4,6 +4,7 @@
 // finish() rejects anything left over, so callers get unknown-flag errors
 // without maintaining a central flag table.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -107,5 +108,23 @@ class Parser {
   std::vector<std::string> tokens_;
   std::vector<bool> consumed_;
 };
+
+/// Graph-store selection flags shared by the CLI and the bench mains. Kept
+/// as raw strings/numbers here (common/ sits below graph/); callers convert
+/// with graph::parse_store_kind + graph::StoreOptions.
+struct StoreArgs {
+  std::string kind = "memory";    ///< memory | compact | stream
+  std::uint64_t mem_cap_mb = 64;  ///< stream-backend resident budget
+  std::string spill_dir;          ///< stream scratch dir; empty = /tmp
+};
+
+inline StoreArgs store_args(Parser& p) {
+  StoreArgs s;
+  s.kind = p.get("--store", s.kind);
+  s.mem_cap_mb = p.get("--mem-cap", s.mem_cap_mb);
+  s.spill_dir = p.get("--spill-dir", s.spill_dir);
+  if (s.mem_cap_mb == 0) Parser::fail("--mem-cap must be a positive MB count");
+  return s;
+}
 
 }  // namespace cyclops::args

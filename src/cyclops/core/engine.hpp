@@ -18,9 +18,9 @@
 //   struct P {
 //     using Value;    // master-private state
 //     using Message;  // replicated shared data (what neighbors read); POD
-//     Value init(VertexId v, const graph::Csr& g) const;
-//     Message init_shared(VertexId v, const graph::Csr& g) const;
-//     bool initially_active(VertexId v, const graph::Csr& g) const;
+//     Value init(VertexId v, const graph::GraphStore& g) const;
+//     Message init_shared(VertexId v, const graph::GraphStore& g) const;
+//     bool initially_active(VertexId v, const graph::GraphStore& g) const;
 //     template <typename Ctx> void compute(Ctx& ctx) const;
 //   };
 
@@ -38,7 +38,7 @@
 #include "cyclops/common/timer.hpp"
 #include "cyclops/core/engine_base.hpp"
 #include "cyclops/core/layout.hpp"
-#include "cyclops/graph/csr.hpp"
+#include "cyclops/graph/store.hpp"
 #include "cyclops/metrics/memory_model.hpp"
 #include "cyclops/metrics/superstep_stats.hpp"
 #include "cyclops/partition/partition.hpp"
@@ -130,7 +130,7 @@ class Engine {
     const WorkerLayout& layout_;
   };
 
-  Engine(const graph::Csr& g, const partition::EdgeCutPartition& part, Program program,
+  Engine(const graph::GraphStore& g, const partition::EdgeCutPartition& part, Program program,
          Config config)
       : graph_(&g),
         program_(std::move(program)),
@@ -146,6 +146,9 @@ class Engine {
     }
     if (config_.schedule) pool_.set_task_order(config_.schedule.get());
     driver_.set_checker(&vcheck_);
+    if (const std::uint64_t budget = graph_->message_budget_bytes(); budget > 0) {
+      acct_.arm_spill(budget, config_.cost.disk_byte_us);
+    }
     Timer ingress;
     layout_ = build_layout(g, part);
     init_state();
@@ -212,7 +215,15 @@ class Engine {
                               wl.lout_adj.size() * sizeof(std::uint32_t);
       r.replica_bytes += wl.num_replicas() * sizeof(Message);
     }
+    const graph::StoreMemory sm = graph_->memory();
+    r.store_resident_bytes = sm.resident_bytes;
+    r.store_on_disk_bytes = sm.on_disk_bytes;
+    r.vertex_state_bytes += sm.resident_bytes;
     r.peak_message_bytes = acct_.peak_buffered_bytes();
+    if (const std::uint64_t budget = acct_.spill_budget_bytes(); budget > 0) {
+      r.peak_message_bytes = std::min(r.peak_message_bytes, budget);
+    }
+    r.message_spill_bytes = acct_.spill_bytes();
     r.message_churn_bytes = acct_.churn_bytes();
     r.message_alloc_count = acct_.messages();
     return r;
@@ -336,7 +347,7 @@ class Engine {
   /// New vertices are initialized by the program; replicas are rebuilt and
   /// resynchronized (they are derived state). Both arguments must outlive
   /// the engine. Returns the ingress time of the rebuild.
-  double rebuild(const graph::Csr& new_graph, const partition::EdgeCutPartition& new_part) {
+  double rebuild(const graph::GraphStore& new_graph, const partition::EdgeCutPartition& new_part) {
     CYCLOPS_CHECK(new_part.num_parts() == config_.topo.total_workers());
     CYCLOPS_CHECK(new_graph.num_vertices() == new_part.num_vertices());
     Timer timer;
@@ -359,6 +370,9 @@ class Engine {
     }
 
     graph_ = &new_graph;
+    if (const std::uint64_t budget = graph_->message_budget_bytes(); budget > 0) {
+      acct_.arm_spill(budget, config_.cost.disk_byte_us);
+    }
     layout_ = build_layout(new_graph, new_part);
     init_state();
 
@@ -650,7 +664,7 @@ class Engine {
     return done;
   }
 
-  const graph::Csr* graph_;
+  const graph::GraphStore* graph_;
   Program program_;
   Config config_;
   ThreadPool pool_;

@@ -7,7 +7,8 @@
 
 namespace cyclops::core {
 
-Layout build_layout(const graph::Csr& g, const partition::EdgeCutPartition& p) {
+Layout build_layout(const graph::GraphStore& g, const partition::EdgeCutPartition& p) {
+  graph::AdjCursor cur;
   CYCLOPS_CHECK(g.num_vertices() == p.num_vertices());
   const VertexId n = g.num_vertices();
   const WorkerId workers = p.num_parts();
@@ -30,7 +31,7 @@ Layout build_layout(const graph::Csr& g, const partition::EdgeCutPartition& p) {
   std::vector<std::vector<VertexId>> replica_sets(workers);
   for (VertexId v = 0; v < n; ++v) {
     const WorkerId home = p.owner(v);
-    for (const graph::Adj& a : g.out_neighbors(v)) {
+    for (const graph::Adj& a : g.out_neighbors(v, cur)) {
       const WorkerId w = p.owner(a.neighbor);
       if (w != home) replica_sets[w].push_back(v);
     }
@@ -74,7 +75,7 @@ Layout build_layout(const graph::Csr& g, const partition::EdgeCutPartition& p) {
     wl.in_adj.resize(wl.in_offsets.back());
     for (std::uint32_t i = 0; i < wl.num_masters(); ++i) {
       std::size_t cursor = wl.in_offsets[i];
-      for (const graph::Adj& a : g.in_neighbors(wl.masters[i])) {
+      for (const graph::Adj& a : g.in_neighbors(wl.masters[i], cur)) {
         const auto it = slots.find(a.neighbor);
         CYCLOPS_CHECK(it != slots.end());
         wl.in_adj[cursor++] = SlotAdj{it->second, a.weight};
@@ -84,7 +85,7 @@ Layout build_layout(const graph::Csr& g, const partition::EdgeCutPartition& p) {
     // Local out-edges per slot (two-pass CSR fill).
     wl.lout_offsets.assign(wl.num_slots() + 1, 0);
     auto count_lout = [&](Slot slot, VertexId global) {
-      for (const graph::Adj& a : g.out_neighbors(global)) {
+      for (const graph::Adj& a : g.out_neighbors(global, cur)) {
         if (p.owner(a.neighbor) == w) ++wl.lout_offsets[slot + 1];
       }
     };
@@ -95,7 +96,7 @@ Layout build_layout(const graph::Csr& g, const partition::EdgeCutPartition& p) {
     wl.lout_adj.resize(wl.lout_offsets.back());
     std::vector<std::size_t> cursor(wl.lout_offsets.begin(), wl.lout_offsets.end() - 1);
     auto fill_lout = [&](Slot slot, VertexId global) {
-      for (const graph::Adj& a : g.out_neighbors(global)) {
+      for (const graph::Adj& a : g.out_neighbors(global, cur)) {
         if (p.owner(a.neighbor) == w) {
           wl.lout_adj[cursor[slot]++] = layout.master_index[a.neighbor];
         }

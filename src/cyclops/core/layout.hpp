@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "cyclops/common/types.hpp"
-#include "cyclops/graph/csr.hpp"
+#include "cyclops/graph/store.hpp"
 #include "cyclops/partition/partition.hpp"
 
 namespace cyclops::core {
@@ -88,6 +88,6 @@ struct Layout {
 
 /// Builds the full distributed immutable view for the given edge-cut
 /// partition. Deterministic.
-[[nodiscard]] Layout build_layout(const graph::Csr& g, const partition::EdgeCutPartition& p);
+[[nodiscard]] Layout build_layout(const graph::GraphStore& g, const partition::EdgeCutPartition& p);
 
 }  // namespace cyclops::core

@@ -74,9 +74,9 @@ class Engine {
   static_assert(std::is_trivially_copyable_v<Value>);
   static_assert(std::is_trivially_copyable_v<Gather>);
 
-  Engine(const graph::EdgeList& edges, const partition::VertexCutPartition& part,
+  Engine(const graph::GraphStore& g, const partition::VertexCutPartition& part,
          Program program, Config config)
-      : edges_(&edges),
+      : graph_(&g),
         program_(std::move(program)),
         config_(config),
         pool_(config.pool_threads),
@@ -88,8 +88,11 @@ class Engine {
     }
     if (config_.schedule) pool_.set_task_order(config_.schedule.get());
     driver_.set_checker(&vcheck_);
+    if (const std::uint64_t budget = graph_->message_budget_bytes(); budget > 0) {
+      acct_.arm_spill(budget, config_.cost.disk_byte_us);
+    }
     Timer ingress;
-    layout_ = build_gas_layout(edges, part);
+    layout_ = build_gas_layout(g, part);
     init_state();
     ingress_s_ = ingress.elapsed_s();
   }
@@ -128,7 +131,15 @@ class Engine {
         }
       }
     }
+    const graph::StoreMemory sm = graph_->memory();
+    r.store_resident_bytes = sm.resident_bytes;
+    r.store_on_disk_bytes = sm.on_disk_bytes;
+    r.vertex_state_bytes += sm.resident_bytes;
     r.peak_message_bytes = acct_.peak_buffered_bytes();
+    if (const std::uint64_t budget = acct_.spill_budget_bytes(); budget > 0) {
+      r.peak_message_bytes = std::min(r.peak_message_bytes, budget);
+    }
+    r.message_spill_bytes = acct_.spill_bytes();
     r.message_churn_bytes = acct_.churn_bytes();
     r.message_alloc_count = acct_.messages();
     return r;
@@ -136,8 +147,8 @@ class Engine {
 
   /// Master values gathered into one globally-indexed vector.
   [[nodiscard]] std::vector<Value> values() const {
-    std::vector<Value> out(edges_->num_vertices());
-    for (VertexId v = 0; v < edges_->num_vertices(); ++v) {
+    std::vector<Value> out(graph_->num_vertices());
+    for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
       const MirrorRef m = layout_.master_ref[v];
       out[v] = values_[m.worker][m.copy];
     }
@@ -157,7 +168,7 @@ class Engine {
                   runtime::CheckpointMode mode = runtime::CheckpointMode::kLightweight)
       const {
     runtime::write_engine_header(out, runtime::EngineTag::kGas, mode,
-                                 edges_->num_vertices(), edges_->num_edges());
+                                 graph_->num_vertices(), graph_->num_edges());
     out.write(driver_.superstep());
     for (WorkerId w = 0; w < layout_.workers.size(); ++w) {
       const GasWorkerLayout& wl = layout_.workers[w];
@@ -184,7 +195,7 @@ class Engine {
   /// wrong-shape snapshots; callers discard the engine on failure.
   void restore(ByteReader& in) {
     const runtime::CheckpointMode mode = runtime::read_engine_header(
-        in, runtime::EngineTag::kGas, edges_->num_vertices(), edges_->num_edges());
+        in, runtime::EngineTag::kGas, graph_->num_vertices(), graph_->num_edges());
     driver_.set_superstep(in.read<Superstep>());
     for (WorkerId w = 0; w < layout_.workers.size(); ++w) {
       const GasWorkerLayout& wl = layout_.workers[w];
@@ -267,13 +278,6 @@ class Engine {
 
   void init_state() {
     const WorkerId workers = config_.topo.total_workers();
-    // Global degrees for init().
-    std::vector<std::size_t> out_deg(edges_->num_vertices(), 0);
-    std::vector<std::size_t> in_deg(edges_->num_vertices(), 0);
-    for (const graph::Edge& e : edges_->edges()) {
-      ++out_deg[e.src];
-      ++in_deg[e.dst];
-    }
     values_.resize(workers);
     partial_.resize(workers);
     gathered_.resize(workers);
@@ -292,7 +296,7 @@ class Engine {
       next_active_masters_[w].resize(wl.num_copies());
       for (Copy c = 0; c < wl.num_copies(); ++c) {
         const VertexId v = wl.copy_globals[c];
-        values_[w][c] = program_.init(v, out_deg[v], in_deg[v]);
+        values_[w][c] = program_.init(v, graph_->out_degree(v), graph_->in_degree(v));
         if (wl.is_master[c]) next_active_masters_[w].set(c);  // all start active
       }
     }
@@ -543,7 +547,7 @@ class Engine {
     acct_.note_net(x.net);
   }
 
-  const graph::EdgeList* edges_;
+  const graph::GraphStore* graph_;
   Program program_;
   Config config_;
   ThreadPool pool_;

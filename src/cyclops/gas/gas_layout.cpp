@@ -7,10 +7,10 @@
 
 namespace cyclops::gas {
 
-GasLayout build_gas_layout(const graph::EdgeList& edges,
+GasLayout build_gas_layout(const graph::GraphStore& g,
                            const partition::VertexCutPartition& p) {
   Timer timer;
-  const VertexId n = edges.num_vertices();
+  const VertexId n = g.num_vertices();
   const WorkerId workers = p.num_parts();
   GasLayout layout;
   layout.workers.resize(workers);
@@ -19,11 +19,13 @@ GasLayout build_gas_layout(const graph::EdgeList& edges,
   // Copy discovery: a worker holds a copy of v if it hosts an edge incident
   // to v, or if it is v's designated master.
   std::vector<std::vector<VertexId>> copy_sets(workers);
-  for (std::size_t e = 0; e < edges.num_edges(); ++e) {
-    const graph::Edge& edge = edges.edges()[e];
-    const WorkerId w = p.edge_owner(e);
-    copy_sets[w].push_back(edge.src);
-    copy_sets[w].push_back(edge.dst);
+  {
+    std::size_t e = 0;
+    g.for_each_edge([&](VertexId src, VertexId dst, double) {
+      const WorkerId w = p.edge_owner(e++);
+      copy_sets[w].push_back(src);
+      copy_sets[w].push_back(dst);
+    });
   }
   for (VertexId v = 0; v < n; ++v) copy_sets[p.master(v)].push_back(v);
 
@@ -76,12 +78,13 @@ GasLayout build_gas_layout(const graph::EdgeList& edges,
   }
 
   // Local edges + per-copy in/out CSR.
-  for (std::size_t e = 0; e < edges.num_edges(); ++e) {
-    const graph::Edge& edge = edges.edges()[e];
-    const WorkerId w = p.edge_owner(e);
-    GasWorkerLayout& wl = layout.workers[w];
-    wl.edges.push_back(LocalEdge{copy_of[w].at(edge.src), copy_of[w].at(edge.dst),
-                                 edge.weight});
+  {
+    std::size_t e = 0;
+    g.for_each_edge([&](VertexId src, VertexId dst, double weight) {
+      const WorkerId w = p.edge_owner(e++);
+      GasWorkerLayout& wl = layout.workers[w];
+      wl.edges.push_back(LocalEdge{copy_of[w].at(src), copy_of[w].at(dst), weight});
+    });
   }
   for (WorkerId w = 0; w < workers; ++w) {
     GasWorkerLayout& wl = layout.workers[w];

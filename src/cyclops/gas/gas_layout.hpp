@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "cyclops/common/types.hpp"
-#include "cyclops/graph/edge_list.hpp"
+#include "cyclops/graph/store.hpp"
 #include "cyclops/partition/vertex_cut.hpp"
 
 namespace cyclops::gas {
@@ -63,7 +63,11 @@ struct GasLayout {
   }
 };
 
-[[nodiscard]] GasLayout build_gas_layout(const graph::EdgeList& edges,
+/// Builds the layout from any store backend. Edges are visited in the store's
+/// canonical enumeration order, which is also the order the vertex-cut
+/// partitioner assigned owners in — p.edge_owner(i) refers to the i-th edge
+/// of that enumeration.
+[[nodiscard]] GasLayout build_gas_layout(const graph::GraphStore& g,
                                          const partition::VertexCutPartition& p);
 
 }  // namespace cyclops::gas

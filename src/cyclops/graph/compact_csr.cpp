@@ -1,0 +1,373 @@
+#include "cyclops/graph/compact_csr.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <fstream>
+#include <numeric>
+#include <stdexcept>
+
+#include "cyclops/common/crc32.hpp"
+#include "cyclops/graph/csr.hpp"
+#include "cyclops/graph/loader.hpp"
+#include "cyclops/graph/varint.hpp"
+
+namespace cyclops::graph {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'Y', 'C', 'S'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint32_t kFlagInlineWeights = 1u << 0;
+
+constexpr std::uint32_t fourcc(const char (&s)[5]) {
+  return static_cast<std::uint32_t>(s[0]) | static_cast<std::uint32_t>(s[1]) << 8 |
+         static_cast<std::uint32_t>(s[2]) << 16 | static_cast<std::uint32_t>(s[3]) << 24;
+}
+
+constexpr std::uint32_t kTagOrder = fourcc("ORDR");
+constexpr std::uint32_t kTagOutDeg = fourcc("ODEG");
+constexpr std::uint32_t kTagInDeg = fourcc("IDEG");
+constexpr std::uint32_t kTagOutOff = fourcc("OOFF");
+constexpr std::uint32_t kTagInOff = fourcc("IOFF");
+constexpr std::uint32_t kTagOutBlob = fourcc("OBLB");
+constexpr std::uint32_t kTagInBlob = fourcc("IBLB");
+
+// Fixed 40-byte file header, followed by 16-byte section headers; every
+// payload is padded to 8 bytes so mapped u64 arrays stay aligned.
+struct FileHeader {
+  char magic[4];
+  std::uint32_t version;
+  std::uint32_t flags;
+  std::uint32_t n;
+  std::uint64_t m;
+  double uniform_weight;
+  std::uint32_t section_count;
+  std::uint32_t reserved;
+};
+static_assert(sizeof(FileHeader) == 40);
+
+struct SectionHeader {
+  std::uint32_t tag;
+  std::uint32_t crc;
+  std::uint64_t payload_bytes;
+};
+static_assert(sizeof(SectionHeader) == 16);
+
+[[nodiscard]] constexpr std::uint64_t pad8(std::uint64_t v) noexcept {
+  return (v + 7) & ~std::uint64_t{7};
+}
+
+std::string tag_name(std::uint32_t tag) {
+  std::string s(4, '?');
+  std::memcpy(s.data(), &tag, 4);
+  return s;
+}
+
+template <typename T>
+void write_section(std::ofstream& out, std::uint32_t tag, std::span<const T> payload) {
+  SectionHeader h{};
+  h.tag = tag;
+  h.payload_bytes = payload.size_bytes();
+  h.crc = crc32({reinterpret_cast<const std::uint8_t*>(payload.data()), payload.size_bytes()});
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  out.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size_bytes()));
+  const std::uint64_t padding = pad8(h.payload_bytes) - h.payload_bytes;
+  const char zeros[8] = {};
+  out.write(zeros, static_cast<std::streamsize>(padding));
+}
+
+}  // namespace
+
+struct CompactCsr::Mapping {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+  bool is_mmap = false;
+  std::vector<std::uint8_t> owned;
+
+  Mapping() = default;
+  Mapping(const Mapping&) = delete;
+  Mapping& operator=(const Mapping&) = delete;
+  ~Mapping() {
+    if (is_mmap && data != nullptr) {
+      ::munmap(const_cast<std::uint8_t*>(data), size);
+    }
+  }
+};
+
+CompactCsr CompactCsr::build(const Csr& g) {
+  CompactCsr c;
+  c.n_ = g.num_vertices();
+  c.m_ = g.num_edges();
+
+  // Detect a graph-wide uniform weight (the loader's default-weight case);
+  // when every edge carries the same weight the blobs store ids only.
+  bool uniform = true;
+  double w0 = 1.0;
+  bool have_w0 = false;
+  for (VertexId v = 0; v < c.n_ && uniform; ++v) {
+    for (const Adj& a : g.out_neighbors(v)) {
+      if (!have_w0) {
+        w0 = a.weight;
+        have_w0 = true;
+      } else if (a.weight != w0) {
+        uniform = false;
+        break;
+      }
+    }
+  }
+  c.inline_weights_ = !uniform;
+  c.uniform_weight_ = uniform && have_w0 ? w0 : 1.0;
+
+  // Degree-descending internal order (ties by id for determinism): heavy
+  // vertices land at the front of both blobs.
+  c.owned_order_.resize(c.n_);
+  std::iota(c.owned_order_.begin(), c.owned_order_.end(), VertexId{0});
+  std::sort(c.owned_order_.begin(), c.owned_order_.end(), [&](VertexId a, VertexId b) {
+    const std::size_t da = g.out_degree(a) + g.in_degree(a);
+    const std::size_t db = g.out_degree(b) + g.in_degree(b);
+    return da != db ? da > db : a < b;
+  });
+  c.pos_.resize(c.n_);
+  for (VertexId rank = 0; rank < c.n_; ++rank) c.pos_[c.owned_order_[rank]] = rank;
+
+  auto encode_direction = [&](bool out_dir, std::vector<std::uint32_t>& deg,
+                              std::vector<std::uint64_t>& off,
+                              std::vector<std::uint8_t>& blob) {
+    deg.resize(c.n_);
+    off.assign(static_cast<std::size_t>(c.n_) + 1, 0);
+    for (VertexId rank = 0; rank < c.n_; ++rank) {
+      const VertexId v = c.owned_order_[rank];
+      const std::span<const Adj> adj = out_dir ? g.out_neighbors(v) : g.in_neighbors(v);
+      deg[rank] = static_cast<std::uint32_t>(adj.size());
+      detail::encode_adj_list(blob, adj, c.inline_weights_);
+      off[rank + 1] = blob.size();
+    }
+  };
+  encode_direction(true, c.owned_out_deg_, c.owned_out_off_, c.owned_out_blob_);
+  encode_direction(false, c.owned_in_deg_, c.owned_in_off_, c.owned_in_blob_);
+
+  c.order_ = c.owned_order_;
+  c.out_deg_ = c.owned_out_deg_;
+  c.in_deg_ = c.owned_in_deg_;
+  c.out_off_ = c.owned_out_off_;
+  c.in_off_ = c.owned_in_off_;
+  c.out_blob_ = c.owned_out_blob_;
+  c.in_blob_ = c.owned_in_blob_;
+  return c;
+}
+
+void CompactCsr::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write compact graph: " + path);
+  FileHeader h{};
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.version = kFormatVersion;
+  h.flags = inline_weights_ ? kFlagInlineWeights : 0;
+  h.n = n_;
+  h.m = m_;
+  h.uniform_weight = uniform_weight_;
+  h.section_count = 7;
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  write_section(out, kTagOrder, order_);
+  write_section(out, kTagOutDeg, out_deg_);
+  write_section(out, kTagInDeg, in_deg_);
+  write_section(out, kTagOutOff, out_off_);
+  write_section(out, kTagInOff, in_off_);
+  write_section(out, kTagOutBlob, out_blob_);
+  write_section(out, kTagInBlob, in_blob_);
+  if (!out) throw std::runtime_error("short write to compact graph: " + path);
+}
+
+CompactCsr CompactCsr::load(const std::string& path) {
+  auto mapping = std::make_shared<Mapping>();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw std::runtime_error("cannot open compact graph: " + path);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw std::runtime_error("cannot stat compact graph: " + path);
+  }
+  mapping->size = static_cast<std::size_t>(st.st_size);
+  if (mapping->size > 0) {
+    void* p = ::mmap(nullptr, mapping->size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p != MAP_FAILED) {
+      mapping->data = static_cast<const std::uint8_t*>(p);
+      mapping->is_mmap = true;
+    } else {
+      // Buffered-read fallback keeps the loader working where mmap is not.
+      mapping->owned.resize(mapping->size);
+      std::size_t got = 0;
+      while (got < mapping->size) {
+        const ssize_t r = ::read(fd, mapping->owned.data() + got, mapping->size - got);
+        if (r <= 0) break;
+        got += static_cast<std::size_t>(r);
+      }
+      if (got != mapping->size) {
+        ::close(fd);
+        throw std::runtime_error("cannot read compact graph: " + path);
+      }
+      mapping->data = mapping->owned.data();
+    }
+  }
+  ::close(fd);
+
+  const std::uint8_t* base = mapping->data;
+  const std::uint64_t size = mapping->size;
+  if (size < sizeof(FileHeader)) {
+    throw LoadError("truncated compact graph header: " + path, size);
+  }
+  FileHeader h{};
+  std::memcpy(&h, base, sizeof(h));
+  if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) {
+    throw LoadError("not a cyclops compact graph: " + path, 0);
+  }
+  if (h.version != kFormatVersion) {
+    throw LoadError("unsupported compact graph version: " + path,
+                    offsetof(FileHeader, version));
+  }
+
+  CompactCsr c;
+  c.n_ = h.n;
+  c.m_ = h.m;
+  c.inline_weights_ = (h.flags & kFlagInlineWeights) != 0;
+  c.uniform_weight_ = h.uniform_weight;
+  c.mapping_ = mapping;
+
+  struct Section {
+    std::span<const std::uint8_t> payload;
+    bool seen = false;
+  };
+  Section order, odeg, ideg, ooff, ioff, oblb, iblb;
+  auto section_for = [&](std::uint32_t tag) -> Section* {
+    switch (tag) {
+      case kTagOrder: return &order;
+      case kTagOutDeg: return &odeg;
+      case kTagInDeg: return &ideg;
+      case kTagOutOff: return &ooff;
+      case kTagInOff: return &ioff;
+      case kTagOutBlob: return &oblb;
+      case kTagInBlob: return &iblb;
+      default: return nullptr;
+    }
+  };
+
+  std::uint64_t at = sizeof(FileHeader);
+  for (std::uint32_t s = 0; s < h.section_count; ++s) {
+    if (at + sizeof(SectionHeader) > size) {
+      throw LoadError("truncated compact graph section header: " + path, at);
+    }
+    SectionHeader sh{};
+    std::memcpy(&sh, base + at, sizeof(sh));
+    const std::uint64_t payload_at = at + sizeof(SectionHeader);
+    if (payload_at + sh.payload_bytes > size) {
+      throw LoadError("truncated compact graph section " + tag_name(sh.tag) + ": " + path,
+                      payload_at);
+    }
+    const std::span<const std::uint8_t> payload{base + payload_at, sh.payload_bytes};
+    if (crc32(payload) != sh.crc) {
+      throw LoadError("CRC mismatch in compact graph section " + tag_name(sh.tag) + ": " + path,
+                      payload_at);
+    }
+    if (Section* dst = section_for(sh.tag)) {
+      dst->payload = payload;
+      dst->seen = true;
+    }  // unknown sections are skipped: forward-compatible
+    at = payload_at + pad8(sh.payload_bytes);
+  }
+  for (const Section* s : {&order, &odeg, &ideg, &ooff, &ioff, &oblb, &iblb}) {
+    if (!s->seen) throw LoadError("missing compact graph section: " + path, at);
+  }
+  // Strict length check: a file cut inside the final section's alignment
+  // padding (or with bytes appended past the last section) is still corrupt
+  // even though every CRC verifies.
+  if (at != size) {
+    throw LoadError("compact graph file length mismatch: " + path, at);
+  }
+
+  auto as_u32 = [&](const Section& s, std::uint64_t expect) -> std::span<const std::uint32_t> {
+    if (s.payload.size() != expect * sizeof(std::uint32_t)) {
+      throw LoadError("compact graph section size mismatch: " + path,
+                      static_cast<std::uint64_t>(s.payload.data() - base));
+    }
+    return {reinterpret_cast<const std::uint32_t*>(s.payload.data()), expect};
+  };
+  auto as_u64 = [&](const Section& s, std::uint64_t expect) -> std::span<const std::uint64_t> {
+    if (s.payload.size() != expect * sizeof(std::uint64_t)) {
+      throw LoadError("compact graph section size mismatch: " + path,
+                      static_cast<std::uint64_t>(s.payload.data() - base));
+    }
+    return {reinterpret_cast<const std::uint64_t*>(s.payload.data()), expect};
+  };
+
+  const std::uint64_t n = c.n_;
+  c.order_ = as_u32(order, n);
+  c.out_deg_ = as_u32(odeg, n);
+  c.in_deg_ = as_u32(ideg, n);
+  c.out_off_ = as_u64(ooff, n + 1);
+  c.in_off_ = as_u64(ioff, n + 1);
+  c.out_blob_ = oblb.payload;
+  c.in_blob_ = iblb.payload;
+  if ((n > 0 && (c.out_off_[n] != c.out_blob_.size() || c.in_off_[n] != c.in_blob_.size()))) {
+    throw LoadError("compact graph blob size mismatch: " + path,
+                    static_cast<std::uint64_t>(oblb.payload.data() - base));
+  }
+
+  c.pos_.resize(n);
+  std::vector<bool> seen(n, false);
+  for (VertexId rank = 0; rank < c.n_; ++rank) {
+    const VertexId v = c.order_[rank];
+    if (v >= c.n_ || seen[v]) {
+      throw LoadError("compact graph order section is not a permutation: " + path,
+                      static_cast<std::uint64_t>(order.payload.data() - base));
+    }
+    seen[v] = true;
+    c.pos_[v] = rank;
+  }
+  return c;
+}
+
+std::span<const Adj> CompactCsr::decode(VertexId v, AdjCursor& cur,
+                                        std::span<const std::uint32_t> deg,
+                                        std::span<const std::uint64_t> off,
+                                        std::span<const std::uint8_t> blob) const {
+  const VertexId rank = pos_[v];
+  const std::uint8_t* begin = blob.data() + off[rank];
+  const std::uint8_t* end = blob.data() + off[rank + 1];
+  detail::decode_adj_list(cur.scratch, deg[rank], begin, end, inline_weights_,
+                          uniform_weight_);
+  return cur.scratch;
+}
+
+std::span<const Adj> CompactCsr::out_neighbors(VertexId v, AdjCursor& cur) const {
+  return decode(v, cur, out_deg_, out_off_, out_blob_);
+}
+
+std::span<const Adj> CompactCsr::in_neighbors(VertexId v, AdjCursor& cur) const {
+  return decode(v, cur, in_deg_, in_off_, in_blob_);
+}
+
+StoreMemory CompactCsr::memory() const noexcept {
+  StoreMemory m;
+  m.resident_bytes = pos_.size() * sizeof(VertexId);
+  const std::uint64_t index_bytes =
+      order_.size_bytes() + out_deg_.size_bytes() + in_deg_.size_bytes() +
+      out_off_.size_bytes() + in_off_.size_bytes();
+  if (mapping_) {
+    // Mapped file: the index sections get touched every query, so count them
+    // resident; the blobs page in on demand and stay charged to disk.
+    m.resident_bytes += index_bytes;
+    m.on_disk_bytes = mapping_->size;
+  } else {
+    m.resident_bytes += index_bytes + out_blob_.size_bytes() + in_blob_.size_bytes();
+  }
+  return m;
+}
+
+}  // namespace cyclops::graph

@@ -1,0 +1,105 @@
+#pragma once
+// CompactCsr — the hot-path GraphStore backend: one flat delta/varint blob
+// per direction, indexed by byte offsets, with vertices internally remapped
+// into degree-descending order so the heaviest adjacency lists cluster at
+// the front of the blob (sequential scans touch a compact prefix instead of
+// chasing per-vertex pointers across the heap). The remap is internal only:
+// external vertex ids, adjacency content, and enumeration order are
+// bit-identical to the Csr the store was built from, so partitions and wire
+// digests are unchanged.
+//
+// The store also has a versioned on-disk format (magic "CYCS") with a CRC32
+// per section, loadable via mmap (falling back to a buffered read when mmap
+// is unavailable). Corruption and truncation surface as graph::LoadError
+// with the byte offset of the failing section.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cyclops/common/types.hpp"
+#include "cyclops/graph/store.hpp"
+
+namespace cyclops::graph {
+
+class Csr;
+
+class CompactCsr final : public GraphStore {
+ public:
+  CompactCsr() = default;
+  CompactCsr(CompactCsr&&) noexcept = default;
+  CompactCsr& operator=(CompactCsr&&) noexcept = default;
+  ~CompactCsr() override = default;
+
+  /// Converts a built Csr. Adjacency order is preserved exactly.
+  static CompactCsr build(const Csr& g);
+
+  /// Writes the versioned binary format; throws std::runtime_error on IO
+  /// failure.
+  void save(const std::string& path) const;
+
+  /// Maps (or reads) a saved store. Throws LoadError with a byte offset on
+  /// magic/version mismatch, CRC mismatch, or truncation.
+  static CompactCsr load(const std::string& path);
+
+  [[nodiscard]] StoreKind kind() const noexcept override { return StoreKind::kCompact; }
+  [[nodiscard]] VertexId num_vertices() const noexcept override { return n_; }
+  [[nodiscard]] std::size_t num_edges() const noexcept override {
+    return static_cast<std::size_t>(m_);
+  }
+  [[nodiscard]] std::size_t out_degree(VertexId v) const noexcept override {
+    return out_deg_[pos_[v]];
+  }
+  [[nodiscard]] std::size_t in_degree(VertexId v) const noexcept override {
+    return in_deg_[pos_[v]];
+  }
+  [[nodiscard]] std::span<const Adj> out_neighbors(VertexId v,
+                                                   AdjCursor& cur) const override;
+  [[nodiscard]] std::span<const Adj> in_neighbors(VertexId v, AdjCursor& cur) const override;
+  [[nodiscard]] StoreMemory memory() const noexcept override;
+
+  /// True when loaded through an mmap'ed file (memory() then charges the
+  /// blob to on-disk bytes instead of resident bytes).
+  [[nodiscard]] bool mapped() const noexcept { return mapping_ != nullptr; }
+
+  /// Compressed adjacency bytes, both directions (the payload the format's
+  /// compression ratio is measured on).
+  [[nodiscard]] std::uint64_t blob_bytes() const noexcept {
+    return out_blob_.size() + in_blob_.size();
+  }
+
+ private:
+  struct Mapping;  // owns the mmap / fallback buffer
+
+  VertexId n_ = 0;
+  std::uint64_t m_ = 0;
+  bool inline_weights_ = false;
+  double uniform_weight_ = 1.0;
+
+  // Uniform views: into owned_* vectors when built in memory, into the
+  // mapping when loaded from disk. pos_ is always materialized (rebuilt from
+  // order_ on load).
+  std::span<const VertexId> order_;          // rank -> original id
+  std::span<const std::uint32_t> out_deg_;   // by rank
+  std::span<const std::uint32_t> in_deg_;    // by rank
+  std::span<const std::uint64_t> out_off_;   // by rank, n+1 byte offsets
+  std::span<const std::uint64_t> in_off_;    // by rank, n+1 byte offsets
+  std::span<const std::uint8_t> out_blob_;
+  std::span<const std::uint8_t> in_blob_;
+  std::vector<VertexId> pos_;                // original id -> rank
+
+  std::vector<VertexId> owned_order_;
+  std::vector<std::uint32_t> owned_out_deg_, owned_in_deg_;
+  std::vector<std::uint64_t> owned_out_off_, owned_in_off_;
+  std::vector<std::uint8_t> owned_out_blob_, owned_in_blob_;
+  std::shared_ptr<const Mapping> mapping_;
+
+  [[nodiscard]] std::span<const Adj> decode(VertexId v, AdjCursor& cur,
+                                            std::span<const std::uint32_t> deg,
+                                            std::span<const std::uint64_t> off,
+                                            std::span<const std::uint8_t> blob) const;
+};
+
+}  // namespace cyclops::graph

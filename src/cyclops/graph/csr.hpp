@@ -1,8 +1,8 @@
 #pragma once
-// Compressed-sparse-row graph with both out- and in-adjacency, the immutable
-// runtime representation every engine computes over. Edge weights are stored
-// once per direction so in-edge iteration (the Cyclops pull pattern) is
-// cache-friendly.
+// Compressed-sparse-row graph with both out- and in-adjacency, the canonical
+// in-memory GraphStore backend every other backend is built from. Edge
+// weights are stored once per direction so in-edge iteration (the Cyclops
+// pull pattern) is cache-friendly.
 
 #include <cstdint>
 #include <span>
@@ -10,18 +10,11 @@
 
 #include "cyclops/common/types.hpp"
 #include "cyclops/graph/edge_list.hpp"
+#include "cyclops/graph/store.hpp"
 
 namespace cyclops::graph {
 
-/// One adjacency entry: the neighbor and the weight of the connecting edge.
-struct Adj {
-  VertexId neighbor = 0;
-  double weight = 1.0;
-
-  friend bool operator==(const Adj&, const Adj&) = default;
-};
-
-class Csr {
+class Csr final : public GraphStore {
  public:
   Csr() = default;
 
@@ -29,10 +22,10 @@ class Csr {
   /// sorted by neighbor id within each vertex for determinism.
   static Csr build(const EdgeList& edges);
 
-  [[nodiscard]] VertexId num_vertices() const noexcept {
+  [[nodiscard]] VertexId num_vertices() const noexcept override {
     return static_cast<VertexId>(out_offsets_.empty() ? 0 : out_offsets_.size() - 1);
   }
-  [[nodiscard]] std::size_t num_edges() const noexcept { return out_adj_.size(); }
+  [[nodiscard]] std::size_t num_edges() const noexcept override { return out_adj_.size(); }
 
   [[nodiscard]] std::span<const Adj> out_neighbors(VertexId v) const noexcept {
     return {out_adj_.data() + out_offsets_[v], out_adj_.data() + out_offsets_[v + 1]};
@@ -41,11 +34,29 @@ class Csr {
     return {in_adj_.data() + in_offsets_[v], in_adj_.data() + in_offsets_[v + 1]};
   }
 
-  [[nodiscard]] std::size_t out_degree(VertexId v) const noexcept {
+  [[nodiscard]] std::size_t out_degree(VertexId v) const noexcept override {
     return out_offsets_[v + 1] - out_offsets_[v];
   }
-  [[nodiscard]] std::size_t in_degree(VertexId v) const noexcept {
+  [[nodiscard]] std::size_t in_degree(VertexId v) const noexcept override {
     return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  // GraphStore interface. The cursor is unused: spans point into the
+  // resident arrays and stay valid for the store's lifetime.
+  [[nodiscard]] StoreKind kind() const noexcept override { return StoreKind::kMemory; }
+  [[nodiscard]] std::span<const Adj> out_neighbors(VertexId v,
+                                                   AdjCursor&) const noexcept override {
+    return out_neighbors(v);
+  }
+  [[nodiscard]] std::span<const Adj> in_neighbors(VertexId v,
+                                                  AdjCursor&) const noexcept override {
+    return in_neighbors(v);
+  }
+  [[nodiscard]] StoreMemory memory() const noexcept override {
+    StoreMemory m;
+    m.resident_bytes = (out_offsets_.size() + in_offsets_.size()) * sizeof(std::size_t) +
+                       (out_adj_.size() + in_adj_.size()) * sizeof(Adj);
+    return m;
   }
 
  private:

@@ -6,7 +6,7 @@
 
 namespace cyclops::graph {
 
-GraphStats compute_stats(const Csr& g) {
+GraphStats compute_stats(const GraphStore& g) {
   GraphStats s;
   s.num_vertices = g.num_vertices();
   s.num_edges = g.num_edges();
@@ -30,7 +30,7 @@ GraphStats compute_stats(const Csr& g) {
   return s;
 }
 
-double powerlaw_exponent(const Csr& g) {
+double powerlaw_exponent(const GraphStore& g) {
   std::map<std::size_t, std::size_t> counts;
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     const std::size_t d = g.out_degree(v);
@@ -55,7 +55,8 @@ double powerlaw_exponent(const Csr& g) {
   return denom != 0.0 ? (nn * sxy - sx * sy) / denom : 0.0;
 }
 
-std::size_t reachable_from(const Csr& g, VertexId src) {
+std::size_t reachable_from(const GraphStore& g, VertexId src) {
+  AdjCursor cur;
   std::vector<bool> seen(g.num_vertices(), false);
   std::vector<VertexId> frontier{src};
   seen[src] = true;
@@ -63,7 +64,7 @@ std::size_t reachable_from(const Csr& g, VertexId src) {
   while (!frontier.empty()) {
     std::vector<VertexId> next;
     for (VertexId v : frontier) {
-      for (const Adj& a : g.out_neighbors(v)) {
+      for (const Adj& a : g.out_neighbors(v, cur)) {
         if (!seen[a.neighbor]) {
           seen[a.neighbor] = true;
           ++count;

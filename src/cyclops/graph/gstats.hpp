@@ -3,7 +3,7 @@
 // stand-in datasets match the properties the experiments rely on.
 
 #include "cyclops/common/stats.hpp"
-#include "cyclops/graph/csr.hpp"
+#include "cyclops/graph/store.hpp"
 
 namespace cyclops::graph {
 
@@ -17,13 +17,13 @@ struct GraphStats {
   std::size_t isolated_vertices = 0;  ///< no in- and no out-edges
 };
 
-[[nodiscard]] GraphStats compute_stats(const Csr& g);
+[[nodiscard]] GraphStats compute_stats(const GraphStore& g);
 
 /// Fits log(count) ~ alpha * log(degree) over the out-degree distribution
 /// tail; skewed web-like graphs have alpha roughly in [-3, -1.5].
-[[nodiscard]] double powerlaw_exponent(const Csr& g);
+[[nodiscard]] double powerlaw_exponent(const GraphStore& g);
 
 /// Reachable-vertex count from src following out-edges (BFS).
-[[nodiscard]] std::size_t reachable_from(const Csr& g, VertexId src);
+[[nodiscard]] std::size_t reachable_from(const GraphStore& g, VertexId src);
 
 }  // namespace cyclops::graph

@@ -12,9 +12,13 @@ namespace cyclops::graph {
 EdgeList load_edge_list(std::istream& in, const LoadOptions& opts) {
   EdgeList edges;
   std::unordered_map<std::uint64_t, VertexId> remap;
+  std::uint64_t line_begin = 0;  // byte offset of the current line's start
+  std::size_t lineno = 0;
   auto densify = [&](std::uint64_t raw) -> VertexId {
     if (!opts.densify_ids) {
-      if (raw > kInvalidVertex - 1) throw std::runtime_error("vertex id overflows 32 bits");
+      if (raw > kInvalidVertex - 1) {
+        throw LoadError("vertex id overflows 32 bits", line_begin, lineno);
+      }
       return static_cast<VertexId>(raw);
     }
     auto [it, inserted] = remap.try_emplace(raw, static_cast<VertexId>(remap.size()));
@@ -22,22 +26,26 @@ EdgeList load_edge_list(std::istream& in, const LoadOptions& opts) {
   };
 
   std::string line;
-  std::size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
+    const std::uint64_t this_line = line_begin;
+    line_begin += line.size() + 1;  // getline consumed the '\n' too
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
     std::istringstream ls(line);
     std::uint64_t raw_src = 0;
     std::uint64_t raw_dst = 0;
     if (!(ls >> raw_src >> raw_dst)) {
-      throw std::runtime_error("malformed edge at line " + std::to_string(lineno));
+      throw LoadError("malformed edge", this_line, lineno);
     }
     double weight = opts.default_weight;
     if (double w = 0; ls >> w) {
       if (!std::isfinite(w)) {
-        throw std::runtime_error("non-finite weight at line " + std::to_string(lineno));
+        throw LoadError("non-finite weight", this_line, lineno);
       }
       weight = w;
+    } else if (!ls.eof()) {
+      // A third column exists but is not a number — corrupt, not absent.
+      throw LoadError("malformed weight", this_line, lineno);
     }
     const VertexId src = densify(raw_src);
     const VertexId dst = densify(raw_dst);
@@ -88,6 +96,12 @@ struct BinaryEdge {
   VertexId dst;
   double weight;
 };
+
+// Fixed header layout: magic @0, version @4, n @8, m @12, records @20.
+constexpr std::uint64_t kVersionOffset = sizeof(kMagic);
+constexpr std::uint64_t kCountOffset = kVersionOffset + sizeof(std::uint32_t);
+constexpr std::uint64_t kRecordOffset =
+    kCountOffset + sizeof(std::uint32_t) + sizeof(std::uint64_t);
 }  // namespace
 
 void save_binary_file(const std::string& path, const EdgeList& edges) {
@@ -113,25 +127,28 @@ EdgeList load_binary_file(const std::string& path) {
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("not a cyclops binary graph: " + path);
+    throw LoadError("not a cyclops binary graph: " + path, 0);
   }
   std::uint32_t version = 0;
   std::uint32_t n = 0;
   std::uint64_t m = 0;
   in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in) throw LoadError("truncated binary graph header: " + path, kVersionOffset);
+  if (version != kBinaryVersion) {
+    throw LoadError("unsupported binary graph version in " + path, kVersionOffset);
+  }
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   in.read(reinterpret_cast<char*>(&m), sizeof(m));
-  if (!in || version != kBinaryVersion) {
-    throw std::runtime_error("unsupported binary graph version in " + path);
-  }
+  if (!in) throw LoadError("truncated binary graph header: " + path, kCountOffset);
   EdgeList edges(n);
   edges.edges().reserve(m);
   for (std::uint64_t i = 0; i < m; ++i) {
+    const std::uint64_t rec_offset = kRecordOffset + i * sizeof(BinaryEdge);
     BinaryEdge rec;
     in.read(reinterpret_cast<char*>(&rec), sizeof(rec));
-    if (!in) throw std::runtime_error("truncated binary graph: " + path);
+    if (!in) throw LoadError("truncated binary graph: " + path, rec_offset);
     if (rec.src >= n || rec.dst >= n) {
-      throw std::runtime_error("corrupt binary graph (edge out of range): " + path);
+      throw LoadError("corrupt binary graph (edge out of range): " + path, rec_offset);
     }
     edges.add(rec.src, rec.dst, rec.weight);
   }

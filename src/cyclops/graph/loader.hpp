@@ -3,12 +3,35 @@
 // paper ingests from HDFS: one "src dst [weight]" triple per line, with '#'
 // comment lines. Vertex ids are densified so CSR arrays stay compact.
 
+#include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "cyclops/graph/edge_list.hpp"
 
 namespace cyclops::graph {
+
+/// Recoverable ingest failure: carries the byte offset of the offending
+/// input (and, for line-oriented formats, the 1-based line number) so a
+/// caller can report, skip, or repair instead of dying mid-parse. The
+/// what() string already embeds both.
+class LoadError : public std::runtime_error {
+ public:
+  LoadError(const std::string& msg, std::uint64_t byte_offset, std::uint64_t line = 0)
+      : std::runtime_error(msg + " (byte offset " + std::to_string(byte_offset) +
+                           (line > 0 ? ", line " + std::to_string(line) : "") + ")"),
+        byte_offset_(byte_offset),
+        line_(line) {}
+
+  [[nodiscard]] std::uint64_t byte_offset() const noexcept { return byte_offset_; }
+  /// 1-based line number for text formats; 0 for binary formats.
+  [[nodiscard]] std::uint64_t line() const noexcept { return line_; }
+
+ private:
+  std::uint64_t byte_offset_ = 0;
+  std::uint64_t line_ = 0;
+};
 
 struct LoadOptions {
   bool undirected = false;     ///< mirror every edge
@@ -16,7 +39,8 @@ struct LoadOptions {
   double default_weight = 1.0; ///< weight when the line has no third column
 };
 
-/// Parses an edge-list stream. Throws std::runtime_error on malformed input.
+/// Parses an edge-list stream. Throws LoadError (with byte offset + line) on
+/// malformed input.
 [[nodiscard]] EdgeList load_edge_list(std::istream& in, const LoadOptions& opts = {});
 
 /// Convenience file wrapper; throws std::runtime_error if the file is absent.
@@ -30,8 +54,9 @@ void save_edge_list_file(const std::string& path, const EdgeList& edges);
 /// Binary graph format for fast repeated ingress (§6.7 notes ingress is a
 /// one-time cost amortized over many runs — the binary format makes the
 /// repeat loads cheap). Layout: magic "CYGR", format version, vertex count,
-/// edge count, then raw (src, dst, weight) records. Throws on magic/version
-/// mismatch or truncation.
+/// edge count, then raw (src, dst, weight) records. Throws LoadError (with
+/// the byte offset of the bad header field or record) on magic/version
+/// mismatch, truncation, or out-of-range edges.
 void save_binary_file(const std::string& path, const EdgeList& edges);
 [[nodiscard]] EdgeList load_binary_file(const std::string& path);
 

@@ -1,0 +1,55 @@
+#include "cyclops/graph/store.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "cyclops/graph/compact_csr.hpp"
+#include "cyclops/graph/csr.hpp"
+#include "cyclops/graph/edge_list.hpp"
+#include "cyclops/graph/stream_store.hpp"
+
+namespace cyclops::graph {
+
+std::string_view store_kind_name(StoreKind kind) noexcept {
+  switch (kind) {
+    case StoreKind::kMemory: return "memory";
+    case StoreKind::kCompact: return "compact";
+    case StoreKind::kStream: return "stream";
+  }
+  return "?";
+}
+
+StoreKind parse_store_kind(std::string_view name) {
+  if (name == "memory") return StoreKind::kMemory;
+  if (name == "compact") return StoreKind::kCompact;
+  if (name == "stream") return StoreKind::kStream;
+  throw std::runtime_error("unknown store kind '" + std::string(name) +
+                           "' (expected memory|compact|stream)");
+}
+
+StoreOptions make_store_options(std::string_view kind, std::uint64_t mem_cap_mb,
+                                std::string spill_dir) {
+  StoreOptions o;
+  o.kind = parse_store_kind(kind);
+  o.mem_cap_bytes = mem_cap_mb << 20;
+  o.spill_dir = std::move(spill_dir);
+  return o;
+}
+
+std::unique_ptr<const GraphStore> make_store(const EdgeList& edges, const StoreOptions& opts) {
+  // Every backend derives from the same built Csr so adjacency enumeration
+  // order — and therefore partitions, layouts, and wire digests — is
+  // bit-identical across store kinds.
+  Csr csr = Csr::build(edges);
+  switch (opts.kind) {
+    case StoreKind::kMemory:
+      return std::make_unique<const Csr>(std::move(csr));
+    case StoreKind::kCompact:
+      return std::make_unique<const CompactCsr>(CompactCsr::build(csr));
+    case StoreKind::kStream:
+      return std::make_unique<const StreamStore>(csr, opts);
+  }
+  return std::make_unique<const Csr>(std::move(csr));
+}
+
+}  // namespace cyclops::graph

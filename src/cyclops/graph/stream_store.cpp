@@ -1,0 +1,140 @@
+#include "cyclops/graph/stream_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "cyclops/graph/csr.hpp"
+#include "cyclops/graph/varint.hpp"
+
+namespace cyclops::graph {
+
+namespace {
+
+constexpr std::uint64_t kMinWindow = 64ull << 10;
+constexpr std::uint64_t kMaxWindow = 8ull << 20;
+
+void write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t w = ::write(fd, data + done, len - done);
+    if (w <= 0) throw std::runtime_error("stream store: spill write failed");
+    done += static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace
+
+StreamStore::StreamStore(const Csr& g, const StoreOptions& opts) {
+  n_ = g.num_vertices();
+  m_ = g.num_edges();
+  mem_cap_bytes_ = opts.mem_cap_bytes;
+  window_bytes_ = std::clamp(mem_cap_bytes_ / 8, kMinWindow, kMaxWindow);
+
+  bool uniform = true;
+  double w0 = 1.0;
+  bool have_w0 = false;
+  for (VertexId v = 0; v < n_ && uniform; ++v) {
+    for (const Adj& a : g.out_neighbors(v)) {
+      if (!have_w0) {
+        w0 = a.weight;
+        have_w0 = true;
+      } else if (a.weight != w0) {
+        uniform = false;
+        break;
+      }
+    }
+  }
+  inline_weights_ = !uniform;
+  uniform_weight_ = uniform && have_w0 ? w0 : 1.0;
+
+  // The spill file is created, unlinked, and held open: it vanishes with the
+  // process no matter how we exit.
+  std::string templ = (opts.spill_dir.empty() ? std::string("/tmp") : opts.spill_dir) +
+                      "/cyclops-stream-XXXXXX";
+  fd_ = ::mkstemp(templ.data());
+  if (fd_ < 0) throw std::runtime_error("stream store: cannot create spill file in " + templ);
+  ::unlink(templ.c_str());
+
+  // Encode both directions into the file in bounded chunks: resident usage
+  // during the build stays O(window), not O(|E|).
+  std::vector<std::uint8_t> chunk;
+  chunk.reserve(window_bytes_);
+  std::uint64_t written = 0;
+  auto flush = [&] {
+    write_all(fd_, chunk.data(), chunk.size());
+    written += chunk.size();
+    chunk.clear();
+  };
+  auto encode_direction = [&](bool out_dir, std::vector<std::uint64_t>& off,
+                              std::vector<std::uint32_t>& deg) {
+    off.assign(static_cast<std::size_t>(n_) + 1, 0);
+    deg.resize(n_);
+    for (VertexId v = 0; v < n_; ++v) {
+      const std::span<const Adj> adj = out_dir ? g.out_neighbors(v) : g.in_neighbors(v);
+      deg[v] = static_cast<std::uint32_t>(adj.size());
+      off[v] = written + chunk.size();
+      detail::encode_adj_list(chunk, adj, inline_weights_);
+      if (chunk.size() >= window_bytes_) flush();
+    }
+    off[n_] = written + chunk.size();
+  };
+  encode_direction(true, out_off_, out_deg_);
+  encode_direction(false, in_off_, in_deg_);
+  flush();
+  file_bytes_ = written;
+}
+
+StreamStore::~StreamStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::span<const Adj> StreamStore::fetch(VertexId v, AdjCursor& cur,
+                                        const std::vector<std::uint64_t>& off,
+                                        const std::vector<std::uint32_t>& deg) const {
+  const std::uint64_t begin = off[v];
+  const std::uint64_t end = off[v + 1];
+  if (!cur.window_valid || begin < cur.window_begin ||
+      end > cur.window_begin + cur.window_len) {
+    const std::uint64_t want = std::max(end - begin, window_bytes_);
+    const std::uint64_t len = std::min(want, file_bytes_ - begin);
+    cur.window.resize(len);
+    std::uint64_t got = 0;
+    while (got < len) {
+      const ssize_t r = ::pread(fd_, cur.window.data() + got, len - got,
+                                static_cast<off_t>(begin + got));
+      if (r <= 0) throw std::runtime_error("stream store: spill read failed");
+      got += static_cast<std::uint64_t>(r);
+    }
+    cur.window_begin = begin;
+    cur.window_len = len;
+    cur.window_valid = true;
+    ++cur.window_loads;
+    cur.bytes_read += len;
+  }
+  const std::uint8_t* p = cur.window.data() + (begin - cur.window_begin);
+  detail::decode_adj_list(cur.scratch, deg[v], p, p + (end - begin), inline_weights_,
+                          uniform_weight_);
+  return cur.scratch;
+}
+
+std::span<const Adj> StreamStore::out_neighbors(VertexId v, AdjCursor& cur) const {
+  return fetch(v, cur, out_off_, out_deg_);
+}
+
+std::span<const Adj> StreamStore::in_neighbors(VertexId v, AdjCursor& cur) const {
+  return fetch(v, cur, in_off_, in_deg_);
+}
+
+StoreMemory StreamStore::memory() const noexcept {
+  StoreMemory m;
+  m.resident_bytes = (out_off_.size() + in_off_.size()) * sizeof(std::uint64_t) +
+                     (out_deg_.size() + in_deg_.size()) * sizeof(std::uint32_t);
+  m.on_disk_bytes = file_bytes_;
+  return m;
+}
+
+}  // namespace cyclops::graph

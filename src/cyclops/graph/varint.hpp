@@ -1,0 +1,80 @@
+#pragma once
+// LEB128-style varint + delta codec shared by the compact and streaming
+// store backends. Adjacency lists arrive sorted (canonical CSR order), so
+// each list is encoded as an absolute first id followed by deltas — deltas
+// may be zero because multi-edges are legal, hence the encoder stores the
+// delta itself, never delta-1. Weights, when not uniform across the whole
+// graph, ride inline as raw little-endian doubles after each id.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "cyclops/common/check.hpp"
+#include "cyclops/graph/store.hpp"
+
+namespace cyclops::graph::detail {
+
+inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Decodes one varint at `p`, advancing it. `end` guards truncated input.
+[[nodiscard]] inline std::uint64_t get_varint(const std::uint8_t*& p,
+                                              const std::uint8_t* end) noexcept {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  while (p < end) {
+    const std::uint8_t byte = *p++;
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+  return v;  // truncated input: caller's CRC/offset checks report it
+}
+
+/// Appends one sorted adjacency list: absolute first neighbor, then deltas.
+/// With `inline_weights`, each id is followed by 8 raw bytes of its weight.
+inline void encode_adj_list(std::vector<std::uint8_t>& out, std::span<const Adj> adj,
+                            bool inline_weights) {
+  VertexId prev = 0;
+  bool first = true;
+  for (const Adj& a : adj) {
+    CYCLOPS_CHECK(first || a.neighbor >= prev);
+    put_varint(out, first ? a.neighbor : a.neighbor - prev);
+    prev = a.neighbor;
+    first = false;
+    if (inline_weights) {
+      std::uint8_t raw[sizeof(double)];
+      std::memcpy(raw, &a.weight, sizeof(double));
+      out.insert(out.end(), raw, raw + sizeof(double));
+    }
+  }
+}
+
+/// Decodes `degree` entries from [p, end) into `out` (cleared first).
+inline void decode_adj_list(std::vector<Adj>& out, std::size_t degree, const std::uint8_t* p,
+                            const std::uint8_t* end, bool inline_weights,
+                            double uniform_weight) {
+  out.clear();
+  out.reserve(degree);
+  VertexId prev = 0;
+  for (std::size_t i = 0; i < degree; ++i) {
+    const auto delta = static_cast<VertexId>(get_varint(p, end));
+    const VertexId id = (i == 0) ? delta : prev + delta;
+    prev = id;
+    double w = uniform_weight;
+    if (inline_weights) {
+      if (p + sizeof(double) <= end) std::memcpy(&w, p, sizeof(double));
+      p += sizeof(double);
+    }
+    out.push_back(Adj{id, w});
+  }
+}
+
+}  // namespace cyclops::graph::detail

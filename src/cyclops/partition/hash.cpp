@@ -5,7 +5,7 @@
 
 namespace cyclops::partition {
 
-EdgeCutPartition HashPartitioner::partition(const graph::Csr& g, WorkerId num_parts) const {
+EdgeCutPartition HashPartitioner::partition(const graph::GraphStore& g, WorkerId num_parts) const {
   CYCLOPS_CHECK(num_parts > 0);
   std::vector<WorkerId> owner(g.num_vertices());
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
@@ -14,7 +14,7 @@ EdgeCutPartition HashPartitioner::partition(const graph::Csr& g, WorkerId num_pa
   return EdgeCutPartition(std::move(owner), num_parts);
 }
 
-EdgeCutPartition RangePartitioner::partition(const graph::Csr& g, WorkerId num_parts) const {
+EdgeCutPartition RangePartitioner::partition(const graph::GraphStore& g, WorkerId num_parts) const {
   CYCLOPS_CHECK(num_parts > 0);
   const VertexId n = g.num_vertices();
   std::vector<WorkerId> owner(n);

@@ -7,7 +7,7 @@ namespace cyclops::partition {
 
 class HashPartitioner final : public EdgeCutPartitioner {
  public:
-  [[nodiscard]] EdgeCutPartition partition(const graph::Csr& g,
+  [[nodiscard]] EdgeCutPartition partition(const graph::GraphStore& g,
                                            WorkerId num_parts) const override;
   [[nodiscard]] const char* name() const noexcept override { return "hash"; }
 };
@@ -16,7 +16,7 @@ class HashPartitioner final : public EdgeCutPartitioner {
 /// generated lattices, poor on shuffled ids.
 class RangePartitioner final : public EdgeCutPartitioner {
  public:
-  [[nodiscard]] EdgeCutPartition partition(const graph::Csr& g,
+  [[nodiscard]] EdgeCutPartition partition(const graph::GraphStore& g,
                                            WorkerId num_parts) const override;
   [[nodiscard]] const char* name() const noexcept override { return "range"; }
 };

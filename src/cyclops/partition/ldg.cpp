@@ -8,7 +8,7 @@
 
 namespace cyclops::partition {
 
-EdgeCutPartition LdgPartitioner::partition(const graph::Csr& g, WorkerId num_parts) const {
+EdgeCutPartition LdgPartitioner::partition(const graph::GraphStore& g, WorkerId num_parts) const {
   CYCLOPS_CHECK(num_parts > 0);
   const VertexId n = g.num_vertices();
   if (num_parts == 1 || n == 0) {
@@ -30,14 +30,15 @@ EdgeCutPartition LdgPartitioner::partition(const graph::Csr& g, WorkerId num_par
   std::vector<double> load(num_parts, 0.0);
   std::vector<double> neighbors_on(num_parts, 0.0);
 
+  graph::AdjCursor cur;
   for (VertexId v : stream) {
     std::fill(neighbors_on.begin(), neighbors_on.end(), 0.0);
     // Count placed neighbors in both directions — the edge-cut cost is
     // direction-agnostic.
-    for (const graph::Adj& a : g.out_neighbors(v)) {
+    for (const graph::Adj& a : g.out_neighbors(v, cur)) {
       if (owner[a.neighbor] != kInvalidWorker) neighbors_on[owner[a.neighbor]] += 1.0;
     }
-    for (const graph::Adj& a : g.in_neighbors(v)) {
+    for (const graph::Adj& a : g.in_neighbors(v, cur)) {
       if (owner[a.neighbor] != kInvalidWorker) neighbors_on[owner[a.neighbor]] += 1.0;
     }
     WorkerId best = 0;

@@ -23,7 +23,7 @@ class LdgPartitioner final : public EdgeCutPartitioner {
  public:
   explicit LdgPartitioner(LdgConfig config = {}) : config_(config) {}
 
-  [[nodiscard]] EdgeCutPartition partition(const graph::Csr& g,
+  [[nodiscard]] EdgeCutPartition partition(const graph::GraphStore& g,
                                            WorkerId num_parts) const override;
   [[nodiscard]] const char* name() const noexcept override { return "ldg"; }
 

@@ -30,11 +30,12 @@ struct WGraph {
 /// Symmetrizes a directed CSR into a weighted undirected graph, merging
 /// parallel edges by summing weights (edge weight = #directed edges between
 /// the endpoints; the partitioner should value heavily-connected pairs).
-WGraph symmetrize(const graph::Csr& g) {
+WGraph symmetrize(const graph::GraphStore& g) {
   const VertexId n = g.num_vertices();
   std::vector<std::unordered_map<VertexId, double>> nbr(n);
+  graph::AdjCursor cur;
   for (VertexId v = 0; v < n; ++v) {
-    for (const graph::Adj& a : g.out_neighbors(v)) {
+    for (const graph::Adj& a : g.out_neighbors(v, cur)) {
       if (a.neighbor == v) continue;
       nbr[v][a.neighbor] += 1.0;
       nbr[a.neighbor][v] += 1.0;
@@ -250,7 +251,7 @@ std::size_t refine_pass(const WGraph& g, std::vector<WorkerId>& part, WorkerId k
 
 }  // namespace
 
-EdgeCutPartition MultilevelPartitioner::partition(const graph::Csr& g,
+EdgeCutPartition MultilevelPartitioner::partition(const graph::GraphStore& g,
                                                   WorkerId num_parts) const {
   CYCLOPS_CHECK(num_parts > 0);
   const VertexId n = g.num_vertices();

@@ -22,7 +22,7 @@ class MultilevelPartitioner final : public EdgeCutPartitioner {
  public:
   explicit MultilevelPartitioner(MultilevelConfig config = {}) : config_(config) {}
 
-  [[nodiscard]] EdgeCutPartition partition(const graph::Csr& g,
+  [[nodiscard]] EdgeCutPartition partition(const graph::GraphStore& g,
                                            WorkerId num_parts) const override;
   [[nodiscard]] const char* name() const noexcept override { return "multilevel"; }
 

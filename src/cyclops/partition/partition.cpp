@@ -13,7 +13,7 @@ EdgeCutPartition::EdgeCutPartition(std::vector<WorkerId> owner, WorkerId num_par
   for (WorkerId w : owner_) CYCLOPS_CHECK(w < num_parts_);
 }
 
-EdgeCutQuality evaluate(const graph::Csr& g, const EdgeCutPartition& p) {
+EdgeCutQuality evaluate(const graph::GraphStore& g, const EdgeCutPartition& p) {
   CYCLOPS_CHECK(g.num_vertices() == p.num_vertices());
   EdgeCutQuality q;
   const WorkerId parts = p.num_parts();
@@ -22,12 +22,13 @@ EdgeCutQuality evaluate(const graph::Csr& g, const EdgeCutPartition& p) {
   // Scratch bitmap reused per-vertex to count distinct remote target workers.
   std::vector<Superstep> seen(parts, 0);
   Superstep epoch = 0;
+  graph::AdjCursor cur;
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     const WorkerId home = p.owner(v);
     vertices_per_part[home] += 1;
     edges_per_part[home] += static_cast<double>(g.out_degree(v));
     ++epoch;
-    for (const graph::Adj& a : g.out_neighbors(v)) {
+    for (const graph::Adj& a : g.out_neighbors(v, cur)) {
       const WorkerId w = p.owner(a.neighbor);
       if (w != home) {
         ++q.cut_edges;

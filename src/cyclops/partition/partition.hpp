@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "cyclops/common/types.hpp"
-#include "cyclops/graph/csr.hpp"
+#include "cyclops/graph/store.hpp"
 
 namespace cyclops::partition {
 
@@ -42,13 +42,13 @@ struct EdgeCutQuality {
   std::size_t total_replicas = 0;
 };
 
-[[nodiscard]] EdgeCutQuality evaluate(const graph::Csr& g, const EdgeCutPartition& p);
+[[nodiscard]] EdgeCutQuality evaluate(const graph::GraphStore& g, const EdgeCutPartition& p);
 
 /// Interface implemented by hash and multilevel partitioners.
 class EdgeCutPartitioner {
  public:
   virtual ~EdgeCutPartitioner() = default;
-  [[nodiscard]] virtual EdgeCutPartition partition(const graph::Csr& g,
+  [[nodiscard]] virtual EdgeCutPartition partition(const graph::GraphStore& g,
                                                    WorkerId num_parts) const = 0;
   [[nodiscard]] virtual const char* name() const noexcept = 0;
 };

@@ -13,16 +13,17 @@ namespace {
 /// which covers the paper's 48-worker maximum).
 using Mask = std::uint64_t;
 
-std::vector<WorkerId> pick_masters(const graph::EdgeList& edges,
+std::vector<WorkerId> pick_masters(const graph::GraphStore& g,
                                    const std::vector<WorkerId>& edge_owner,
                                    WorkerId num_parts) {
-  const VertexId n = edges.num_vertices();
+  const VertexId n = g.num_vertices();
   std::vector<Mask> hosted(n, 0);
-  for (std::size_t e = 0; e < edges.num_edges(); ++e) {
-    const graph::Edge& edge = edges.edges()[e];
-    hosted[edge.src] |= Mask{1} << edge_owner[e];
-    hosted[edge.dst] |= Mask{1} << edge_owner[e];
-  }
+  std::size_t e = 0;
+  g.for_each_edge([&](VertexId src, VertexId dst, double) {
+    hosted[src] |= Mask{1} << edge_owner[e];
+    hosted[dst] |= Mask{1} << edge_owner[e];
+    ++e;
+  });
   std::vector<WorkerId> master(n);
   for (VertexId v = 0; v < n; ++v) {
     if (hosted[v] == 0) {
@@ -48,17 +49,18 @@ VertexCutPartition::VertexCutPartition(std::vector<WorkerId> edge_owner,
   for (WorkerId w : master_) CYCLOPS_CHECK(w < num_parts_);
 }
 
-VertexCutQuality evaluate(const graph::EdgeList& edges, const VertexCutPartition& p) {
-  const VertexId n = edges.num_vertices();
+VertexCutQuality evaluate(const graph::GraphStore& g, const VertexCutPartition& p) {
+  const VertexId n = g.num_vertices();
   std::vector<Mask> hosted(n, 0);
   std::vector<double> edges_per_part(p.num_parts(), 0.0);
-  for (std::size_t e = 0; e < edges.num_edges(); ++e) {
-    const graph::Edge& edge = edges.edges()[e];
+  std::size_t e = 0;
+  g.for_each_edge([&](VertexId src, VertexId dst, double) {
     const WorkerId w = p.edge_owner(e);
-    hosted[edge.src] |= Mask{1} << w;
-    hosted[edge.dst] |= Mask{1} << w;
+    hosted[src] |= Mask{1} << w;
+    hosted[dst] |= Mask{1} << w;
     edges_per_part[w] += 1.0;
-  }
+    ++e;
+  });
   VertexCutQuality q;
   for (VertexId v = 0; v < n; ++v) {
     Mask m = hosted[v] | (Mask{1} << p.master(v));  // master copy always exists
@@ -70,27 +72,26 @@ VertexCutQuality evaluate(const graph::EdgeList& edges, const VertexCutPartition
   return q;
 }
 
-VertexCutPartition RandomVertexCut::partition(const graph::EdgeList& edges,
+VertexCutPartition RandomVertexCut::partition(const graph::GraphStore& g,
                                               WorkerId num_parts) const {
   CYCLOPS_CHECK(num_parts > 0);
-  std::vector<WorkerId> owner(edges.num_edges());
-  for (std::size_t e = 0; e < edges.num_edges(); ++e) {
-    const graph::Edge& edge = edges.edges()[e];
-    const std::uint64_t h =
-        mix64((static_cast<std::uint64_t>(edge.src) << 32) | edge.dst);
-    owner[e] = static_cast<WorkerId>(h % num_parts);
-  }
-  auto master = pick_masters(edges, owner, num_parts);
+  std::vector<WorkerId> owner(g.num_edges());
+  std::size_t e = 0;
+  g.for_each_edge([&](VertexId src, VertexId dst, double) {
+    const std::uint64_t h = mix64((static_cast<std::uint64_t>(src) << 32) | dst);
+    owner[e++] = static_cast<WorkerId>(h % num_parts);
+  });
+  auto master = pick_masters(g, owner, num_parts);
   return VertexCutPartition(std::move(owner), std::move(master), num_parts);
 }
 
-VertexCutPartition GreedyVertexCut::partition(const graph::EdgeList& edges,
+VertexCutPartition GreedyVertexCut::partition(const graph::GraphStore& g,
                                               WorkerId num_parts) const {
   CYCLOPS_CHECK(num_parts > 0 && num_parts <= 64);
-  const VertexId n = edges.num_vertices();
+  const VertexId n = g.num_vertices();
   std::vector<Mask> hosted(n, 0);
   std::vector<std::size_t> load(num_parts, 0);
-  std::vector<WorkerId> owner(edges.num_edges());
+  std::vector<WorkerId> owner(g.num_edges());
   Rng rng(seed_);
 
   auto least_loaded = [&](Mask candidates) -> WorkerId {
@@ -106,10 +107,10 @@ VertexCutPartition GreedyVertexCut::partition(const graph::EdgeList& edges,
     return best;
   };
 
-  for (std::size_t e = 0; e < edges.num_edges(); ++e) {
-    const graph::Edge& edge = edges.edges()[e];
-    const Mask both = hosted[edge.src] & hosted[edge.dst];
-    const Mask either = hosted[edge.src] | hosted[edge.dst];
+  std::size_t e = 0;
+  g.for_each_edge([&](VertexId src, VertexId dst, double) {
+    const Mask both = hosted[src] & hosted[dst];
+    const Mask either = hosted[src] | hosted[dst];
     WorkerId w;
     if (both != 0) {
       w = least_loaded(both);
@@ -119,12 +120,12 @@ VertexCutPartition GreedyVertexCut::partition(const graph::EdgeList& edges,
       w = least_loaded(0);
       (void)rng;
     }
-    owner[e] = w;
-    hosted[edge.src] |= Mask{1} << w;
-    hosted[edge.dst] |= Mask{1} << w;
+    owner[e++] = w;
+    hosted[src] |= Mask{1} << w;
+    hosted[dst] |= Mask{1} << w;
     ++load[w];
-  }
-  auto master = pick_masters(edges, owner, num_parts);
+  });
+  auto master = pick_masters(g, owner, num_parts);
   return VertexCutPartition(std::move(owner), std::move(master), num_parts);
 }
 

@@ -8,8 +8,7 @@
 #include <vector>
 
 #include "cyclops/common/types.hpp"
-#include "cyclops/graph/csr.hpp"
-#include "cyclops/graph/edge_list.hpp"
+#include "cyclops/graph/store.hpp"
 
 namespace cyclops::partition {
 
@@ -19,6 +18,10 @@ class VertexCutPartition {
   VertexCutPartition(std::vector<WorkerId> edge_owner, std::vector<WorkerId> master,
                      WorkerId num_parts);
 
+  /// `edge_index` is the position in the store's canonical enumeration
+  /// order (GraphStore::for_each_edge: ascending src, adjacency order) —
+  /// the one order shared by the partitioners, the evaluator, and the GAS
+  /// layout build.
   [[nodiscard]] WorkerId edge_owner(std::size_t edge_index) const noexcept {
     return edge_owner_[edge_index];
   }
@@ -29,7 +32,7 @@ class VertexCutPartition {
   }
 
  private:
-  std::vector<WorkerId> edge_owner_;  // parallel to the EdgeList order
+  std::vector<WorkerId> edge_owner_;  // parallel to for_each_edge order
   std::vector<WorkerId> master_;
   WorkerId num_parts_ = 0;
 };
@@ -41,13 +44,13 @@ struct VertexCutQuality {
   double edge_imbalance = 1.0;  ///< max/mean edges per part
 };
 
-[[nodiscard]] VertexCutQuality evaluate(const graph::EdgeList& edges,
+[[nodiscard]] VertexCutQuality evaluate(const graph::GraphStore& g,
                                         const VertexCutPartition& p);
 
 class VertexCutPartitioner {
  public:
   virtual ~VertexCutPartitioner() = default;
-  [[nodiscard]] virtual VertexCutPartition partition(const graph::EdgeList& edges,
+  [[nodiscard]] virtual VertexCutPartition partition(const graph::GraphStore& g,
                                                      WorkerId num_parts) const = 0;
   [[nodiscard]] virtual const char* name() const noexcept = 0;
 };
@@ -55,7 +58,7 @@ class VertexCutPartitioner {
 /// Random hashing of (src, dst) pairs — PowerGraph's default.
 class RandomVertexCut final : public VertexCutPartitioner {
  public:
-  [[nodiscard]] VertexCutPartition partition(const graph::EdgeList& edges,
+  [[nodiscard]] VertexCutPartition partition(const graph::GraphStore& g,
                                              WorkerId num_parts) const override;
   [[nodiscard]] const char* name() const noexcept override { return "random-vcut"; }
 };
@@ -66,7 +69,7 @@ class RandomVertexCut final : public VertexCutPartitioner {
 class GreedyVertexCut final : public VertexCutPartitioner {
  public:
   explicit GreedyVertexCut(std::uint64_t seed = 42) : seed_(seed) {}
-  [[nodiscard]] VertexCutPartition partition(const graph::EdgeList& edges,
+  [[nodiscard]] VertexCutPartition partition(const graph::GraphStore& g,
                                              WorkerId num_parts) const override;
   [[nodiscard]] const char* name() const noexcept override { return "greedy-vcut"; }
 

@@ -35,11 +35,11 @@ namespace cyclops::service {
     if (spec.engine == EngineSel::kGas) {
       return "gas engine supports pr and sssp only, not als";
     }
-    if (spec.num_users == 0 || spec.num_users >= snap.csr().num_vertices()) {
+    if (spec.num_users == 0 || spec.num_users >= snap.store().num_vertices()) {
       return "als requires 0 < num_users < num_vertices";
     }
   }
-  if (spec.algo == Algo::kSssp && spec.source >= snap.csr().num_vertices()) {
+  if (spec.algo == Algo::kSssp && spec.source >= snap.store().num_vertices()) {
     return "sssp source out of range";
   }
   return {};
@@ -63,7 +63,7 @@ JobResult run_bsp(const Snapshot& snap, const JobSpec& spec, Prog prog) {
   bsp::Config cfg;
   cfg.topo = sim::Topology{snap.config().machines, snap.config().workers_per_machine};
   cfg.max_supersteps = spec.max_supersteps;
-  bsp::Engine<Prog> engine(snap.csr(), snap.edge_cut(), prog, cfg);
+  bsp::Engine<Prog> engine(snap.store(), snap.edge_cut(), prog, cfg);
   auto stats = engine.run();
   const auto vals = engine.values();
   return pack_result(std::vector(vals.begin(), vals.end()), std::move(stats));
@@ -78,7 +78,7 @@ JobResult run_cyclops(const Snapshot& snap, const JobSpec& spec, Prog prog, bool
                                  snap.config().workers_per_machine);
   cfg.max_supersteps = spec.max_supersteps;
   const auto& part = mt ? snap.mt_edge_cut() : snap.edge_cut();
-  core::Engine<Prog> engine(snap.csr(), part, prog, cfg);
+  core::Engine<Prog> engine(snap.store(), part, prog, cfg);
   auto stats = engine.run();
   return pack_result(engine.values(), std::move(stats));
 }
@@ -91,7 +91,7 @@ JobResult run_gas(const Snapshot& snap, const JobSpec& spec, Prog prog, Project 
   gas::Config cfg;
   cfg.topo = sim::Topology{snap.config().machines, 1};
   cfg.max_iterations = spec.max_supersteps;
-  gas::Engine<Prog> engine(snap.edges(), snap.vertex_cut(), prog, cfg);
+  gas::Engine<Prog> engine(snap.store(), snap.vertex_cut(), prog, cfg);
   auto stats = engine.run();
   const auto vals = engine.values();
   std::vector<double> out;
@@ -111,7 +111,7 @@ JobResult run_gas(const Snapshot& snap, const JobSpec& spec, Prog prog, Project 
     case Algo::kPageRank: {
       if (spec.engine == EngineSel::kGas) {
         algo::PageRankGas prog;
-        prog.num_vertices = snap.csr().num_vertices();
+        prog.num_vertices = snap.store().num_vertices();
         prog.epsilon = spec.epsilon;
         return detail::run_gas(snap, spec, prog,
                                [](const algo::PageRankGas::Value& v) { return v.rank; });

@@ -14,8 +14,8 @@ namespace cyclops::service {
 
 namespace {
 
-partition::EdgeCutPartition make_edge_cut(const graph::Csr& g, const SnapshotConfig& cfg,
-                                          WorkerId parts) {
+partition::EdgeCutPartition make_edge_cut(const graph::GraphStore& g,
+                                          const SnapshotConfig& cfg, WorkerId parts) {
   if (cfg.partitioner == "ldg") return partition::LdgPartitioner{}.partition(g, parts);
   if (cfg.partitioner == "multilevel") {
     partition::MultilevelConfig mc;
@@ -37,10 +37,10 @@ std::uint32_t edge_crc(const graph::EdgeList& edges) {
 Snapshot::Snapshot(Epoch epoch, graph::EdgeList edges, const SnapshotConfig& cfg)
     : epoch_(epoch), cfg_(cfg), edges_(std::move(edges)) {
   Timer timer;
-  csr_ = graph::Csr::build(edges_);
-  edge_cut_ = make_edge_cut(csr_, cfg_, cfg_.edge_cut_parts());
-  mt_edge_cut_ = make_edge_cut(csr_, cfg_, cfg_.machines);
-  vertex_cut_ = partition::RandomVertexCut{}.partition(edges_, cfg_.machines);
+  store_ = graph::make_store(edges_, cfg_.store_options());
+  edge_cut_ = make_edge_cut(*store_, cfg_, cfg_.edge_cut_parts());
+  mt_edge_cut_ = make_edge_cut(*store_, cfg_, cfg_.machines);
+  vertex_cut_ = partition::RandomVertexCut{}.partition(*store_, cfg_.machines);
   build_s_ = timer.elapsed_s();
   checksum_ = edge_crc(edges_);
   verify::EpochRegistry::instance().publish(epoch_);

@@ -2,7 +2,7 @@
 // Epoch-versioned immutable graph snapshots — the serving-layer realization
 // of the paper's distributed immutable view. A Snapshot owns everything a job
 // needs to run against one version of the graph: the edge list, the finalized
-// CSR, and one pre-built partition per engine family. Snapshots are only ever
+// graph store, and one pre-built partition per engine family. Snapshots are only ever
 // handed out as shared_ptr<const Snapshot>, so in-flight jobs pin their epoch
 // for as long as they run while new submissions land on the newest one;
 // retirement is the refcount hitting zero (tracked by the store for stats).
@@ -14,8 +14,8 @@
 
 #include "cyclops/common/sync.hpp"
 #include "cyclops/core/mutation.hpp"
-#include "cyclops/graph/csr.hpp"
 #include "cyclops/graph/edge_list.hpp"
+#include "cyclops/graph/store.hpp"
 #include "cyclops/partition/partition.hpp"
 #include "cyclops/partition/vertex_cut.hpp"
 #include "cyclops/verify/verify.hpp"
@@ -31,8 +31,22 @@ struct SnapshotConfig {
   std::string partitioner = "hash";  ///< hash | ldg | multilevel (edge cuts)
   std::uint64_t partition_seed = 42;
 
+  /// Graph store backend every epoch materializes (memory | compact | stream)
+  /// and the streaming backend's memory cap. Values are bit-identical across
+  /// backends; only the residency/cost profile changes.
+  graph::StoreKind store = graph::StoreKind::kMemory;
+  std::uint64_t mem_cap_mb = 64;
+  std::string spill_dir;  ///< stream backend scratch dir; empty = /tmp
+
   [[nodiscard]] WorkerId edge_cut_parts() const noexcept {
     return machines * workers_per_machine;
+  }
+  [[nodiscard]] graph::StoreOptions store_options() const {
+    graph::StoreOptions o;
+    o.kind = store;
+    o.mem_cap_bytes = mem_cap_mb << 20;
+    o.spill_dir = spill_dir;
+    return o;
   }
 };
 
@@ -51,9 +65,9 @@ class Snapshot {
     verify::EpochRegistry::instance().on_read(epoch_, CYCLOPS_VLOC);
     return edges_;
   }
-  [[nodiscard]] const graph::Csr& csr() const noexcept {
+  [[nodiscard]] const graph::GraphStore& store() const noexcept {
     verify::EpochRegistry::instance().on_read(epoch_, CYCLOPS_VLOC);
-    return csr_;
+    return *store_;
   }
   /// Edge cut with machines * workers_per_machine parts (Hama, plain Cyclops).
   [[nodiscard]] const partition::EdgeCutPartition& edge_cut() const noexcept {
@@ -80,7 +94,7 @@ class Snapshot {
   Epoch epoch_ = 0;
   SnapshotConfig cfg_;
   graph::EdgeList edges_;
-  graph::Csr csr_;
+  std::unique_ptr<const graph::GraphStore> store_;
   partition::EdgeCutPartition edge_cut_;
   partition::EdgeCutPartition mt_edge_cut_;
   partition::VertexCutPartition vertex_cut_;

@@ -8,6 +8,7 @@
 
 #include <cmath>
 
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/algorithms/pagerank.hpp"
 #include "cyclops/algorithms/sssp.hpp"
 #include "cyclops/bsp/engine.hpp"
@@ -286,7 +287,7 @@ struct AggregatorProbe {
   using Value = double;
   using Message = double;
   std::vector<double>* seen = nullptr;
-  Value init(VertexId, const graph::Csr&) const { return 0.0; }
+  Value init(VertexId, const graph::GraphStore&) const { return 0.0; }
   template <typename Ctx>
   void compute(Ctx& ctx, std::span<const Message>) const {
     if (ctx.vertex() == 0) seen->push_back(ctx.global_error());
@@ -302,7 +303,7 @@ struct AggregatorProbe {
 struct SelfCounterProbe {
   using Value = double;
   using Message = double;
-  Value init(VertexId, const graph::Csr&) const { return 0.0; }
+  Value init(VertexId, const graph::GraphStore&) const { return 0.0; }
   template <typename Ctx>
   void compute(Ctx& ctx, std::span<const Message> msgs) const {
     ctx.set_value(ctx.value() + static_cast<double>(msgs.size()));

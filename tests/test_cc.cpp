@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/algorithms/cc.hpp"
 #include "cyclops/bsp/engine.hpp"
 #include "cyclops/core/engine.hpp"

@@ -8,6 +8,7 @@
 
 #include <cmath>
 
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/algorithms/als.hpp"
 #include "cyclops/algorithms/cd.hpp"
 #include "cyclops/algorithms/pagerank.hpp"

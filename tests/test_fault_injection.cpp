@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/algorithms/pagerank.hpp"
 #include "cyclops/algorithms/sssp.hpp"
 #include "cyclops/bsp/engine.hpp"
@@ -339,14 +340,15 @@ TEST(AutoRecovery, BspSsspRecoversFromCrash) {
 
 TEST(AutoRecovery, GasPageRankRecoversFromCrash) {
   const graph::EdgeList e = graph::gen::rmat(8, 1600, 2014);
-  const auto part = partition::RandomVertexCut{}.partition(e, 4);
+  const graph::Csr g = graph::Csr::build(e);
+  const auto part = partition::RandomVertexCut{}.partition(g, 4);
   algo::PageRankGas pr;
   pr.num_vertices = e.num_vertices();
   pr.epsilon = 1e-11;
   gas::Config cfg = gas::Config::workers(4);
   cfg.max_iterations = 200;
 
-  gas::Engine<algo::PageRankGas> clean(e, part, pr, cfg);
+  gas::Engine<algo::PageRankGas> clean(g, part, pr, cfg);
   (void)clean.run();
   const auto want = clean.values();
 
@@ -358,7 +360,7 @@ TEST(AutoRecovery, GasPageRankRecoversFromCrash) {
   opts.checkpoint_every = 4;
   auto outcome = runtime::run_with_recovery(
       [&] {
-        return std::make_unique<gas::Engine<algo::PageRankGas>>(e, part, pr, faulty);
+        return std::make_unique<gas::Engine<algo::PageRankGas>>(g, part, pr, faulty);
       },
       opts, faulty.faults.get());
   EXPECT_EQ(outcome.recovery.recoveries, 1u);
@@ -372,13 +374,13 @@ TEST(AutoRecovery, GasPageRankRecoversFromCrash) {
 TEST(AutoRecovery, GasSsspRecoversFromCrash) {
   const graph::EdgeList e = graph::gen::rmat(8, 1600, 99);
   const graph::Csr g = graph::Csr::build(e);
-  const auto part = partition::RandomVertexCut{}.partition(e, 3);
+  const auto part = partition::RandomVertexCut{}.partition(g, 3);
   algo::SsspGas sssp;
   sssp.source = 0;
   gas::Config cfg = gas::Config::workers(3);
   cfg.max_iterations = 200;
 
-  gas::Engine<algo::SsspGas> clean(e, part, sssp, cfg);
+  gas::Engine<algo::SsspGas> clean(g, part, sssp, cfg);
   (void)clean.run();
   const auto want = clean.values();
   // Sanity: the GAS SSSP formulation matches Dijkstra.
@@ -398,7 +400,7 @@ TEST(AutoRecovery, GasSsspRecoversFromCrash) {
   runtime::RecoveryOptions opts;
   opts.checkpoint_every = 2;
   auto outcome = runtime::run_with_recovery(
-      [&] { return std::make_unique<gas::Engine<algo::SsspGas>>(e, part, sssp, faulty); },
+      [&] { return std::make_unique<gas::Engine<algo::SsspGas>>(g, part, sssp, faulty); },
       opts, faulty.faults.get());
   EXPECT_EQ(outcome.recovery.recoveries, 1u);
   expect_bit_identical(outcome.engine->values(), want);

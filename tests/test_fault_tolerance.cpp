@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/algorithms/pagerank.hpp"
 #include "cyclops/algorithms/sssp.hpp"
 #include "cyclops/bsp/engine.hpp"
@@ -120,26 +121,27 @@ TEST_P(CrashRecovery, CyclopsSsspSurvivesCrash) {
 TEST_P(CrashRecovery, GasPageRankSurvivesCrash) {
   const Superstep crash_at = GetParam();
   const graph::EdgeList e = graph::gen::rmat(8, 1600, 2014);
-  const auto part = partition::RandomVertexCut{}.partition(e, 4);
+  const graph::Csr g = graph::Csr::build(e);
+  const auto part = partition::RandomVertexCut{}.partition(g, 4);
   algo::PageRankGas pr;
   pr.num_vertices = e.num_vertices();
   pr.epsilon = 1e-11;
   gas::Config cfg = gas::Config::workers(4);
   cfg.max_iterations = 200;
 
-  gas::Engine<algo::PageRankGas> full(e, part, pr, cfg);
+  gas::Engine<algo::PageRankGas> full(g, part, pr, cfg);
   (void)full.run();
 
   gas::Config partial = cfg;
   partial.max_iterations = crash_at;
-  gas::Engine<algo::PageRankGas> victim(e, part, pr, partial);
+  gas::Engine<algo::PageRankGas> victim(g, part, pr, partial);
   (void)victim.run();
   const Superstep saved_at = victim.superstep();
   ByteWriter snapshot;
   victim.checkpoint(snapshot);
   // victim is abandoned here — the "crash".
 
-  gas::Engine<algo::PageRankGas> recovered(e, part, pr, cfg);
+  gas::Engine<algo::PageRankGas> recovered(g, part, pr, cfg);
   ByteReader reader(snapshot.bytes());
   recovered.restore(reader);
   EXPECT_EQ(recovered.superstep(), saved_at);

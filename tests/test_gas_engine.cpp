@@ -8,6 +8,7 @@
 
 #include "cyclops/algorithms/pagerank.hpp"
 #include "cyclops/gas/engine.hpp"
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/graph/generators.hpp"
 #include "cyclops/partition/vertex_cut.hpp"
 #include "test_util.hpp"
@@ -19,8 +20,9 @@ using algo::PageRankGas;
 
 TEST(GasLayout, EveryVertexHasExactlyOneMaster) {
   const graph::EdgeList e = graph::gen::rmat(8, 1500, 3);
-  const auto p = partition::RandomVertexCut{}.partition(e, 4);
-  const GasLayout layout = build_gas_layout(e, p);
+  const graph::Csr g = graph::Csr::build(e);
+  const auto p = partition::RandomVertexCut{}.partition(g, 4);
+  const GasLayout layout = build_gas_layout(g, p);
   std::vector<int> masters(e.num_vertices(), 0);
   for (WorkerId w = 0; w < 4; ++w) {
     const GasWorkerLayout& wl = layout.workers[w];
@@ -33,8 +35,9 @@ TEST(GasLayout, EveryVertexHasExactlyOneMaster) {
 
 TEST(GasLayout, EdgesPlacedWhereAssigned) {
   const graph::EdgeList e = graph::gen::erdos_renyi(100, 500, 5);
-  const auto p = partition::GreedyVertexCut{}.partition(e, 3);
-  const GasLayout layout = build_gas_layout(e, p);
+  const graph::Csr g = graph::Csr::build(e);
+  const auto p = partition::GreedyVertexCut{}.partition(g, 3);
+  const GasLayout layout = build_gas_layout(g, p);
   std::size_t total_local_edges = 0;
   for (WorkerId w = 0; w < 3; ++w) total_local_edges += layout.workers[w].edges.size();
   EXPECT_EQ(total_local_edges, e.num_edges());
@@ -42,8 +45,9 @@ TEST(GasLayout, EdgesPlacedWhereAssigned) {
 
 TEST(GasLayout, MirrorListsInvertMasterOf) {
   const graph::EdgeList e = graph::gen::rmat(8, 1200, 7);
-  const auto p = partition::RandomVertexCut{}.partition(e, 5);
-  const GasLayout layout = build_gas_layout(e, p);
+  const graph::Csr g = graph::Csr::build(e);
+  const auto p = partition::RandomVertexCut{}.partition(g, 5);
+  const GasLayout layout = build_gas_layout(g, p);
   std::size_t mirrors_total = 0;
   for (WorkerId w = 0; w < 5; ++w) {
     const GasWorkerLayout& wl = layout.workers[w];
@@ -68,7 +72,7 @@ TEST(GasPageRank, MatchesReferenceOnFigure6) {
   pr.epsilon = 1e-12;
   Config cfg = Config::workers(3);
   cfg.max_iterations = 300;
-  Engine<PageRankGas> engine(e, partition::RandomVertexCut{}.partition(e, 3), pr, cfg);
+  Engine<PageRankGas> engine(g, partition::RandomVertexCut{}.partition(g, 3), pr, cfg);
   (void)engine.run();
   const auto reference = algo::pagerank_reference(g);
   const auto values = engine.values();
@@ -85,7 +89,7 @@ TEST(GasPageRank, MatchesReferenceOnRmat) {
   pr.epsilon = 1e-12;
   Config cfg = Config::workers(4);
   cfg.max_iterations = 300;
-  Engine<PageRankGas> engine(e, partition::GreedyVertexCut{}.partition(e, 4), pr, cfg);
+  Engine<PageRankGas> engine(g, partition::GreedyVertexCut{}.partition(g, 4), pr, cfg);
   (void)engine.run();
   const auto reference = algo::pagerank_reference(g);
   const auto values = engine.values();
@@ -101,12 +105,13 @@ TEST(GasPageRank, MessagePatternRoughlyFivePerMirror) {
   // iteration (2 gather + 1 apply + 2 scatter). Check the first iteration,
   // when every vertex is active.
   const graph::EdgeList e = graph::gen::rmat(9, 4000, 11);
+  const graph::Csr g = graph::Csr::build(e);
   PageRankGas pr;
   pr.num_vertices = e.num_vertices();
   pr.epsilon = 1e-12;
   Config cfg = Config::workers(6);
   cfg.max_iterations = 3;
-  Engine<PageRankGas> engine(e, partition::RandomVertexCut{}.partition(e, 6), pr, cfg);
+  Engine<PageRankGas> engine(g, partition::RandomVertexCut{}.partition(g, 6), pr, cfg);
   const auto stats = engine.run();
   const std::uint64_t mirrors = engine.layout().total_copies - e.num_vertices();
   ASSERT_GT(mirrors, 0u);
@@ -119,23 +124,25 @@ TEST(GasPageRank, MessagePatternRoughlyFivePerMirror) {
 
 TEST(GasPageRank, SingleWorkerSendsNothing) {
   const graph::EdgeList e = graph::gen::rmat(8, 1000, 13);
+  const graph::Csr g = graph::Csr::build(e);
   PageRankGas pr;
   pr.num_vertices = e.num_vertices();
   Config cfg = Config::workers(1);
   cfg.max_iterations = 10;
-  Engine<PageRankGas> engine(e, partition::RandomVertexCut{}.partition(e, 1), pr, cfg);
+  Engine<PageRankGas> engine(g, partition::RandomVertexCut{}.partition(g, 1), pr, cfg);
   const auto stats = engine.run();
   EXPECT_EQ(stats.net_totals().total_messages(), 0u);
 }
 
 TEST(GasPageRank, ActiveSetShrinksWithConvergence) {
   const graph::EdgeList e = graph::gen::rmat(9, 3000, 17);
+  const graph::Csr g = graph::Csr::build(e);
   PageRankGas pr;
   pr.num_vertices = e.num_vertices();
   pr.epsilon = 1e-8;
   Config cfg = Config::workers(4);
   cfg.max_iterations = 80;
-  Engine<PageRankGas> engine(e, partition::RandomVertexCut{}.partition(e, 4), pr, cfg);
+  Engine<PageRankGas> engine(g, partition::RandomVertexCut{}.partition(g, 4), pr, cfg);
   const auto stats = engine.run();
   ASSERT_GT(stats.supersteps.size(), 4u);
   EXPECT_LT(stats.supersteps[stats.supersteps.size() - 2].active_vertices,

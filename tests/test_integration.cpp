@@ -8,6 +8,7 @@
 
 #include <cmath>
 
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/algorithms/als.hpp"
 #include "cyclops/algorithms/cd.hpp"
 #include "cyclops/algorithms/datasets.hpp"
@@ -82,7 +83,7 @@ TEST_P(PageRankAllEngines, AgreeWithReference) {
     gas::Config cfg = gas::Config::workers(workers);
     cfg.max_iterations = 300;
     gas::Engine<algo::PageRankGas> engine(
-        edges, partition::GreedyVertexCut{}.partition(edges, workers), pr, cfg);
+        g, partition::GreedyVertexCut{}.partition(g, workers), pr, cfg);
     (void)engine.run();
     const auto values = engine.values();
     double md = 0;
@@ -246,7 +247,7 @@ TEST(CommunicationClaims, GasSendsMultipleOfCyclops) {
   gas::Config gas_cfg = gas::Config::workers(6);
   gas_cfg.max_iterations = 40;
   gas::Engine<algo::PageRankGas> gas_engine(
-      edges, partition::RandomVertexCut{}.partition(edges, 6), gas_prog, gas_cfg);
+      g, partition::RandomVertexCut{}.partition(g, 6), gas_prog, gas_cfg);
   const auto gas_stats = gas_engine.run();
   const double gas_msg_per_step =
       static_cast<double>(gas_stats.net_totals().total_messages()) /

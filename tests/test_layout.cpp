@@ -9,6 +9,7 @@
 #include <map>
 #include <set>
 
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/core/layout.hpp"
 #include "cyclops/graph/generators.hpp"
 #include "cyclops/partition/hash.hpp"

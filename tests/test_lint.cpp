@@ -87,6 +87,22 @@ TEST(Lint, CleanFixtureHasZeroFindings) {
   EXPECT_TRUE(lint_fixture("clean.cpp").empty());
 }
 
+TEST(Lint, CsrOutsideGraphFixture) {
+  const Golden expected = {{7, "csr-outside-graph"},
+                           {12, "csr-outside-graph"},
+                           {13, "csr-outside-graph"},
+                           {15, "csr-outside-graph"}};
+  EXPECT_EQ(lint_fixture("bad_csr_outside_graph.cpp"), expected);
+}
+
+TEST(Lint, GraphPathExemptsCsr) {
+  const std::string body = "graph::Csr g = graph::Csr::build(e);\n";
+  EXPECT_TRUE(lint_file("src/cyclops/graph/store.cpp", body).empty());
+  const auto findings = lint_file("src/cyclops/core/engine.hpp", body);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "csr-outside-graph");
+}
+
 TEST(Lint, CommonPathExemptsRawThread) {
   const std::string body = "std::mutex m;\nstd::thread t;\n";
   EXPECT_TRUE(lint_file("src/cyclops/common/sync.hpp", body).empty());
@@ -96,6 +112,8 @@ TEST(Lint, CommonPathExemptsRawThread) {
 TEST(Lint, ClassifyPath) {
   EXPECT_TRUE(classify_path("src/cyclops/common/thread_pool.cpp").in_common);
   EXPECT_FALSE(classify_path("src/cyclops/runtime/superstep_driver.hpp").in_common);
+  EXPECT_TRUE(classify_path("src/cyclops/graph/compact_csr.cpp").in_graph);
+  EXPECT_FALSE(classify_path("src/cyclops/gas/gas_layout.cpp").in_graph);
 }
 
 TEST(Lint, SuppressionOnPreviousLine) {

@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/algorithms/pagerank.hpp"
 #include "cyclops/algorithms/sssp.hpp"
 #include "cyclops/common/crc32.hpp"

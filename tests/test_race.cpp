@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/algorithms/pagerank.hpp"
 #include "cyclops/bsp/engine.hpp"
 #include "cyclops/common/spinlock.hpp"

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/algorithms/pagerank.hpp"
 #include "cyclops/algorithms/sssp.hpp"
 #include "cyclops/bsp/engine.hpp"
@@ -216,7 +217,7 @@ TEST(EngineEquivalence, PageRankAgreesAcrossAllThreeEngines) {
   gas::Config gas_cfg = gas::Config::workers(4);
   gas_cfg.max_iterations = 300;
   gas::Engine<algo::PageRankGas> gas_engine(
-      e, partition::GreedyVertexCut{}.partition(e, 4), pr_gas, gas_cfg);
+      g, partition::GreedyVertexCut{}.partition(g, 4), pr_gas, gas_cfg);
   (void)gas_engine.run();
   const auto gas_vals = gas_engine.values();
 

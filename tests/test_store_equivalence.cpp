@@ -1,0 +1,171 @@
+// Cross-store equivalence gate: every engine must produce bit-identical
+// vertex values AND a bit-identical Fabric::wire_digest no matter which
+// GraphStore backend holds the graph. This is the correctness net under the
+// storage refactor — if a backend reorders adjacency, mis-decodes a varint,
+// or pages a stale window, either the values or the on-wire traffic digest
+// diverges from the in-memory baseline and this suite fails.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "cyclops/algorithms/cc.hpp"
+#include "cyclops/algorithms/pagerank.hpp"
+#include "cyclops/algorithms/sssp.hpp"
+#include "cyclops/bsp/engine.hpp"
+#include "cyclops/core/engine.hpp"
+#include "cyclops/gas/engine.hpp"
+#include "cyclops/graph/edge_list.hpp"
+#include "cyclops/graph/generators.hpp"
+#include "cyclops/graph/store.hpp"
+#include "cyclops/partition/hash.hpp"
+#include "cyclops/partition/vertex_cut.hpp"
+
+namespace cyclops {
+namespace {
+
+struct RunResult {
+  std::uint64_t digest = 0;
+  std::vector<double> values;
+};
+
+/// Doubles must match to the bit, not to a tolerance: backends that change
+/// accumulation order would still pass EXPECT_NEAR.
+void expect_bit_identical(const RunResult& want, const RunResult& got,
+                          graph::StoreKind kind) {
+  EXPECT_EQ(want.digest, got.digest)
+      << "wire digest diverged on " << graph::store_kind_name(kind);
+  ASSERT_EQ(want.values.size(), got.values.size());
+  ASSERT_EQ(0, std::memcmp(want.values.data(), got.values.data(),
+                           want.values.size() * sizeof(double)))
+      << "vertex values diverged on " << graph::store_kind_name(kind);
+}
+
+/// Runs `run` once per store backend over the same edge list and requires
+/// every run to match the in-memory baseline bit-for-bit. A 1 MB cap keeps
+/// the stream backend honest (many window reloads, spill budget armed).
+template <typename Run>
+void for_all_stores(const graph::EdgeList& e, Run run) {
+  std::optional<RunResult> baseline;
+  for (const graph::StoreKind kind :
+       {graph::StoreKind::kMemory, graph::StoreKind::kCompact, graph::StoreKind::kStream}) {
+    graph::StoreOptions opts;
+    opts.kind = kind;
+    opts.mem_cap_bytes = 1 << 20;
+    const auto store = graph::make_store(e, opts);
+    const RunResult r = run(*store);
+    EXPECT_NE(r.digest, 0u) << "engine put nothing on the wire";
+    if (!baseline) {
+      baseline = r;
+    } else {
+      expect_bit_identical(*baseline, r, kind);
+    }
+  }
+}
+
+TEST(StoreEquivalence, BspPageRank) {
+  for_all_stores(graph::gen::rmat(9, 3000, 17), [](const graph::GraphStore& g) {
+    algo::PageRankBsp pr;
+    pr.epsilon = 1e-10;
+    bsp::Config cfg = bsp::Config::workers(4);
+    cfg.max_supersteps = 100;
+    bsp::Engine<algo::PageRankBsp> engine(g, partition::HashPartitioner{}.partition(g, 4),
+                                          pr, cfg);
+    (void)engine.run();
+    const auto span = engine.values();
+    return RunResult{engine.fabric().wire_digest(),
+                     std::vector<double>(span.begin(), span.end())};
+  });
+}
+
+TEST(StoreEquivalence, BspSssp) {
+  for_all_stores(graph::gen::road_grid({24, 24, 0.1}, 3), [](const graph::GraphStore& g) {
+    algo::SsspBsp sssp;
+    sssp.source = 0;
+    bsp::Config cfg = bsp::Config::workers(4);
+    cfg.max_supersteps = 300;
+    bsp::Engine<algo::SsspBsp> engine(g, partition::HashPartitioner{}.partition(g, 4),
+                                      sssp, cfg);
+    (void)engine.run();
+    const auto span = engine.values();
+    return RunResult{engine.fabric().wire_digest(),
+                     std::vector<double>(span.begin(), span.end())};
+  });
+}
+
+TEST(StoreEquivalence, CyclopsCc) {
+  for_all_stores(graph::gen::erdos_renyi(600, 1500, 31), [](const graph::GraphStore& g) {
+    algo::CcCyclops cc;
+    core::Config cfg = core::Config::cyclops(2, 2);
+    cfg.max_supersteps = 200;
+    core::Engine<algo::CcCyclops> engine(g, partition::HashPartitioner{}.partition(g, 4),
+                                         cc, cfg);
+    (void)engine.run();
+    const auto labels = engine.values();
+    return RunResult{engine.fabric().wire_digest(),
+                     std::vector<double>(labels.begin(), labels.end())};
+  });
+}
+
+TEST(StoreEquivalence, CyclopsPageRankAblation) {
+  // The force_all_active ablation floods every superstep with full traffic —
+  // the heaviest wire load, so the most sensitive digest.
+  for_all_stores(graph::gen::rmat(9, 3000, 53), [](const graph::GraphStore& g) {
+    algo::PageRankCyclops pr;
+    pr.epsilon = 1e-9;
+    core::Config cfg = core::Config::cyclops(2, 2);
+    cfg.max_supersteps = 30;
+    cfg.force_all_active = true;
+    core::Engine<algo::PageRankCyclops> engine(
+        g, partition::HashPartitioner{}.partition(g, 4), pr, cfg);
+    (void)engine.run();
+    return RunResult{engine.fabric().wire_digest(), engine.values()};
+  });
+}
+
+TEST(StoreEquivalence, CyclopsMtSssp) {
+  for_all_stores(graph::gen::road_grid({20, 20, 0.1}, 9), [](const graph::GraphStore& g) {
+    algo::SsspCyclops sssp;
+    core::Config cfg = core::Config::cyclops_mt(2, 2, 2);
+    cfg.max_supersteps = 300;
+    core::Engine<algo::SsspCyclops> engine(g, partition::HashPartitioner{}.partition(g, 2),
+                                           sssp, cfg);
+    (void)engine.run();
+    return RunResult{engine.fabric().wire_digest(), engine.values()};
+  });
+}
+
+TEST(StoreEquivalence, GasPageRank) {
+  for_all_stores(graph::gen::rmat(9, 3000, 71), [](const graph::GraphStore& g) {
+    algo::PageRankGas pr;
+    pr.num_vertices = g.num_vertices();
+    pr.epsilon = 1e-10;
+    gas::Config cfg = gas::Config::workers(4);
+    cfg.max_iterations = 100;
+    gas::Engine<algo::PageRankGas> engine(
+        g, partition::GreedyVertexCut{}.partition(g, 4), pr, cfg);
+    (void)engine.run();
+    std::vector<double> ranks;
+    for (const auto& v : engine.values()) ranks.push_back(v.rank);
+    return RunResult{engine.fabric().wire_digest(), std::move(ranks)};
+  });
+}
+
+TEST(StoreEquivalence, GasSssp) {
+  for_all_stores(graph::gen::road_grid({20, 20, 0.1}, 13), [](const graph::GraphStore& g) {
+    algo::SsspGas sssp;
+    sssp.source = 0;
+    gas::Config cfg = gas::Config::workers(3);
+    cfg.max_iterations = 300;
+    gas::Engine<algo::SsspGas> engine(
+        g, partition::RandomVertexCut{}.partition(g, 3), sssp, cfg);
+    (void)engine.run();
+    return RunResult{engine.fabric().wire_digest(), engine.values()};
+  });
+}
+
+}  // namespace
+}  // namespace cyclops

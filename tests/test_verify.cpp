@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/algorithms/pagerank.hpp"
 #include "cyclops/core/engine.hpp"
 #include "cyclops/graph/generators.hpp"

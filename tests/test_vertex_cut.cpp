@@ -1,9 +1,11 @@
 // Tests for vertex-cut partitioning (the PowerGraph substrate): coverage,
 // master designation, replication accounting, and the greedy heuristic's
-// improvement over random placement.
+// improvement over random placement. Edge indices refer to the store's
+// canonical enumeration order (GraphStore::for_each_edge).
 
 #include <gtest/gtest.h>
 
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/graph/generators.hpp"
 #include "cyclops/partition/vertex_cut.hpp"
 #include "test_util.hpp"
@@ -12,21 +14,23 @@ namespace cyclops::partition {
 namespace {
 
 TEST(RandomVertexCut, EveryEdgePlaced) {
-  const graph::EdgeList e = graph::gen::erdos_renyi(200, 1000, 3);
-  const VertexCutPartition p = RandomVertexCut{}.partition(e, 5);
-  for (std::size_t i = 0; i < e.num_edges(); ++i) EXPECT_LT(p.edge_owner(i), 5u);
+  const graph::Csr g = graph::Csr::build(graph::gen::erdos_renyi(200, 1000, 3));
+  const VertexCutPartition p = RandomVertexCut{}.partition(g, 5);
+  for (std::size_t i = 0; i < g.num_edges(); ++i) EXPECT_LT(p.edge_owner(i), 5u);
 }
 
 TEST(RandomVertexCut, MasterIsAHostingWorker) {
-  const graph::EdgeList e = graph::gen::erdos_renyi(200, 1000, 5);
-  const VertexCutPartition p = RandomVertexCut{}.partition(e, 4);
-  // Recompute hosting sets and check master membership.
-  std::vector<std::vector<bool>> hosted(e.num_vertices(), std::vector<bool>(4, false));
-  for (std::size_t i = 0; i < e.num_edges(); ++i) {
-    hosted[e.edges()[i].src][p.edge_owner(i)] = true;
-    hosted[e.edges()[i].dst][p.edge_owner(i)] = true;
-  }
-  for (VertexId v = 0; v < e.num_vertices(); ++v) {
+  const graph::Csr g = graph::Csr::build(graph::gen::erdos_renyi(200, 1000, 5));
+  const VertexCutPartition p = RandomVertexCut{}.partition(g, 4);
+  // Recompute hosting sets in enumeration order and check master membership.
+  std::vector<std::vector<bool>> hosted(g.num_vertices(), std::vector<bool>(4, false));
+  std::size_t i = 0;
+  g.for_each_edge([&](VertexId src, VertexId dst, double) {
+    hosted[src][p.edge_owner(i)] = true;
+    hosted[dst][p.edge_owner(i)] = true;
+    ++i;
+  });
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
     bool any = false;
     for (bool b : hosted[v]) any |= b;
     if (any) {
@@ -36,9 +40,9 @@ TEST(RandomVertexCut, MasterIsAHostingWorker) {
 }
 
 TEST(Evaluate, ReplicationLowerBoundOne) {
-  const graph::EdgeList e = graph::gen::erdos_renyi(100, 300, 7);
-  const VertexCutPartition p = RandomVertexCut{}.partition(e, 1);
-  const VertexCutQuality q = evaluate(e, p);
+  const graph::Csr g = graph::Csr::build(graph::gen::erdos_renyi(100, 300, 7));
+  const VertexCutPartition p = RandomVertexCut{}.partition(g, 1);
+  const VertexCutQuality q = evaluate(g, p);
   EXPECT_DOUBLE_EQ(q.replication_factor, 1.0);
 }
 
@@ -47,28 +51,29 @@ TEST(Evaluate, CountsIsolatedVertices) {
   e.add(0, 1);
   e.add(2, 3);
   e.add(3, 4);
-  const VertexCutPartition p = RandomVertexCut{}.partition(e, 3);
-  const VertexCutQuality q = evaluate(e, p);
+  const graph::Csr g = graph::Csr::build(e);
+  const VertexCutPartition p = RandomVertexCut{}.partition(g, 3);
+  const VertexCutQuality q = evaluate(g, p);
   EXPECT_GE(q.total_replicas, 10u);  // every vertex has at least the master copy
 }
 
 TEST(GreedyVertexCut, LowerReplicationThanRandom) {
-  const graph::EdgeList e = graph::gen::rmat(11, 12000, 9);
-  const VertexCutQuality random_q = evaluate(e, RandomVertexCut{}.partition(e, 8));
-  const VertexCutQuality greedy_q = evaluate(e, GreedyVertexCut{}.partition(e, 8));
+  const graph::Csr g = graph::Csr::build(graph::gen::rmat(11, 12000, 9));
+  const VertexCutQuality random_q = evaluate(g, RandomVertexCut{}.partition(g, 8));
+  const VertexCutQuality greedy_q = evaluate(g, GreedyVertexCut{}.partition(g, 8));
   EXPECT_LT(greedy_q.replication_factor, random_q.replication_factor);
 }
 
 TEST(GreedyVertexCut, KeepsEdgeBalance) {
-  const graph::EdgeList e = graph::gen::erdos_renyi(1000, 8000, 11);
-  const VertexCutQuality q = evaluate(e, GreedyVertexCut{}.partition(e, 6));
+  const graph::Csr g = graph::Csr::build(graph::gen::erdos_renyi(1000, 8000, 11));
+  const VertexCutQuality q = evaluate(g, GreedyVertexCut{}.partition(g, 6));
   EXPECT_LT(q.edge_imbalance, 1.5);
 }
 
 TEST(GreedyVertexCut, Deterministic) {
-  const graph::EdgeList e = graph::gen::rmat(9, 2000, 13);
-  const VertexCutPartition a = GreedyVertexCut{}.partition(e, 4);
-  const VertexCutPartition b = GreedyVertexCut{}.partition(e, 4);
+  const graph::Csr g = graph::Csr::build(graph::gen::rmat(9, 2000, 13));
+  const VertexCutPartition a = GreedyVertexCut{}.partition(g, 4);
+  const VertexCutPartition b = GreedyVertexCut{}.partition(g, 4);
   EXPECT_EQ(a.edge_owners(), b.edge_owners());
 }
 
@@ -78,13 +83,13 @@ class VcutGrowth : public ::testing::TestWithParam<bool> {};
 
 TEST_P(VcutGrowth, ReplicationMonotonicInParts) {
   const bool greedy = GetParam();
-  const graph::EdgeList e = graph::gen::rmat(11, 10000, 17);
+  const graph::Csr g = graph::Csr::build(graph::gen::rmat(11, 10000, 17));
   double prev = 0;
   for (WorkerId parts : {2u, 4u, 8u, 16u}) {
     const VertexCutPartition p = greedy
-                                     ? GreedyVertexCut{}.partition(e, parts)
-                                     : RandomVertexCut{}.partition(e, parts);
-    const double rf = evaluate(e, p).replication_factor;
+                                     ? GreedyVertexCut{}.partition(g, parts)
+                                     : RandomVertexCut{}.partition(g, parts);
+    const double rf = evaluate(g, p).replication_factor;
     EXPECT_GE(rf, prev * 0.98);  // allow tiny non-monotonic noise
     prev = rf;
   }

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "cyclops/graph/csr.hpp"
 #include "cyclops/algorithms/cc.hpp"
 #include "cyclops/algorithms/pagerank.hpp"
 #include "cyclops/algorithms/sssp.hpp"

@@ -32,6 +32,7 @@
 #include "cyclops/gas/engine.hpp"
 #include "cyclops/graph/gstats.hpp"
 #include "cyclops/graph/loader.hpp"
+#include "cyclops/graph/store.hpp"
 #include "cyclops/metrics/reporter.hpp"
 #include "cyclops/partition/hash.hpp"
 #include "cyclops/partition/ldg.hpp"
@@ -62,6 +63,7 @@ struct Options {
   VertexId num_users = 0;    // als (0 = infer for generated datasets)
   unsigned rounds = 10;      // als
   double scale = 1.0;        // generator scale factor
+  args::StoreArgs store;     // --store / --mem-cap / --spill-dir
   std::string csv;           // per-superstep series output path
   bool stats_only = false;   // print graph stats and exit
   bool verify_report = false;  // print the invariant checker's summary line
@@ -120,6 +122,11 @@ struct Options {
       "  --source V                  SSSP source vertex (default 0)\n"
       "  --users N --rounds K        ALS bipartite split / training rounds\n"
       "  --scale F                   generator scale factor (default 1.0)\n"
+      "  --store memory|compact|stream  graph store backend (default memory):\n"
+      "                              compact = varint/delta compressed CSR,\n"
+      "                              stream = out-of-core shards under --mem-cap\n"
+      "  --mem-cap MB                stream-store resident budget (default 64)\n"
+      "  --spill-dir PATH            stream-store scratch dir (default /tmp)\n"
       "  --csv PATH                  write per-superstep series as CSV\n"
       "  --stats                     print graph statistics and exit\n"
       "  --verify                    print the immutable-view invariant checker\n"
@@ -191,6 +198,7 @@ Options parse(int argc, char** argv) {
   o.num_users = p.get("--users", o.num_users);
   o.rounds = p.get("--rounds", o.rounds);
   o.scale = p.get("--scale", o.scale);
+  o.store = args::store_args(p);
   o.csv = p.get("--csv", o.csv);
   o.stats_only = p.flag("--stats");
   o.verify_report = p.flag("--verify");
@@ -235,6 +243,11 @@ Options parse(int argc, char** argv) {
   if (o.race_seeds > 0 && o.fault_tolerant()) {
     args::Parser::fail("--race runs fault-free engines; drop the fault flags");
   }
+  try {
+    (void)graph::parse_store_kind(o.store.kind);
+  } catch (const std::exception& e) {
+    args::Parser::fail(e.what());
+  }
   return o;
 }
 
@@ -264,7 +277,7 @@ graph::EdgeList load_graph(Options& o) {
   return std::move(d.edges);
 }
 
-partition::EdgeCutPartition make_partition(const Options& o, const graph::Csr& g) {
+partition::EdgeCutPartition make_partition(const Options& o, const graph::GraphStore& g) {
   if (o.partitioner == "hash") return partition::HashPartitioner{}.partition(g, o.workers);
   if (o.partitioner == "ldg") return partition::LdgPartitioner{}.partition(g, o.workers);
   if (o.partitioner == "multilevel") {
@@ -353,7 +366,7 @@ int run_fault_tolerant(const Options& o, const std::string& label,
 }
 
 template <typename Prog>
-int run_bsp(const Options& o, const graph::Csr& g, Prog prog) {
+int run_bsp(const Options& o, const graph::GraphStore& g, Prog prog) {
   bsp::Config cfg;
   cfg.topo = sim::Topology{o.machines, o.workers / o.machines};
   cfg.max_supersteps = o.max_supersteps;
@@ -390,7 +403,7 @@ int run_bsp(const Options& o, const graph::Csr& g, Prog prog) {
 }
 
 template <typename Prog>
-int run_cyclops(const Options& o, const graph::Csr& g, Prog prog, bool mt) {
+int run_cyclops(const Options& o, const graph::GraphStore& g, Prog prog, bool mt) {
   core::Config cfg = mt ? core::Config::cyclops_mt(o.machines, o.threads, o.receivers)
                         : core::Config::cyclops(o.machines, o.workers / o.machines);
   cfg.max_supersteps = o.max_supersteps;
@@ -433,18 +446,18 @@ int run_cyclops(const Options& o, const graph::Csr& g, Prog prog, bool mt) {
 }
 
 template <typename Prog>
-int run_gas(const Options& o, const graph::EdgeList& edges, Prog prog) {
+int run_gas(const Options& o, const graph::GraphStore& g, Prog prog) {
   gas::Config cfg;
   cfg.topo = sim::Topology{o.machines, 1};
   cfg.max_iterations = o.max_supersteps;
-  const auto cut = partition::RandomVertexCut{}.partition(edges, o.machines);
+  const auto cut = partition::RandomVertexCut{}.partition(g, o.machines);
   if (o.race_seeds > 0) {
     return race_sweep(o, "powergraph/" + o.algo,
                       [&](std::shared_ptr<sim::ScheduleExplorer> sched,
                           std::vector<std::string>& reports) {
                         gas::Config rcfg = cfg;
                         rcfg.schedule = std::move(sched);
-                        gas::Engine<Prog> engine(edges, cut, prog, rcfg);
+                        gas::Engine<Prog> engine(g, cut, prog, rcfg);
                         engine.verifier().racer().set_handler(
                             [&reports](const verify::race::Report& r) {
                               reports.push_back(r.describe());
@@ -459,9 +472,9 @@ int run_gas(const Options& o, const graph::EdgeList& edges, Prog prog) {
     return run_fault_tolerant(
         o, "powergraph/" + o.algo, runtime::CheckpointMode::kLightweight,
         cfg.faults.get(),
-        [&] { return std::make_unique<gas::Engine<Prog>>(edges, cut, prog, cfg); });
+        [&] { return std::make_unique<gas::Engine<Prog>>(g, cut, prog, cfg); });
   }
-  gas::Engine<Prog> engine(edges, cut, prog, cfg);
+  gas::Engine<Prog> engine(g, cut, prog, cfg);
   const auto stats = engine.run();
   std::printf("%s\n", metrics::run_summary("powergraph/" + o.algo, stats).c_str());
   if (o.verify_report) std::printf("%s\n", engine.verifier().summary().c_str());
@@ -484,6 +497,9 @@ int run_serve(const Options& o, graph::EdgeList edges) {
   cfg.snapshot.machines = o.machines;
   cfg.snapshot.workers_per_machine = o.workers / o.machines;
   cfg.snapshot.partitioner = o.partitioner;
+  cfg.snapshot.store = graph::parse_store_kind(o.store.kind);
+  cfg.snapshot.mem_cap_mb = o.store.mem_cap_mb;
+  cfg.snapshot.spill_dir = o.store.spill_dir;
   cfg.scheduler.workers = o.serve_workers;
   cfg.scheduler.max_queue = o.serve_queue;
   cfg.scheduler.per_tenant_running = o.tenant_limit;
@@ -571,8 +587,11 @@ int main(int argc, char** argv) {
   graph::EdgeList loaded = load_graph(o);
   if (!o.serve.empty()) return run_serve(o, std::move(loaded));
   const graph::EdgeList edges = std::move(loaded);
-  const graph::Csr g = graph::Csr::build(edges);
-  std::printf("graph: %u vertices, %zu edges\n", g.num_vertices(), g.num_edges());
+  const auto store = graph::make_store(
+      edges, graph::make_store_options(o.store.kind, o.store.mem_cap_mb, o.store.spill_dir));
+  const graph::GraphStore& g = *store;
+  std::printf("graph: %u vertices, %zu edges (%s store)\n", g.num_vertices(),
+              g.num_edges(), graph::store_kind_name(g.kind()).data());
 
   if (o.stats_only) {
     const auto s = graph::compute_stats(g);
@@ -589,7 +608,7 @@ int main(int argc, char** argv) {
       algo::PageRankGas prog;
       prog.num_vertices = g.num_vertices();
       prog.epsilon = o.epsilon;
-      return run_gas(o, edges, prog);
+      return run_gas(o, g, prog);
     }
     if (o.engine == "hama") {
       algo::PageRankBsp prog;
@@ -608,7 +627,7 @@ int main(int argc, char** argv) {
     if (o.engine == "gas") {
       algo::SsspGas prog;
       prog.source = o.source;
-      return run_gas(o, edges, prog);
+      return run_gas(o, g, prog);
     }
     if (o.engine == "hama") {
       algo::SsspBsp prog;

@@ -20,6 +20,11 @@
 //                   traffic behind a host lock — the §2.2.2 contention point
 //                   Cyclops exists to remove. Release before sending, or
 //                   stage under the lock and send after.
+//   csr-outside-graph  naming the concrete graph::Csr outside src/cyclops/
+//                   graph/ re-couples engines to one storage layout; code
+//                   above the graph layer must go through the GraphStore
+//                   interface (graph/store.hpp) so every backend — in-memory,
+//                   compact, streaming — stays plug-compatible.
 //
 // Suppress a finding with `// cyclops-lint: allow(<rule>)` on the same line
 // or the line above. The same engine is unit-tested against fixture files in
@@ -159,6 +164,20 @@ inline std::string code_only(const std::string& line, bool& in_block) {
   return false;
 }
 
+/// Identifier-boundary match on BOTH sides: `Csr` matches `graph::Csr` and
+/// `Csr::build` but neither `CompactCsr` nor `CsrShim`.
+[[nodiscard]] inline bool has_exact_token(std::string_view code, std::string_view needle) {
+  std::size_t pos = 0;
+  while ((pos = code.find(needle, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !ident_char(code[pos - 1]);
+    const std::size_t after = pos + needle.size();
+    const bool right_ok = after >= code.size() || !ident_char(code[after]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
 [[nodiscard]] inline bool suppressed(const std::vector<std::string>& lines,
                                      std::size_t idx, std::string_view rule) {
   const std::string marker = "cyclops-lint: allow(" + std::string(rule) + ")";
@@ -243,12 +262,15 @@ inline constexpr std::string_view kNarrowCasts[] = {
 
 struct FileClass {
   bool in_common = false;  ///< under common/: raw primitives are allowed here
+  bool in_graph = false;   ///< under graph/: the one home of concrete stores
 };
 
 [[nodiscard]] inline FileClass classify_path(std::string_view path) {
   FileClass fc;
   fc.in_common = path.find("common/") != std::string_view::npos ||
                  path.find("common\\") != std::string_view::npos;
+  fc.in_graph = path.find("graph/") != std::string_view::npos ||
+                path.find("graph\\") != std::string_view::npos;
   return fc;
 }
 
@@ -354,6 +376,14 @@ inline std::vector<Finding> lint_file(const std::string& path, const std::string
                                "Mutex / CondVar aliases from common/sync.hpp");
         break;
       }
+    }
+
+    // csr-outside-graph
+    if (!fc.in_graph && detail::has_exact_token(c, "Csr")) {
+      add(i, "csr-outside-graph",
+          "concrete graph::Csr named outside src/cyclops/graph/; code above "
+          "the graph layer must use the GraphStore interface "
+          "(graph/store.hpp) so all store backends stay interchangeable");
     }
 
     // wire-narrowing
