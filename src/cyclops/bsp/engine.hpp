@@ -141,6 +141,7 @@ class Engine {
       fabric_.install_faults(config_.faults.get());
       driver_.set_fault_injector(config_.faults.get());
     }
+    if (config_.message_log) fabric_.install_log(config_.message_log.get());
     if (config_.schedule) pool_.set_task_order(config_.schedule.get());
     driver_.set_checker(&vcheck_);
     if (const std::uint64_t budget = graph_->message_budget_bytes(); budget > 0) {
@@ -179,46 +180,36 @@ class Engine {
   // messages, written after the global barrier. BSP cannot shed its pending
   // messages in any mode — they are not derivable from vertex state — so the
   // "lightweight" snapshot still carries the in-queues; only mode-tagging
-  // differs. That is exactly the asymmetry §3.6 claims against Cyclops. ---
+  // differs. That is exactly the asymmetry §3.6 claims against Cyclops. The
+  // snapshot is a per-machine frameset (checkpoint.hpp): each frame carries
+  // the vertex slices owned by that machine's workers plus those workers'
+  // in-queues, so localized recovery reloads one machine's frame. ---
   void checkpoint(ByteWriter& out,
                   runtime::CheckpointMode mode = runtime::CheckpointMode::kHeavyweight)
       const {
-    runtime::write_engine_header(out, runtime::EngineTag::kBsp, mode,
-                                 graph_->num_vertices(), graph_->num_edges());
-    out.write(driver_.superstep());
-    out.write(global_error_);
-    out.write_vector(values_);
-    const VertexId n = graph_->num_vertices();
-    std::vector<std::uint8_t> flags(n);
-    for (VertexId v = 0; v < n; ++v) {
-      flags[v] = static_cast<std::uint8_t>((halted_.test(v) ? 1 : 0) |
-                                           (active_.test(v) ? 2 : 0));
-    }
-    out.write_vector(flags);
-    for (const auto& queue : inqueue_) out.write_vector(queue);
+    runtime::write_frameset(out, config_.topo.machines,
+                            [&](MachineId m, ByteWriter& frame) {
+                              checkpoint_machine(m, frame, mode);
+                            });
   }
 
   /// Throws SerializeError (recoverable) on truncated, corrupt, or
   /// wrong-shape snapshots; the engine may be left partially restored, so
   /// callers discard it on failure.
   void restore(ByteReader& in) {
-    (void)runtime::read_engine_header(in, runtime::EngineTag::kBsp,
-                                      graph_->num_vertices(), graph_->num_edges());
-    driver_.set_superstep(in.read<Superstep>());
-    global_error_ = in.read<double>();
-    values_ = in.read_vector<Value>();
-    const auto flags = in.read_vector<std::uint8_t>();
-    if (values_.size() != graph_->num_vertices() ||
-        flags.size() != graph_->num_vertices()) {
-      throw SerializeError("bsp snapshot shape mismatch");
-    }
-    halted_.clear_all();
-    active_.clear_all();
-    for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
-      if (flags[v] & 1) halted_.set(v);
-      if (flags[v] & 2) active_.set(v);
-    }
-    for (auto& queue : inqueue_) queue = in.read_vector<WireRecord>();
+    runtime::read_frameset(in, config_.topo.machines,
+                           [&](MachineId m, ByteReader& frame) {
+                             restore_machine(m, frame);
+                           });
+  }
+
+  /// Arms a localized-recovery replay window (see runtime/recovery.hpp and
+  /// core::Engine::arm_replay — same contract).
+  void arm_replay(Superstep resume_at, Superstep until, MachineId dead,
+                  std::uint64_t digest_seed) {
+    fabric_.begin_replay(resume_at, until, dead);
+    fabric_.seed_wire_digest(digest_seed);
+    vcheck_.note_replay_window(resume_at, until);
   }
 
   /// Arms periodic checkpointing: the driver snapshots this engine through
@@ -321,6 +312,63 @@ class Engine {
         vcheck_.register_worker(w, static_cast<std::uint32_t>(n), ids, owners);
       }
     }
+  }
+
+  // Machine m's workers are the contiguous range [m*W, (m+1)*W).
+  [[nodiscard]] std::pair<WorkerId, WorkerId> machine_workers(MachineId m) const noexcept {
+    const WorkerId per = config_.topo.workers_per_machine;
+    return {m * per, (m + 1) * per};
+  }
+
+  /// One machine's frame: engine header + superstep + aggregator + the
+  /// vertex slices its workers own (deterministic ascending-id order; ids
+  /// are implicit because ownership is derivable from the partition) + its
+  /// workers' global in-queues. global_error_ is a broadcast aggregate, so
+  /// every frame carries a copy.
+  void checkpoint_machine(MachineId m, ByteWriter& out,
+                          runtime::CheckpointMode mode) const {
+    runtime::write_engine_header(out, runtime::EngineTag::kBsp, mode,
+                                 graph_->num_vertices(), graph_->num_edges());
+    out.write(driver_.superstep());
+    out.write(global_error_);
+    const VertexId n = graph_->num_vertices();
+    std::vector<Value> vals;
+    std::vector<std::uint8_t> flags;
+    for (VertexId v = 0; v < n; ++v) {
+      if (config_.topo.machine_of(part_.owner(v)) != m) continue;
+      vals.push_back(values_[v]);
+      flags.push_back(static_cast<std::uint8_t>((halted_.test(v) ? 1 : 0) |
+                                                (active_.test(v) ? 2 : 0)));
+    }
+    out.write_vector(vals);
+    out.write_vector(flags);
+    const auto [begin, end] = machine_workers(m);
+    for (WorkerId w = begin; w < end; ++w) out.write_vector(inqueue_[w]);
+  }
+
+  void restore_machine(MachineId m, ByteReader& in) {
+    (void)runtime::read_engine_header(in, runtime::EngineTag::kBsp,
+                                      graph_->num_vertices(), graph_->num_edges());
+    driver_.set_superstep(in.read<Superstep>());
+    global_error_ = in.read<double>();
+    const auto vals = in.read_vector<Value>();
+    const auto flags = in.read_vector<std::uint8_t>();
+    if (vals.size() != flags.size()) {
+      throw SerializeError("bsp snapshot shape mismatch");
+    }
+    const VertexId n = graph_->num_vertices();
+    std::size_t i = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (config_.topo.machine_of(part_.owner(v)) != m) continue;
+      if (i >= vals.size()) throw SerializeError("bsp snapshot shape mismatch");
+      values_[v] = vals[i];
+      if (flags[i] & 1) halted_.set(v); else halted_.clear(v);
+      if (flags[i] & 2) active_.set(v); else active_.clear(v);
+      ++i;
+    }
+    if (i != vals.size()) throw SerializeError("bsp snapshot shape mismatch");
+    const auto [begin, end] = machine_workers(m);
+    for (WorkerId w = begin; w < end; ++w) inqueue_[w] = in.read_vector<WireRecord>();
   }
 
   void note_sent(WorkerId worker, VertexId src, const Message& msg, std::size_t count) {

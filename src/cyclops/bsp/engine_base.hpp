@@ -8,6 +8,7 @@
 #include "cyclops/common/types.hpp"
 #include "cyclops/sim/cost_model.hpp"
 #include "cyclops/sim/fault.hpp"
+#include "cyclops/sim/message_log.hpp"
 #include "cyclops/sim/sched.hpp"
 #include "cyclops/sim/software_model.hpp"
 
@@ -24,6 +25,11 @@ struct Config {
   /// Fault schedule shared across engine incarnations of a recovering run
   /// (see sim/fault.hpp); null runs fault-free.
   std::shared_ptr<sim::FaultInjector> faults;
+
+  /// Message log for log-based localized recovery, shared across engine
+  /// incarnations like the injector (see sim/message_log.hpp); null disables
+  /// logging. Requires `faults` — the log keys on the injector's clock.
+  std::shared_ptr<sim::MessageLog> message_log;
 
   /// Seeded schedule explorer for the pool (see sim/sched.hpp); null keeps
   /// the native static schedule.

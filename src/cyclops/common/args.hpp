@@ -127,4 +127,30 @@ inline StoreArgs store_args(Parser& p) {
   return s;
 }
 
+/// Recovery-mode selection shared by the CLI and bench_recovery. Raw strings
+/// here for the same layering reason as StoreArgs; callers convert with
+/// runtime::parse_recovery_mode and sim::LogStoreKind.
+struct RecoveryArgs {
+  std::string recovery = "rollback";  ///< rollback | log | log-parallel
+  std::string log_store = "memory";   ///< memory | spill (message-log backing)
+  double detection_timeout_us = 500000.0;  ///< failure-detection timeout
+};
+
+inline RecoveryArgs recovery_args(Parser& p) {
+  RecoveryArgs r;
+  r.recovery = p.get("--recovery", r.recovery);
+  r.log_store = p.get("--log-store", r.log_store);
+  r.detection_timeout_us = p.get("--detection-timeout-us", r.detection_timeout_us);
+  if (r.recovery != "rollback" && r.recovery != "log" && r.recovery != "log-parallel") {
+    Parser::fail("--recovery must be rollback, log, or log-parallel");
+  }
+  if (r.log_store != "memory" && r.log_store != "spill") {
+    Parser::fail("--log-store must be memory or spill");
+  }
+  if (r.detection_timeout_us < 0) {
+    Parser::fail("--detection-timeout-us must be non-negative");
+  }
+  return r;
+}
+
 }  // namespace cyclops::args

@@ -144,6 +144,7 @@ class Engine {
       fabric_.install_faults(config_.faults.get());
       driver_.set_fault_injector(config_.faults.get());
     }
+    if (config_.message_log) fabric_.install_log(config_.message_log.get());
     if (config_.schedule) pool_.set_task_order(config_.schedule.get());
     driver_.set_checker(&vcheck_);
     if (const std::uint64_t budget = graph_->message_budget_bytes(); budget > 0) {
@@ -232,69 +233,40 @@ class Engine {
   // --- Checkpointing (§3.6): lightweight saves masters only — no replicas,
   // no messages (they are derived from the immutable view and regenerate on
   // restore). Heavyweight additionally persists every replica slot, the
-  // Pregel-style full snapshot bench_recovery compares against. ---
+  // Pregel-style full snapshot bench_recovery compares against. The snapshot
+  // is a per-machine frameset (checkpoint.hpp): each machine's frame holds
+  // its own workers' state, so localized recovery can reload just the failed
+  // machine's frame. ---
   void checkpoint(ByteWriter& out,
                   runtime::CheckpointMode mode = runtime::CheckpointMode::kLightweight)
       const {
-    runtime::write_engine_header(out, runtime::EngineTag::kCyclops, mode,
-                                 graph_->num_vertices(), graph_->num_edges());
-    out.write(driver_.superstep());
-    for (WorkerId w = 0; w < layout_.workers.size(); ++w) {
-      const WorkerLayout& wl = layout_.workers[w];
-      out.write_vector(values_[w]);
-      if (mode == runtime::CheckpointMode::kHeavyweight) {
-        out.write_vector(shared_data_[w]);  // all slots: masters + replicas
-      } else {
-        // Master shared data: first num_masters() slots.
-        std::vector<Message> master_shared(shared_data_[w].begin(),
-                                           shared_data_[w].begin() + wl.num_masters());
-        out.write_vector(master_shared);
-      }
-      std::vector<std::uint8_t> flags(wl.num_masters());
-      for (std::uint32_t i = 0; i < wl.num_masters(); ++i) {
-        flags[i] = static_cast<std::uint8_t>((cur_active_[w].test(i) ? 1 : 0) |
-                                             (converged_[w].test(i) ? 2 : 0));
-      }
-      out.write_vector(flags);
-    }
+    runtime::write_frameset(out, config_.topo.machines,
+                            [&](MachineId m, ByteWriter& frame) {
+                              checkpoint_machine(m, frame, mode);
+                            });
   }
 
   /// Throws SerializeError (recoverable) on truncated, corrupt, or
   /// wrong-shape snapshots; callers discard the engine on failure.
   void restore(ByteReader& in) {
-    const runtime::CheckpointMode mode = runtime::read_engine_header(
-        in, runtime::EngineTag::kCyclops, graph_->num_vertices(), graph_->num_edges());
-    driver_.set_superstep(in.read<Superstep>());
-    for (WorkerId w = 0; w < layout_.workers.size(); ++w) {
-      const WorkerLayout& wl = layout_.workers[w];
-      values_[w] = in.read_vector<Value>();
-      if (values_[w].size() != wl.num_masters()) {
-        throw SerializeError("cyclops snapshot: master value count mismatch");
-      }
-      const auto shared = in.read_vector<Message>();
-      const std::size_t expect = mode == runtime::CheckpointMode::kHeavyweight
-                                     ? wl.num_slots()
-                                     : wl.num_masters();
-      if (shared.size() != expect) {
-        throw SerializeError("cyclops snapshot: shared-data slot count mismatch");
-      }
-      std::copy(shared.begin(), shared.end(), shared_data_[w].begin());
-      const auto flags = in.read_vector<std::uint8_t>();
-      if (flags.size() != wl.num_masters()) {
-        throw SerializeError("cyclops snapshot: activity flag count mismatch");
-      }
-      cur_active_[w].clear_all();
-      converged_[w].clear_all();
-      for (std::uint32_t i = 0; i < wl.num_masters(); ++i) {
-        if (flags[i] & 1) cur_active_[w].set(i);
-        if (flags[i] & 2) converged_[w].set(i);
-      }
-      next_active_[w].clear_all();
-      dirty_[w].clear_all();
-    }
+    runtime::read_frameset(in, config_.topo.machines,
+                           [&](MachineId m, ByteReader& frame) {
+                             restore_machine(m, frame);
+                           });
     // Heavyweight snapshots already carry replica slots, but resyncing from
     // masters is idempotent and also covers lightweight restores.
     resync_replicas();
+  }
+
+  /// Arms a localized-recovery replay window on this incarnation (log-based
+  /// modes only): the fabric byte-verifies re-sent traffic against the log
+  /// and continues the crashed incarnation's wire digest, so finishing the
+  /// run proves replay fidelity. See runtime/recovery.hpp.
+  void arm_replay(Superstep resume_at, Superstep until, MachineId dead,
+                  std::uint64_t digest_seed) {
+    fabric_.begin_replay(resume_at, until, dead);
+    fabric_.seed_wire_digest(digest_seed);
+    vcheck_.note_replay_window(resume_at, until);
   }
 
   /// Arms periodic checkpointing through the shared driver hook.
@@ -425,6 +397,75 @@ class Engine {
     Message payload;
   };
   using Channel = runtime::SyncChannel<WireRecord>;
+
+  // Machine m's workers are the contiguous range [m*W, (m+1)*W): partitions
+  // are assigned to workers in machine-major order (Topology::machine_of).
+  [[nodiscard]] std::pair<WorkerId, WorkerId> machine_workers(MachineId m) const noexcept {
+    const WorkerId per = config_.topo.workers_per_machine;
+    return {m * per, (m + 1) * per};
+  }
+
+  /// One machine's self-describing checkpoint frame: engine header +
+  /// superstep + that machine's workers' state.
+  void checkpoint_machine(MachineId m, ByteWriter& out,
+                          runtime::CheckpointMode mode) const {
+    runtime::write_engine_header(out, runtime::EngineTag::kCyclops, mode,
+                                 graph_->num_vertices(), graph_->num_edges());
+    out.write(driver_.superstep());
+    const auto [begin, end] = machine_workers(m);
+    for (WorkerId w = begin; w < end; ++w) {
+      const WorkerLayout& wl = layout_.workers[w];
+      out.write_vector(values_[w]);
+      if (mode == runtime::CheckpointMode::kHeavyweight) {
+        out.write_vector(shared_data_[w]);  // all slots: masters + replicas
+      } else {
+        // Master shared data: first num_masters() slots.
+        std::vector<Message> master_shared(shared_data_[w].begin(),
+                                           shared_data_[w].begin() + wl.num_masters());
+        out.write_vector(master_shared);
+      }
+      std::vector<std::uint8_t> flags(wl.num_masters());
+      for (std::uint32_t i = 0; i < wl.num_masters(); ++i) {
+        flags[i] = static_cast<std::uint8_t>((cur_active_[w].test(i) ? 1 : 0) |
+                                             (converged_[w].test(i) ? 2 : 0));
+      }
+      out.write_vector(flags);
+    }
+  }
+
+  void restore_machine(MachineId m, ByteReader& in) {
+    const runtime::CheckpointMode mode = runtime::read_engine_header(
+        in, runtime::EngineTag::kCyclops, graph_->num_vertices(), graph_->num_edges());
+    driver_.set_superstep(in.read<Superstep>());
+    const auto [begin, end] = machine_workers(m);
+    for (WorkerId w = begin; w < end; ++w) {
+      const WorkerLayout& wl = layout_.workers[w];
+      values_[w] = in.read_vector<Value>();
+      if (values_[w].size() != wl.num_masters()) {
+        throw SerializeError("cyclops snapshot: master value count mismatch");
+      }
+      const auto shared = in.read_vector<Message>();
+      const std::size_t expect = mode == runtime::CheckpointMode::kHeavyweight
+                                     ? wl.num_slots()
+                                     : wl.num_masters();
+      if (shared.size() != expect) {
+        throw SerializeError("cyclops snapshot: shared-data slot count mismatch");
+      }
+      std::copy(shared.begin(), shared.end(), shared_data_[w].begin());
+      const auto flags = in.read_vector<std::uint8_t>();
+      if (flags.size() != wl.num_masters()) {
+        throw SerializeError("cyclops snapshot: activity flag count mismatch");
+      }
+      cur_active_[w].clear_all();
+      converged_[w].clear_all();
+      for (std::uint32_t i = 0; i < wl.num_masters(); ++i) {
+        if (flags[i] & 1) cur_active_[w].set(i);
+        if (flags[i] & 2) converged_[w].set(i);
+      }
+      next_active_[w].clear_all();
+      dirty_[w].clear_all();
+    }
+  }
 
   void init_state() {
     const WorkerId workers = config_.topo.total_workers();

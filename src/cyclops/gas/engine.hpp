@@ -38,6 +38,7 @@
 #include "cyclops/runtime/sync_channel.hpp"
 #include "cyclops/sim/fabric.hpp"
 #include "cyclops/sim/fault.hpp"
+#include "cyclops/sim/message_log.hpp"
 #include "cyclops/sim/sched.hpp"
 #include "cyclops/sim/software_model.hpp"
 #include "cyclops/verify/verify.hpp"
@@ -54,6 +55,11 @@ struct Config {
   /// Fault schedule shared across engine incarnations of a recovering run
   /// (see sim/fault.hpp); null runs fault-free.
   std::shared_ptr<sim::FaultInjector> faults;
+
+  /// Message log for log-based localized recovery, shared across engine
+  /// incarnations like the injector (see sim/message_log.hpp); null disables
+  /// logging. Requires `faults` — the log keys on the injector's clock.
+  std::shared_ptr<sim::MessageLog> message_log;
 
   /// Seeded schedule explorer for the pool (see sim/sched.hpp); null keeps
   /// the native static schedule.
@@ -86,6 +92,7 @@ class Engine {
       fabric_.install_faults(config_.faults.get());
       driver_.set_fault_injector(config_.faults.get());
     }
+    if (config_.message_log) fabric_.install_log(config_.message_log.get());
     if (config_.schedule) pool_.set_task_order(config_.schedule.get());
     driver_.set_checker(&vcheck_);
     if (const std::uint64_t budget = graph_->message_budget_bytes(); budget > 0) {
@@ -163,72 +170,36 @@ class Engine {
   // --- Checkpoint/restore parity with the BSP and Cyclops engines. At every
   // iteration boundary mirror values equal their master's (exchange 3 pushes
   // applied values), so the lightweight snapshot saves masters only and
-  // restore regenerates mirrors; heavyweight persists every copy. ---
+  // restore regenerates mirrors; heavyweight persists every copy. The
+  // snapshot is a per-machine frameset (checkpoint.hpp): each frame holds
+  // the copies hosted on that machine's workers, so localized recovery
+  // reloads one machine's frame. ---
   void checkpoint(ByteWriter& out,
                   runtime::CheckpointMode mode = runtime::CheckpointMode::kLightweight)
       const {
-    runtime::write_engine_header(out, runtime::EngineTag::kGas, mode,
-                                 graph_->num_vertices(), graph_->num_edges());
-    out.write(driver_.superstep());
-    for (WorkerId w = 0; w < layout_.workers.size(); ++w) {
-      const GasWorkerLayout& wl = layout_.workers[w];
-      if (mode == runtime::CheckpointMode::kHeavyweight) {
-        out.write_vector(values_[w]);
-      } else {
-        std::vector<Value> masters;
-        for (Copy c = 0; c < wl.num_copies(); ++c) {
-          if (wl.is_master[c]) masters.push_back(values_[w][c]);
-        }
-        out.write_vector(masters);
-      }
-      std::vector<std::uint8_t> flags;
-      for (Copy c = 0; c < wl.num_copies(); ++c) {
-        if (wl.is_master[c]) {
-          flags.push_back(next_active_masters_[w].test(c) ? 1 : 0);
-        }
-      }
-      out.write_vector(flags);
-    }
+    runtime::write_frameset(out, config_.topo.machines,
+                            [&](MachineId m, ByteWriter& frame) {
+                              checkpoint_machine(m, frame, mode);
+                            });
   }
 
   /// Throws SerializeError (recoverable) on truncated, corrupt, or
   /// wrong-shape snapshots; callers discard the engine on failure.
   void restore(ByteReader& in) {
-    const runtime::CheckpointMode mode = runtime::read_engine_header(
-        in, runtime::EngineTag::kGas, graph_->num_vertices(), graph_->num_edges());
-    driver_.set_superstep(in.read<Superstep>());
-    for (WorkerId w = 0; w < layout_.workers.size(); ++w) {
-      const GasWorkerLayout& wl = layout_.workers[w];
-      std::size_t num_masters = 0;
-      for (Copy c = 0; c < wl.num_copies(); ++c) num_masters += wl.is_master[c] ? 1 : 0;
-      const auto vals = in.read_vector<Value>();
-      const std::size_t expect =
-          mode == runtime::CheckpointMode::kHeavyweight ? wl.num_copies() : num_masters;
-      if (vals.size() != expect) {
-        throw SerializeError("gas snapshot: value count mismatch");
-      }
-      if (mode == runtime::CheckpointMode::kHeavyweight) {
-        values_[w] = vals;
-      } else {
-        std::size_t i = 0;
-        for (Copy c = 0; c < wl.num_copies(); ++c) {
-          if (wl.is_master[c]) values_[w][c] = vals[i++];
-        }
-      }
-      const auto flags = in.read_vector<std::uint8_t>();
-      if (flags.size() != num_masters) {
-        throw SerializeError("gas snapshot: activity flag count mismatch");
-      }
-      next_active_masters_[w].clear_all();
-      std::size_t i = 0;
-      for (Copy c = 0; c < wl.num_copies(); ++c) {
-        if (!wl.is_master[c]) continue;
-        if (flags[i++] & 1) next_active_masters_[w].set(c);
-      }
-      active_copies_[w].clear_all();
-      activated_copies_[w].clear_all();
-    }
+    runtime::read_frameset(in, config_.topo.machines,
+                           [&](MachineId m, ByteReader& frame) {
+                             restore_machine(m, frame);
+                           });
     resync_mirrors();
+  }
+
+  /// Arms a localized-recovery replay window (see runtime/recovery.hpp and
+  /// core::Engine::arm_replay — same contract).
+  void arm_replay(Superstep resume_at, Superstep until, MachineId dead,
+                  std::uint64_t digest_seed) {
+    fabric_.begin_replay(resume_at, until, dead);
+    fabric_.seed_wire_digest(digest_seed);
+    vcheck_.note_replay_window(resume_at, until);
   }
 
   /// Rebuilds every mirror's value from its master (mirrors are derived
@@ -261,6 +232,77 @@ class Engine {
   }
 
  private:
+  // Machine m's workers are the contiguous range [m*W, (m+1)*W).
+  [[nodiscard]] std::pair<WorkerId, WorkerId> machine_workers(MachineId m) const noexcept {
+    const WorkerId per = config_.topo.workers_per_machine;
+    return {m * per, (m + 1) * per};
+  }
+
+  void checkpoint_machine(MachineId m, ByteWriter& out,
+                          runtime::CheckpointMode mode) const {
+    runtime::write_engine_header(out, runtime::EngineTag::kGas, mode,
+                                 graph_->num_vertices(), graph_->num_edges());
+    out.write(driver_.superstep());
+    const auto [begin, end] = machine_workers(m);
+    for (WorkerId w = begin; w < end; ++w) {
+      const GasWorkerLayout& wl = layout_.workers[w];
+      if (mode == runtime::CheckpointMode::kHeavyweight) {
+        out.write_vector(values_[w]);
+      } else {
+        std::vector<Value> masters;
+        for (Copy c = 0; c < wl.num_copies(); ++c) {
+          if (wl.is_master[c]) masters.push_back(values_[w][c]);
+        }
+        out.write_vector(masters);
+      }
+      std::vector<std::uint8_t> flags;
+      for (Copy c = 0; c < wl.num_copies(); ++c) {
+        if (wl.is_master[c]) {
+          flags.push_back(next_active_masters_[w].test(c) ? 1 : 0);
+        }
+      }
+      out.write_vector(flags);
+    }
+  }
+
+  void restore_machine(MachineId m, ByteReader& in) {
+    const runtime::CheckpointMode mode = runtime::read_engine_header(
+        in, runtime::EngineTag::kGas, graph_->num_vertices(), graph_->num_edges());
+    driver_.set_superstep(in.read<Superstep>());
+    const auto [begin, end] = machine_workers(m);
+    for (WorkerId w = begin; w < end; ++w) {
+      const GasWorkerLayout& wl = layout_.workers[w];
+      std::size_t num_masters = 0;
+      for (Copy c = 0; c < wl.num_copies(); ++c) num_masters += wl.is_master[c] ? 1 : 0;
+      const auto vals = in.read_vector<Value>();
+      const std::size_t expect =
+          mode == runtime::CheckpointMode::kHeavyweight ? wl.num_copies() : num_masters;
+      if (vals.size() != expect) {
+        throw SerializeError("gas snapshot: value count mismatch");
+      }
+      if (mode == runtime::CheckpointMode::kHeavyweight) {
+        values_[w] = vals;
+      } else {
+        std::size_t i = 0;
+        for (Copy c = 0; c < wl.num_copies(); ++c) {
+          if (wl.is_master[c]) values_[w][c] = vals[i++];
+        }
+      }
+      const auto flags = in.read_vector<std::uint8_t>();
+      if (flags.size() != num_masters) {
+        throw SerializeError("gas snapshot: activity flag count mismatch");
+      }
+      next_active_masters_[w].clear_all();
+      std::size_t i = 0;
+      for (Copy c = 0; c < wl.num_copies(); ++c) {
+        if (!wl.is_master[c]) continue;
+        if (flags[i++] & 1) next_active_masters_[w].set(c);
+      }
+      active_copies_[w].clear_all();
+      activated_copies_[w].clear_all();
+    }
+  }
+
   struct ReqRecord {
     Copy copy;
   };

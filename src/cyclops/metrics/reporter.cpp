@@ -50,16 +50,21 @@ std::string run_summary(const std::string& label, const RunStats& run) {
 }
 
 std::string recovery_summary(const RecoveryStats& rec) {
-  char buf[320];
+  char buf[448];
   std::snprintf(
       buf, sizeof(buf),
-      "recovery: %llu checkpoints (%llu bytes, %.3fs modeled write), "
+      "recovery: %llu checkpoints (%llu bytes, %.3fs modeled write, %u corrupt), "
       "%u faults -> %u rollbacks, %llu supersteps replayed, %.3fs modeled recovery; "
+      "log: %llu packages (%llu bytes), %llu verified, %llu mismatched; "
       "wire: %llu dropped, %llu corrupted, %llu retransmitted (+%.3fs)",
       static_cast<unsigned long long>(rec.checkpoints_taken),
       static_cast<unsigned long long>(rec.checkpoint_bytes_written),
-      rec.modeled_checkpoint_s, rec.faults_detected, rec.recoveries,
-      static_cast<unsigned long long>(rec.lost_supersteps), rec.modeled_recovery_s,
+      rec.modeled_checkpoint_s, rec.corrupt_checkpoints, rec.faults_detected,
+      rec.recoveries, static_cast<unsigned long long>(rec.lost_supersteps),
+      rec.modeled_recovery_s, static_cast<unsigned long long>(rec.log_packages),
+      static_cast<unsigned long long>(rec.log_bytes),
+      static_cast<unsigned long long>(rec.replay_verified_packages),
+      static_cast<unsigned long long>(rec.replay_log_mismatches),
       static_cast<unsigned long long>(rec.dropped_packages),
       static_cast<unsigned long long>(rec.corrupted_packages),
       static_cast<unsigned long long>(rec.retransmissions), rec.modeled_fault_overhead_s);

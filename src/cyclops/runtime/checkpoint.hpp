@@ -81,6 +81,98 @@ inline void write_engine_header(ByteWriter& out, EngineTag tag, CheckpointMode m
   return static_cast<CheckpointMode>(mode);
 }
 
+// --- Per-machine framesets. An engine snapshot is not one opaque blob but a
+// directory of per-machine frames, each individually CRC-stamped and
+// self-describing (engine header + superstep + that machine's state slice):
+//
+//   [magic u32][machine_count u32] then per machine: [len u64][crc u32][frame]
+//
+// Localized recovery reads only the failed machine's frame (probe_frameset
+// prices it without parsing engine state), and parallel re-partitioned
+// recovery ships individual frames to survivors. The whole frameset is still
+// sealed/opened as one snapshot at the store boundary. ---
+
+inline constexpr std::uint32_t kFramesetMagic = 0x43594d46u;  // "CYMF"
+
+/// Writes a frameset: `write_machine(m, frame_writer)` serializes machine
+/// m's frame. Every engine's checkpoint() funnels through this so the
+/// directory layout stays uniform across engines.
+template <typename Fn>
+void write_frameset(ByteWriter& out, MachineId machines, Fn&& write_machine) {
+  out.write(kFramesetMagic);
+  out.write(static_cast<std::uint32_t>(machines));
+  for (MachineId m = 0; m < machines; ++m) {
+    ByteWriter frame;
+    write_machine(m, frame);
+    const std::vector<std::uint8_t> bytes = frame.take();
+    out.write(static_cast<std::uint64_t>(bytes.size()));
+    out.write(crc32(bytes));
+    out.write_bytes(bytes);
+  }
+}
+
+/// Reads a frameset, handing each machine's integrity-checked frame to
+/// `read_machine(m, frame_reader)`. Throws SerializeError on a bad magic,
+/// machine-count mismatch, truncation, or per-frame CRC failure.
+template <typename Fn>
+void read_frameset(ByteReader& in, MachineId machines, Fn&& read_machine) {
+  if (in.read<std::uint32_t>() != kFramesetMagic) {
+    throw SerializeError("snapshot frameset: bad magic");
+  }
+  const auto count = in.read<std::uint32_t>();
+  if (count != machines) {
+    throw SerializeError("snapshot frameset: has " + std::to_string(count) +
+                         " machine frames, engine topology has " +
+                         std::to_string(machines));
+  }
+  for (MachineId m = 0; m < machines; ++m) {
+    const auto len = in.read<std::uint64_t>();
+    const auto crc = in.read<std::uint32_t>();
+    if (len > in.remaining()) {
+      throw SerializeError("snapshot frameset: machine " + std::to_string(m) +
+                           " frame truncated");
+    }
+    const std::vector<std::uint8_t> bytes = in.read_bytes(len);
+    if (crc32(bytes) != crc) {
+      throw SerializeError("snapshot frameset: machine " + std::to_string(m) +
+                           " frame corrupt (CRC mismatch)");
+    }
+    ByteReader frame(bytes);
+    read_machine(m, frame);
+  }
+}
+
+/// Frameset directory: per-machine frame payload sizes, read without parsing
+/// engine state. Recovery uses it to charge a localized restore for only the
+/// failed machine's frame.
+struct FramesetDirectory {
+  std::vector<std::uint64_t> frame_bytes;  ///< per-machine payload bytes
+  std::uint64_t total_bytes = 0;           ///< sum of frame payloads
+};
+
+[[nodiscard]] inline FramesetDirectory probe_frameset(
+    std::span<const std::uint8_t> payload) {
+  ByteReader in(payload);
+  if (in.read<std::uint32_t>() != kFramesetMagic) {
+    throw SerializeError("snapshot frameset: bad magic");
+  }
+  const auto count = in.read<std::uint32_t>();
+  FramesetDirectory dir;
+  dir.frame_bytes.reserve(count);
+  for (std::uint32_t m = 0; m < count; ++m) {
+    const auto len = in.read<std::uint64_t>();
+    (void)in.read<std::uint32_t>();  // per-frame CRC — not validated by a probe
+    if (len > in.remaining()) {
+      throw SerializeError("snapshot frameset: machine " + std::to_string(m) +
+                           " frame truncated");
+    }
+    (void)in.read_bytes(len);
+    dir.frame_bytes.push_back(len);
+    dir.total_bytes += len;
+  }
+  return dir;
+}
+
 /// Wraps a raw engine snapshot in an integrity frame:
 /// [magic u32][payload u64][crc32 u32][payload bytes].
 [[nodiscard]] inline std::vector<std::uint8_t> seal_snapshot(

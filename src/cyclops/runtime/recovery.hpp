@@ -1,38 +1,104 @@
 #pragma once
-// Automated rollback-and-replay on top of the SuperstepDriver, FTPregel
-// style. run_with_recovery() owns the whole fault lifecycle:
+// Automated crash recovery on top of the SuperstepDriver, in three modes.
+// run_with_recovery() owns the whole fault lifecycle:
 //
 //   1. build an engine (caller's factory — it wires the shared FaultInjector
-//      into the engine's fabric via Config::faults);
+//      and, for log-based modes, the shared MessageLog into the engine's
+//      fabric via its Config);
 //   2. attach a CheckpointManager so the driver checkpoints every N
-//      superstep boundaries;
+//      superstep boundaries (per-machine framesets, see checkpoint.hpp);
 //   3. run. If the fabric throws FaultError (machine crash at a barrier),
 //      the incarnation is dead: discard it, build a replacement, restore the
 //      latest integrity-checked snapshot (or replay from superstep 0 when
-//      none exists), and run again. The injector outlives incarnations, so a
-//      one-shot crash does not re-fire during replay.
+//      none exists or it is corrupt), and run again. The injector and log
+//      outlive incarnations, so a one-shot crash does not re-fire during
+//      replay and logged packages survive the crash.
+//
+// Recovery modes (FTPregel's conventional vs. log-based recovery):
+//
+//   * kRollback — global rollback-and-replay. Every machine rolls back to
+//     the checkpoint and redoes every lost superstep. Charged: detection +
+//     full snapshot read + the full cluster cost of the replayed window.
+//   * kLog — localized replay. Only the failed machine rolls back; the
+//     survivors stay at the crash superstep, idle-charging nothing beyond
+//     detection, and re-send the replayer its logged inbound packages
+//     instead of recomputing them (the replayer's outbound to survivors is
+//     suppressed — they already received it). Charged: detection + the
+//     failed machine's checkpoint frame read + the failed machine's compute
+//     share of the window + the logged re-feed wire time.
+//   * kLogParallel — re-partitioned parallel replay. The dead machine's
+//     partition is split across the K survivors, each replaying a slice
+//     concurrently, then merged back. Charged like kLog with the compute
+//     share and the log re-feed each divided by K (slices replay — and are
+//     re-fed — over K distinct links at once), plus the scatter/merge
+//     transfer of the dead machine's frame.
+//
+// The simulated cluster executes the replay window deterministically in all
+// three modes (one process holds every machine; determinism is what makes
+// re-execution produce the machine's lost state bit-for-bit). What differs
+// is verification and accounting: in log-based modes the fabric's replay
+// window byte-compares every re-sent remote package against the MessageLog
+// and the wire digest is seeded across incarnations, so a log-recovered run
+// must end with the exact digest of a fault-free run — the simulator's proof
+// that log replay is sound. The cost model then charges each mode what the
+// real cluster would pay, mirroring how the wire itself is modeled.
 //
 // A snapshot that fails its CRC frame or truncates mid-read throws
-// SerializeError; the coordinator treats that checkpoint as unusable and
-// falls back to a from-scratch replay instead of dying — restore is a
-// recoverable operation by contract.
+// SerializeError; the coordinator counts it (RecoveryStats::
+// corrupt_checkpoints), falls back to a from-scratch replay, and keeps
+// going — restore is a recoverable operation by contract.
 
+#include <algorithm>
 #include <memory>
+#include <string_view>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "cyclops/common/serialize.hpp"
 #include "cyclops/metrics/recovery_stats.hpp"
 #include "cyclops/metrics/superstep_stats.hpp"
 #include "cyclops/runtime/checkpoint.hpp"
 #include "cyclops/sim/fault.hpp"
+#include "cyclops/sim/message_log.hpp"
 
 namespace cyclops::runtime {
+
+enum class RecoveryMode : std::uint8_t { kRollback = 0, kLog = 1, kLogParallel = 2 };
+
+[[nodiscard]] inline const char* recovery_mode_name(RecoveryMode m) noexcept {
+  switch (m) {
+    case RecoveryMode::kRollback: return "rollback";
+    case RecoveryMode::kLog: return "log";
+    case RecoveryMode::kLogParallel: return "log-parallel";
+  }
+  return "?";
+}
+
+/// CLI-facing parse; returns false on an unknown name.
+[[nodiscard]] inline bool parse_recovery_mode(std::string_view name,
+                                              RecoveryMode& out) noexcept {
+  if (name == "rollback") out = RecoveryMode::kRollback;
+  else if (name == "log") out = RecoveryMode::kLog;
+  else if (name == "log-parallel") out = RecoveryMode::kLogParallel;
+  else return false;
+  return true;
+}
 
 struct RecoveryOptions {
   Superstep checkpoint_every = 0;  ///< 0 = no periodic checkpoints
   CheckpointMode mode = CheckpointMode::kLightweight;
+  RecoveryMode recovery = RecoveryMode::kRollback;
   std::size_t max_recoveries = 8;  ///< give up (rethrow) after this many crashes
+
+  /// The shared message log for kLog / kLogParallel. Must be the same object
+  /// the caller's engine factory installs into the fabric (via Config);
+  /// nullptr degrades log-based modes to rollback accounting.
+  sim::MessageLog* log = nullptr;
+
+  /// kLogParallel: number of survivors sharing the replay. 0 = all of them
+  /// (machines - 1).
+  std::size_t recovery_parallelism = 0;
 };
 
 template <typename Engine>
@@ -57,12 +123,28 @@ auto run_with_recovery(MakeEngine&& make_engine, const RecoveryOptions& opts,
   CheckpointManager manager(opts.checkpoint_every, opts.mode,
                             store != nullptr ? store : &default_store);
 
+  const bool localized =
+      opts.recovery != RecoveryMode::kRollback && opts.log != nullptr;
+
   RecoveryOutcome<Engine> out;
   auto fresh = [&] {
     EnginePtr engine = make_engine();
     engine->set_checkpoint_manager(&manager);
     return engine;
   };
+
+  // One record per recovery cycle; the replay surcharge is priced after the
+  // final segment completes, from its per-superstep stats.
+  struct Window {
+    Superstep resume_at = 0;
+    Superstep until = 0;  ///< crash superstep
+    MachineId dead = sim::kNoMachine;
+  };
+  std::vector<Window> windows;
+  // Supersteps already folded into the wire digest by crashed incarnations:
+  // the replay/digest-suppression window must extend to the *furthest* crash
+  // seen, or a double fault inside a replay window would double-fold.
+  Superstep digest_covered_until = 0;
 
   EnginePtr engine = fresh();
   for (std::size_t attempt = 0;; ++attempt) {
@@ -74,26 +156,66 @@ auto run_with_recovery(MakeEngine&& make_engine, const RecoveryOptions& opts,
       if (attempt + 1 >= opts.max_recoveries) throw;
 
       // The failure-detection clock: peers discover the dead machine when
-      // its barrier contribution times out.
+      // its barrier contribution times out (--detection-timeout-us).
       double recover_us = faults != nullptr ? faults->plan().detection_timeout_us : 0.0;
+
+      // The crashed fabric's digest covers every exchange before the crash —
+      // the continuity seed for a log-based replacement.
+      const std::uint64_t crashed_digest = engine->fabric().wire_digest();
+      digest_covered_until = std::max(digest_covered_until, fault.superstep());
 
       // Replacement machine joins; roll back to the latest usable snapshot.
       engine = fresh();
       Superstep restored_at = 0;
+      std::size_t snapshot_bytes = 0;
+      std::uint64_t dead_frame_bytes = 0;
       try {
         if (auto snapshot = manager.load_latest()) {
           ByteReader reader(snapshot->second);
           engine->restore(reader);
           restored_at = snapshot->first;
-          recover_us += manager.cost().read_us(snapshot->second.size());
+          snapshot_bytes = snapshot->second.size();
+          const FramesetDirectory dir = probe_frameset(snapshot->second);
+          if (fault.machine() < dir.frame_bytes.size()) {
+            dead_frame_bytes = dir.frame_bytes[fault.machine()];
+          }
         }
       } catch (const SerializeError&) {
-        // Unusable (truncated/corrupt) checkpoint: replay from superstep 0
-        // on a clean engine — restore() may have partially applied.
+        // Unusable (truncated/corrupt) checkpoint: count it and replay from
+        // superstep 0 on a clean engine — restore() may have partially
+        // applied. Silent fallback was a bug: operators read "0 lost
+        // supersteps since the checkpoint" while the run actually redid
+        // everything.
+        ++out.recovery.corrupt_checkpoints;
         engine = fresh();
         restored_at = 0;
+        snapshot_bytes = 0;
+        dead_frame_bytes = 0;
       }
 
+      if (snapshot_bytes > 0) {
+        // Rollback re-reads the whole frameset on every machine; localized
+        // recovery ships only the dead machine's frame to its replacement.
+        recover_us += manager.cost().read_us(
+            localized ? static_cast<std::size_t>(dead_frame_bytes) : snapshot_bytes);
+      }
+      if (localized && opts.recovery == RecoveryMode::kLogParallel) {
+        // Re-partitioned replay: scatter the dead machine's frame slices to
+        // the survivors, merge the replayed state back afterwards.
+        recover_us += manager.cost().read_us(dead_frame_bytes) +
+                      manager.cost().write_us(dead_frame_bytes);
+      }
+
+      if (localized) {
+        // Arm the replay window on the new incarnation: verified log replay,
+        // digest continuity, and no re-appending until the window closes.
+        engine->arm_replay(restored_at, digest_covered_until, fault.machine(),
+                           crashed_digest);
+        // Entries older than the restore point can never be replayed again.
+        opts.log->truncate_before(restored_at);
+      }
+
+      windows.push_back(Window{restored_at, fault.superstep(), fault.machine()});
       const Superstep lost =
           fault.superstep() > restored_at ? fault.superstep() - restored_at : 0;
       out.recovery.lost_supersteps += lost;
@@ -102,10 +224,75 @@ auto run_with_recovery(MakeEngine&& make_engine, const RecoveryOptions& opts,
     }
   }
 
+  // Price the replay windows from the final segment's per-superstep stats
+  // (deterministic replay makes them representative of the lost work; a
+  // superstep replayed by several incarnations is charged once, at the
+  // final segment's cost). Rollback charges the full cluster; log-based
+  // modes charge the failed machine's share plus the logged re-feed wire.
+  if (!windows.empty()) {
+    const sim::Topology& topo = engine->fabric().topology();
+    const MachineId machines = std::max<MachineId>(1, topo.machines);
+    const std::size_t survivors = machines > 1 ? machines - 1 : 1;
+    const std::size_t k =
+        opts.recovery_parallelism > 0
+            ? std::min(opts.recovery_parallelism, survivors)
+            : survivors;
+    double surcharge_us = 0;
+    for (const metrics::SuperstepStats& s : out.run.supersteps) {
+      bool in_window = false;
+      for (const Window& w : windows) {
+        if (s.superstep >= w.resume_at && s.superstep < w.until) {
+          in_window = true;
+          break;
+        }
+      }
+      if (!in_window) continue;
+      const double full_s =
+          s.phases.total_s() + s.modeled_comm_s + s.modeled_barrier_s;
+      out.recovery.replay_window_s += full_s;
+      if (!localized) {
+        surcharge_us += full_s * 1e6;
+      } else {
+        // The replayer redoes one machine's partition: its share of the
+        // cluster's measured work (partitions are balanced by construction).
+        // Survivors idle — no wire, no barrier — except for re-feeding the
+        // log, priced below. kLogParallel splits the share across K
+        // survivors replaying slices concurrently.
+        double share_s =
+            (s.phases.prs_s + s.phases.cmp_s + s.phases.snd_s) / machines;
+        if (opts.recovery == RecoveryMode::kLogParallel) {
+          share_s /= static_cast<double>(k);
+        }
+        surcharge_us += share_s * 1e6;
+      }
+    }
+    if (localized) {
+      for (const Window& w : windows) {
+        double refeed_us = opts.log->refeed_wire_us(topo, engine->fabric().cost_model(),
+                                                    w.dead, w.resume_at, w.until);
+        if (opts.recovery == RecoveryMode::kLogParallel) {
+          // Each slice replayer is re-fed its own portion of the dead
+          // machine's inbound log concurrently, over K distinct links.
+          refeed_us /= static_cast<double>(k);
+        }
+        surcharge_us += refeed_us;
+      }
+    }
+    out.recovery.modeled_recovery_s += surcharge_us * 1e-6;
+  }
+
   out.recovery.checkpoints_taken = manager.checkpoints_taken();
   out.recovery.checkpoint_bytes_written = manager.bytes_written();
   out.recovery.last_checkpoint_bytes = manager.last_checkpoint_bytes();
   out.recovery.modeled_checkpoint_s = manager.modeled_checkpoint_s();
+  if (opts.log != nullptr) {
+    const sim::MessageLogStats& ls = opts.log->stats();
+    out.recovery.log_bytes = ls.logged_bytes;
+    out.recovery.log_packages = ls.logged_packages;
+    out.recovery.replay_verified_packages = ls.verified_packages;
+    out.recovery.replay_log_mismatches =
+        ls.mismatched_packages + ls.missing_packages;
+  }
   if (faults != nullptr) {
     const sim::FaultStats& fs = faults->stats();
     out.recovery.dropped_packages = fs.dropped_packages;

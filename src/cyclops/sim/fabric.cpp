@@ -28,11 +28,20 @@ ExchangeStats Fabric::exchange(std::size_t barrier_participants) {
   // from here; runtime::run_with_recovery restores a replacement.
   if (faults_ != nullptr) {
     faults_->begin_exchange();
-    if (faults_->crash_now()) {
-      throw FaultError(FaultKind::kMachineCrash, faults_->plan().crash_machine,
-                       faults_->superstep());
+    if (const MachineId dead = faults_->crash_now(); dead != kNoMachine) {
+      throw FaultError(FaultKind::kMachineCrash, dead, faults_->superstep());
     }
   }
+
+  // Message-log / replay position. Both key on the injector's deterministic
+  // (superstep, exchange-within-step) clock; inside a localized-recovery
+  // replay window the fabric verifies re-sent remote traffic against the log
+  // instead of appending, and leaves the (seeded) wire digest untouched.
+  const Superstep log_superstep = faults_ != nullptr ? faults_->superstep() : 0;
+  const std::uint64_t log_exchange = faults_ != nullptr ? faults_->exchange_in_step() : 0;
+  const bool replaying =
+      replay_.active && faults_ != nullptr && log_superstep < replay_.until;
+  const bool logging = log_ != nullptr && faults_ != nullptr && !replaying;
 
   for (auto& inbox : inboxes_) inbox.clear();
 
@@ -102,14 +111,32 @@ ExchangeStats Fabric::exchange(std::size_t barrier_participants) {
           }
         }
 
+        // Message log: every remote package is appended once, at first
+        // delivery; a replayed exchange byte-compares the re-sent buffer
+        // against the logged copy instead (the bit-for-bit fidelity proof of
+        // log-based recovery — mismatches surface in MessageLogStats).
+        if (!local) {
+          if (logging) {
+            log_->append(log_superstep, log_exchange, from, lane, to, msgs, buf.bytes,
+                         crc);
+          } else if (replaying && log_ != nullptr) {
+            log_->verify_replayed(log_superstep, log_exchange, from, lane, to,
+                                  buf.bytes);
+          }
+        }
+
         // Fold the package into the run's wire digest before delivery. The
         // payload is already summarized by its CRC; folding (from, to, msgs,
         // crc) in delivery order makes the digest sensitive to both content
-        // and ordering of everything that crossed the wire.
-        for (const std::uint64_t word :
-             {std::uint64_t{from}, std::uint64_t{to}, msgs, std::uint64_t{crc}}) {
-          wire_digest_ ^= word;
-          wire_digest_ *= 0x100000001b3ULL;  // FNV-1a prime
+        // and ordering of everything that crossed the wire. Replayed
+        // packages are not re-folded: the crashed incarnation already folded
+        // them into the digest this fabric was seeded with.
+        if (!replaying) {
+          for (const std::uint64_t word :
+               {std::uint64_t{from}, std::uint64_t{to}, msgs, std::uint64_t{crc}}) {
+            wire_digest_ ^= word;
+            wire_digest_ *= 0x100000001b3ULL;  // FNV-1a prime
+          }
         }
 
         inboxes_[to].push_back(Package{from, msgs, std::move(buf.bytes), crc});

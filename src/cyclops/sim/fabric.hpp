@@ -20,6 +20,7 @@
 #include "cyclops/sim/cost_model.hpp"
 #include "cyclops/sim/counters.hpp"
 #include "cyclops/sim/fault.hpp"
+#include "cyclops/sim/message_log.hpp"
 
 namespace cyclops::sim {
 
@@ -140,6 +141,41 @@ class Fabric {
   void install_faults(FaultInjector* injector) noexcept { faults_ = injector; }
   [[nodiscard]] FaultInjector* faults() const noexcept { return faults_; }
 
+  /// Installs (or clears) the per-machine message log that exchange()
+  /// appends every remote package to. Not owned: like the fault injector,
+  /// one log outlives every engine incarnation of a recovering run. Logging
+  /// keys on the injector's (superstep, exchange) clock, so a log without an
+  /// installed injector records nothing.
+  void install_log(MessageLog* log) noexcept { log_ = log; }
+  [[nodiscard]] MessageLog* log() const noexcept { return log_; }
+
+  /// Localized-recovery replay window. While the injector's superstep is in
+  /// [resume_at, until), exchange() verifies every remote package against
+  /// the installed MessageLog byte-for-byte instead of re-appending it, and
+  /// suppresses wire-digest folding: those packages were already folded by
+  /// the crashed incarnation whose digest seeds this fabric (the logical
+  /// cluster sent them exactly once). `dead` is the machine being replayed —
+  /// recovery uses it for cost attribution; verification covers all remote
+  /// traffic, which is the stronger fidelity check.
+  struct ReplayWindow {
+    bool active = false;
+    Superstep resume_at = 0;
+    Superstep until = 0;
+    MachineId dead = kNoMachine;
+  };
+
+  void begin_replay(Superstep resume_at, Superstep until, MachineId dead) noexcept {
+    replay_ = ReplayWindow{true, resume_at, until, dead};
+  }
+  [[nodiscard]] const ReplayWindow& replay() const noexcept { return replay_; }
+
+  /// Seeds the digest with a predecessor incarnation's value so the fold
+  /// continues across a crash: the crashed fabric folded supersteps
+  /// [0, crash) exactly as a fault-free run would, the replay window skips
+  /// re-folding them, and folding resumes at `until` — making the final
+  /// digest of a log-recovered run bit-identical to the fault-free one.
+  void seed_wire_digest(std::uint64_t digest) noexcept { wire_digest_ = digest; }
+
   /// Packages delivered to `to` by the latest exchange.
   [[nodiscard]] std::span<const Package> incoming(WorkerId to) const noexcept {
     CYCLOPS_DCHECK(to < topo_.total_workers());
@@ -168,6 +204,8 @@ class Fabric {
   std::vector<std::vector<Package>> inboxes_;  // [worker]
   NetCounters counters_;
   FaultInjector* faults_ = nullptr;
+  MessageLog* log_ = nullptr;
+  ReplayWindow replay_;
   double modeled_comm_s_ = 0;
   double modeled_barrier_s_ = 0;
   std::uint64_t wire_digest_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis

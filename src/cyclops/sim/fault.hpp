@@ -40,6 +40,13 @@ struct FaultPlan {
   Superstep crash_at = kNeverCrash;
   MachineId crash_machine = 0;
 
+  /// Optional second one-shot crash, for double-fault scenarios (e.g. a
+  /// machine dying while a previous crash's replay is still in flight). Only
+  /// armed when crash2_at != kNeverCrash; fires at most once, after the
+  /// first crash has fired or independently if scheduled earlier.
+  Superstep crash2_at = kNeverCrash;
+  MachineId crash2_machine = 0;
+
   /// Probability that a (src, dst) package's first transmission is lost and
   /// must be retransmitted after a timeout.
   double drop_rate = 0.0;
@@ -62,7 +69,8 @@ struct FaultPlan {
   double retransmit_timeout_us = 200.0;
 
   [[nodiscard]] bool any_armed() const noexcept {
-    return crash_at != kNeverCrash || drop_rate > 0 || corrupt_rate > 0 ||
+    return crash_at != kNeverCrash || crash2_at != kNeverCrash || drop_rate > 0 ||
+           corrupt_rate > 0 ||
            (straggler_machine != kNoMachine && straggler_delay_us > 0);
   }
 };
@@ -127,12 +135,22 @@ class FaultInjector {
   /// Called by the Fabric once per exchange, before any delivery.
   void begin_exchange() noexcept { ++exchange_in_step_; }
 
-  /// True exactly once: at the first exchange of the crash superstep.
-  [[nodiscard]] bool crash_now() noexcept {
-    if (crash_fired_ || superstep_ != plan_.crash_at) return false;
-    crash_fired_ = true;
-    ++stats_.crashes;
-    return true;
+  /// The machine that dies at this exchange, or kNoMachine. Each scheduled
+  /// crash fires exactly once — at the first exchange of its superstep — and
+  /// stays fired across engine incarnations (replay does not re-crash).
+  [[nodiscard]] MachineId crash_now() noexcept {
+    if (!crash_fired_ && superstep_ == plan_.crash_at) {
+      crash_fired_ = true;
+      ++stats_.crashes;
+      return plan_.crash_machine;
+    }
+    if (!crash2_fired_ && plan_.crash2_at != kNeverCrash &&
+        superstep_ == plan_.crash2_at) {
+      crash2_fired_ = true;
+      ++stats_.crashes;
+      return plan_.crash2_machine;
+    }
+    return kNoMachine;
   }
 
   [[nodiscard]] bool roll_drop(WorkerId from, WorkerId to) noexcept {
@@ -175,8 +193,14 @@ class FaultInjector {
   [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
   [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
   [[nodiscard]] Superstep superstep() const noexcept { return superstep_; }
+  /// 1-based exchange index within the current superstep (the message-log
+  /// key component; bumped by begin_exchange before any delivery).
+  [[nodiscard]] std::uint64_t exchange_in_step() const noexcept {
+    return exchange_in_step_;
+  }
   [[nodiscard]] bool crash_pending() const noexcept {
-    return plan_.crash_at != kNeverCrash && !crash_fired_;
+    return (plan_.crash_at != kNeverCrash && !crash_fired_) ||
+           (plan_.crash2_at != kNeverCrash && !crash2_fired_);
   }
 
  private:
@@ -200,6 +224,7 @@ class FaultInjector {
   Superstep superstep_ = 0;
   std::uint64_t exchange_in_step_ = 0;
   bool crash_fired_ = false;
+  bool crash2_fired_ = false;
   FaultStats stats_;
 };
 

@@ -146,6 +146,8 @@ class EngineChecker {
     workers_.clear();
     superstep_ = 0;
     phase_.store(Phase::kIdle, std::memory_order_relaxed);
+    replay_resume_ = 0;
+    replay_until_ = 0;
     racer_.reset();
   }
 
@@ -247,10 +249,15 @@ class EngineChecker {
   }
 
   /// Wire emission. Legal during send and exchange phases only; compute must
-  /// not talk to the fabric (that is what staging is for).
+  /// not talk to the fabric (that is what staging is for). Re-emissions
+  /// inside a declared replay window obey the same discipline and are
+  /// additionally counted (see note_replay_window).
   void on_send(WorkerId from, WorkerId to, SourceLoc loc) {
     const Phase p = phase();
     ++checked_;
+    if (replay_until_ > 0 && superstep_ >= replay_resume_ && superstep_ < replay_until_) {
+      replay_sends_.fetch_add(1, std::memory_order_relaxed);
+    }
     if (p == Phase::kCompute || p == Phase::kParse || p == Phase::kSync) {
       Violation v;
       v.kind = ViolationKind::kSendOutsidePhase;
@@ -268,6 +275,21 @@ class EngineChecker {
     on_send(from, to, loc);
     racer_.on_access(race::CellClass::kLane, from, lane, kInvalidVertex,
                      /*is_write=*/true, loc, phase(), superstep_, from);
+  }
+
+  /// Declares a localized-recovery replay window [resume_at, until): sends in
+  /// those supersteps are re-emissions of traffic already delivered before a
+  /// crash (survivors are logically past this superstep), so they are legal
+  /// under the same phase discipline as the original emission and are tallied
+  /// separately rather than flagged. Cleared by reset().
+  void note_replay_window(Superstep resume_at, Superstep until) noexcept {
+    replay_resume_ = resume_at;
+    replay_until_ = until;
+  }
+
+  /// Sends observed inside the declared replay window.
+  [[nodiscard]] std::uint64_t replay_sends() const noexcept {
+    return replay_sends_.load(std::memory_order_relaxed);
   }
 
   /// BSP mailbox access: per-vertex message lists written by the parse phase
@@ -374,9 +396,12 @@ class EngineChecker {
 
   std::vector<WorkerState> workers_;
   Superstep superstep_ = 0;
+  Superstep replay_resume_ = 0;
+  Superstep replay_until_ = 0;  ///< 0 = no replay window declared
   std::atomic<Phase> phase_{Phase::kIdle};
   std::atomic<std::uint64_t> checked_{0};
   std::atomic<std::uint64_t> violations_{0};
+  std::atomic<std::uint64_t> replay_sends_{0};
   Mutex mutex_;
   Handler handler_;
   race::Detector racer_;
@@ -494,6 +519,8 @@ class EngineChecker {
   void on_mailbox_write(WorkerId, WorkerId, std::uint64_t, SourceLoc) noexcept {}
   void on_mailbox_read(WorkerId, WorkerId, std::uint64_t, SourceLoc) noexcept {}
   void on_queue_access(WorkerId, WorkerId, bool, SourceLoc) noexcept {}
+  void note_replay_window(Superstep, Superstep) noexcept {}
+  [[nodiscard]] std::uint64_t replay_sends() const noexcept { return 0; }
   [[nodiscard]] race::Detector& racer() noexcept { return racer_; }
   void set_handler(Handler) noexcept {}
   [[nodiscard]] std::uint64_t accesses_checked() const noexcept { return 0; }

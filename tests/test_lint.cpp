@@ -95,6 +95,23 @@ TEST(Lint, CsrOutsideGraphFixture) {
   EXPECT_EQ(lint_fixture("bad_csr_outside_graph.cpp"), expected);
 }
 
+TEST(Lint, OutboxEscapeFixture) {
+  // Lines 12/13: raw OutBox grabs via '.' and '->'. Line 20 is suppressed;
+  // a declaration of a method named outbox and a string literal stay silent.
+  const Golden expected = {{12, "outbox-outside-runtime"},
+                           {13, "outbox-outside-runtime"}};
+  EXPECT_EQ(lint_fixture("bad_outbox_escape.cpp"), expected);
+}
+
+TEST(Lint, RuntimeAndSimPathsExemptOutbox) {
+  const std::string body = "auto& box = fabric.outbox(from, lane);\n";
+  EXPECT_TRUE(lint_file("src/cyclops/runtime/sync_channel.hpp", body).empty());
+  EXPECT_TRUE(lint_file("src/cyclops/sim/fabric.hpp", body).empty());
+  const auto findings = lint_file("src/cyclops/bsp/engine.hpp", body);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "outbox-outside-runtime");
+}
+
 TEST(Lint, GraphPathExemptsCsr) {
   const std::string body = "graph::Csr g = graph::Csr::build(e);\n";
   EXPECT_TRUE(lint_file("src/cyclops/graph/store.cpp", body).empty());
@@ -114,6 +131,10 @@ TEST(Lint, ClassifyPath) {
   EXPECT_FALSE(classify_path("src/cyclops/runtime/superstep_driver.hpp").in_common);
   EXPECT_TRUE(classify_path("src/cyclops/graph/compact_csr.cpp").in_graph);
   EXPECT_FALSE(classify_path("src/cyclops/gas/gas_layout.cpp").in_graph);
+  EXPECT_TRUE(classify_path("src/cyclops/runtime/sync_channel.hpp").in_runtime);
+  EXPECT_TRUE(classify_path("src/cyclops/sim/fabric.cpp").in_sim);
+  EXPECT_FALSE(classify_path("src/cyclops/bsp/engine.hpp").in_runtime);
+  EXPECT_FALSE(classify_path("src/cyclops/bsp/engine.hpp").in_sim);
 }
 
 TEST(Lint, SuppressionOnPreviousLine) {

@@ -116,18 +116,24 @@ TEST(Reporter, RecoverySummaryGolden) {
   rec.checkpoints_taken = 3;
   rec.checkpoint_bytes_written = 4096;
   rec.modeled_checkpoint_s = 0.25;
+  rec.corrupt_checkpoints = 1;
   rec.faults_detected = 1;
   rec.recoveries = 1;
   rec.lost_supersteps = 4;
   rec.modeled_recovery_s = 0.125;
+  rec.log_packages = 12;
+  rec.log_bytes = 2048;
+  rec.replay_verified_packages = 6;
+  rec.replay_log_mismatches = 0;
   rec.dropped_packages = 7;
   rec.corrupted_packages = 2;
   rec.retransmissions = 9;
   rec.modeled_fault_overhead_s = 0.5;
   EXPECT_EQ(recovery_summary(rec),
-            "recovery: 3 checkpoints (4096 bytes, 0.250s modeled write), "
+            "recovery: 3 checkpoints (4096 bytes, 0.250s modeled write, 1 corrupt), "
             "1 faults -> 1 rollbacks, 4 supersteps replayed, 0.125s modeled "
-            "recovery; wire: 7 dropped, 2 corrupted, 9 retransmitted (+0.500s)");
+            "recovery; log: 12 packages (2048 bytes), 6 verified, 0 mismatched; "
+            "wire: 7 dropped, 2 corrupted, 9 retransmitted (+0.500s)");
 }
 
 TEST(Reporter, JobSummaryGolden) {

@@ -86,6 +86,7 @@ struct Options {
   double drop_rate = 0.0;
   double corrupt_rate = 0.0;
   std::uint64_t fault_seed = 0;
+  args::RecoveryArgs rec;               // --recovery / --log-store / --detection-timeout-us
 
   [[nodiscard]] sim::FaultPlan fault_plan() const {
     sim::FaultPlan plan;
@@ -94,10 +95,20 @@ struct Options {
     plan.crash_machine = fail_machine;
     plan.drop_rate = drop_rate;
     plan.corrupt_rate = corrupt_rate;
+    plan.detection_timeout_us = rec.detection_timeout_us;
     return plan;
   }
   [[nodiscard]] bool fault_tolerant() const {
     return checkpoint_every > 0 || fault_plan().any_armed();
+  }
+  [[nodiscard]] runtime::RecoveryMode recovery_mode() const {
+    runtime::RecoveryMode m = runtime::RecoveryMode::kRollback;
+    (void)runtime::parse_recovery_mode(rec.recovery, m);  // validated at parse
+    return m;
+  }
+  [[nodiscard]] sim::LogStoreKind log_store_kind() const {
+    return rec.log_store == "spill" ? sim::LogStoreKind::kSpill
+                                    : sim::LogStoreKind::kMemory;
   }
   [[nodiscard]] runtime::CheckpointMode mode_or(runtime::CheckpointMode dflt) const {
     if (checkpoint_mode == "light") return runtime::CheckpointMode::kLightweight;
@@ -156,7 +167,13 @@ struct Options {
       "  --fail-machine M            which machine dies (default 0)\n"
       "  --drop-rate P               package drop probability (retransmitted)\n"
       "  --corrupt-rate P            package bit-flip probability (CRC-caught)\n"
-      "  --fault-seed S              deterministic fault schedule seed\n");
+      "  --fault-seed S              deterministic fault schedule seed\n"
+      "  --recovery rollback|log|log-parallel  recovery mode (default rollback):\n"
+      "                              rollback = global rollback-and-replay,\n"
+      "                              log = message-logged localized replay,\n"
+      "                              log-parallel = re-partitioned parallel replay\n"
+      "  --log-store memory|spill    message-log backing (default memory)\n"
+      "  --detection-timeout-us T    failure-detection timeout (default 500000)\n");
   std::exit(code);  // NOLINT(concurrency-mt-unsafe) — single-threaded startup
 }
 
@@ -214,6 +231,7 @@ Options parse(int argc, char** argv) {
   o.drop_rate = p.get("--drop-rate", o.drop_rate);
   o.corrupt_rate = p.get("--corrupt-rate", o.corrupt_rate);
   o.fault_seed = p.get("--fault-seed", o.fault_seed);
+  o.rec = args::recovery_args(p);
   p.finish();
   if (o.workers == 0 || o.machines == 0 || o.workers % o.machines != 0) {
     std::fprintf(stderr, "--workers must be a positive multiple of --machines\n");
@@ -349,20 +367,32 @@ int race_sweep(const Options& o, const std::string& label, RunOne&& run_one) {
 }
 
 /// Runs an engine factory through the automated checkpoint/recovery runtime
-/// and prints the recovery summary next to the usual run summary.
+/// and prints the recovery summary next to the usual run summary. `log` is
+/// the shared message log for log-based modes (the same object the factory's
+/// Config installs into the fabric); nullptr for rollback.
 template <typename MakeEngine>
 int run_fault_tolerant(const Options& o, const std::string& label,
                        runtime::CheckpointMode natural_mode,
-                       sim::FaultInjector* faults, MakeEngine&& make_engine) {
+                       sim::FaultInjector* faults, sim::MessageLog* log,
+                       MakeEngine&& make_engine) {
   runtime::RecoveryOptions opts;
   opts.checkpoint_every = o.checkpoint_every;
   opts.mode = o.mode_or(natural_mode);
+  opts.recovery = o.recovery_mode();
+  opts.log = log;
   auto outcome =
       runtime::run_with_recovery(std::forward<MakeEngine>(make_engine), opts, faults);
   std::printf("%s\n", metrics::run_summary(label, outcome.run).c_str());
   std::printf("%s\n", metrics::recovery_summary(outcome.recovery).c_str());
   emit_csv(o, outcome.run);
   return 0;
+}
+
+/// Shared message log for log-based recovery modes; null for rollback (no
+/// logging overhead when nothing will replay from it).
+std::shared_ptr<sim::MessageLog> make_message_log(const Options& o) {
+  if (o.recovery_mode() == runtime::RecoveryMode::kRollback) return nullptr;
+  return std::make_shared<sim::MessageLog>(o.log_store_kind(), o.store.spill_dir);
 }
 
 template <typename Prog>
@@ -389,8 +419,10 @@ int run_bsp(const Options& o, const graph::GraphStore& g, Prog prog) {
   }
   if (o.fault_tolerant()) {
     cfg.faults = std::make_shared<sim::FaultInjector>(o.fault_plan());
+    cfg.message_log = make_message_log(o);
     return run_fault_tolerant(
         o, "hama/" + o.algo, runtime::CheckpointMode::kHeavyweight, cfg.faults.get(),
+        cfg.message_log.get(),
         [&] { return std::make_unique<bsp::Engine<Prog>>(g, part, prog, cfg); });
   }
   bsp::Engine<Prog> engine(g, part, prog, cfg);
@@ -430,8 +462,10 @@ int run_cyclops(const Options& o, const graph::GraphStore& g, Prog prog, bool mt
   }
   if (o.fault_tolerant()) {
     cfg.faults = std::make_shared<sim::FaultInjector>(o.fault_plan());
+    cfg.message_log = make_message_log(o);
     return run_fault_tolerant(
         o, label, runtime::CheckpointMode::kLightweight, cfg.faults.get(),
+        cfg.message_log.get(),
         [&] { return std::make_unique<core::Engine<Prog>>(g, part, prog, cfg); });
   }
   core::Engine<Prog> engine(g, part, prog, cfg);
@@ -469,9 +503,10 @@ int run_gas(const Options& o, const graph::GraphStore& g, Prog prog) {
   }
   if (o.fault_tolerant()) {
     cfg.faults = std::make_shared<sim::FaultInjector>(o.fault_plan());
+    cfg.message_log = make_message_log(o);
     return run_fault_tolerant(
         o, "powergraph/" + o.algo, runtime::CheckpointMode::kLightweight,
-        cfg.faults.get(),
+        cfg.faults.get(), cfg.message_log.get(),
         [&] { return std::make_unique<gas::Engine<Prog>>(g, cut, prog, cfg); });
   }
   gas::Engine<Prog> engine(g, cut, prog, cfg);

@@ -62,6 +62,9 @@ void print_rules() {
       "unordered-wire  no unordered_{map,set} iteration feeding the wire\n"
       "raw-thread      no std::thread/std::mutex/std::condition_variable outside common/\n"
       "wire-narrowing  no 8/16-bit narrowing casts on wire calls\n"
+      "lock-across-wire  no wire calls while a lock may still be held\n"
+      "csr-outside-graph  no concrete graph::Csr outside src/cyclops/graph/\n"
+      "outbox-outside-runtime  no direct fabric outbox() access outside runtime/ and sim/\n"
       "\nsuppress with: // cyclops-lint: allow(<rule>)\n");
 }
 

@@ -25,6 +25,10 @@
 //                   above the graph layer must go through the GraphStore
 //                   interface (graph/store.hpp) so every backend — in-memory,
 //                   compact, streaming — stays plug-compatible.
+//   outbox-outside-runtime  calling fabric.outbox() outside runtime/ or sim/
+//                   bypasses the SyncChannel send path, so the package never
+//                   reaches the message log and log-based recovery cannot
+//                   replay it — engines must send through SyncChannel.
 //
 // Suppress a finding with `// cyclops-lint: allow(<rule>)` on the same line
 // or the line above. The same engine is unit-tested against fixture files in
@@ -261,8 +265,10 @@ inline constexpr std::string_view kNarrowCasts[] = {
 }  // namespace detail
 
 struct FileClass {
-  bool in_common = false;  ///< under common/: raw primitives are allowed here
-  bool in_graph = false;   ///< under graph/: the one home of concrete stores
+  bool in_common = false;   ///< under common/: raw primitives are allowed here
+  bool in_graph = false;    ///< under graph/: the one home of concrete stores
+  bool in_runtime = false;  ///< under runtime/: owns the logged send path
+  bool in_sim = false;      ///< under sim/: owns the fabric itself
 };
 
 [[nodiscard]] inline FileClass classify_path(std::string_view path) {
@@ -271,6 +277,10 @@ struct FileClass {
                  path.find("common\\") != std::string_view::npos;
   fc.in_graph = path.find("graph/") != std::string_view::npos ||
                 path.find("graph\\") != std::string_view::npos;
+  fc.in_runtime = path.find("runtime/") != std::string_view::npos ||
+                  path.find("runtime\\") != std::string_view::npos;
+  fc.in_sim = path.find("sim/") != std::string_view::npos ||
+              path.find("sim\\") != std::string_view::npos;
   return fc;
 }
 
@@ -376,6 +386,19 @@ inline std::vector<Finding> lint_file(const std::string& path, const std::string
                                "Mutex / CondVar aliases from common/sync.hpp");
         break;
       }
+    }
+
+    // outbox-outside-runtime: a member call `.outbox(` / `->outbox(` grabs a
+    // raw fabric OutBox. Outside runtime/ (SyncChannel, the one logged send
+    // path) and sim/ (the fabric's own home) that send would be invisible to
+    // the message log, so log-based recovery could not replay it.
+    if (!fc.in_runtime && !fc.in_sim &&
+        (c.find(".outbox(") != std::string::npos ||
+         c.find("->outbox(") != std::string::npos)) {
+      add(i, "outbox-outside-runtime",
+          "direct fabric outbox() access outside src/cyclops/runtime/ and "
+          "src/cyclops/sim/; sends must flow through SyncChannel so the "
+          "message log sees every package and replay stays faithful");
     }
 
     // csr-outside-graph
