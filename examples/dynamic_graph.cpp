@@ -40,6 +40,13 @@ int main() {
   (void)engine.run();
   std::printf("epoch 0: depot->mall = %.3f\n", engine.values()[mall]);
 
+  // This example doubles as an asserting end-to-end test: after every
+  // mutation epoch the incrementally-updated distances must match a
+  // from-scratch Dijkstra run exactly, and each new road must actually
+  // shorten the depot->mall commute.
+  bool ok = true;
+  double prev_mall = engine.values()[mall];
+
   struct Epoch {
     const char* what;
     core::TopologyDelta delta;
@@ -79,10 +86,13 @@ int main() {
     const auto reference = algo::sssp_reference(*graphs.back(), depot);
     const auto values = engine.values();
     double max_err = 0;
+    std::size_t finite_mismatches = 0;
     std::size_t recomputed = 0;
     for (const auto& s : stats.supersteps) recomputed += s.computed_vertices;
     for (VertexId v = 0; v < graphs.back()->num_vertices(); ++v) {
-      if (std::isfinite(reference[v])) {
+      if (std::isfinite(reference[v]) != std::isfinite(values[v])) {
+        ++finite_mismatches;
+      } else if (std::isfinite(reference[v])) {
         max_err = std::max(max_err, std::abs(values[v] - reference[v]));
       }
     }
@@ -91,8 +101,28 @@ int main() {
         "compute()s (%u intersections total), max err vs Dijkstra %.2g\n",
         epoch_no, epoch.what, values[mall], rebuild_s, recomputed,
         graphs.back()->num_vertices(), max_err);
+    if (finite_mismatches != 0) {
+      std::printf("FAIL: epoch %u reachability disagrees with Dijkstra on %zu "
+                  "intersections\n",
+                  epoch_no, finite_mismatches);
+      ok = false;
+    }
+    if (max_err > 0) {
+      std::printf("FAIL: epoch %u incremental distances drifted %.3g from "
+                  "Dijkstra\n",
+                  epoch_no, max_err);
+      ok = false;
+    }
+    if (!(values[mall] < prev_mall)) {
+      std::printf("FAIL: epoch %u (%s) did not shorten depot->mall "
+                  "(%.3f -> %.3f)\n",
+                  epoch_no, epoch.what, prev_mall, values[mall]);
+      ok = false;
+    }
+    prev_mall = values[mall];
     ++epoch_no;
   }
+  if (!ok) return 1;
   std::puts("distances stay exact after every mutation epoch; only the wavefront "
             "downstream of each change recomputes.");
   return 0;

@@ -313,6 +313,49 @@ class Engine {
     CYCLOPS_CHECK(false);  // vertex must be mastered somewhere
   }
 
+  /// Pre-run state override for incremental re-convergence (ingest layer):
+  /// sets v's master value and exposed shared data, clears its convergence
+  /// mark, activates it, and pushes the new shared data to every replica
+  /// immediately — so the very first CMP phase after this call already reads
+  /// the overridden view. Legal only between run() calls (phase kIdle).
+  void reset_vertex(VertexId v, const Value& value, const Message& shared) {
+    CYCLOPS_CHECK(v < graph_->num_vertices());
+    for (WorkerId w = 0; w < layout_.workers.size(); ++w) {
+      const auto& masters = layout_.workers[w].masters;
+      const auto it = std::lower_bound(masters.begin(), masters.end(), v);
+      if (it == masters.end() || *it != v) continue;
+      const auto i = static_cast<std::uint32_t>(it - masters.begin());
+      vcheck_.on_master_write(w, w, i, CYCLOPS_VLOC);
+      values_[w][i] = value;
+      shared_data_[w][i] = shared;
+      converged_[w].clear(i);
+      cur_active_[w].set(i);
+      const WorkerLayout& wl = layout_.workers[w];
+      for (std::size_t r = wl.rep_offsets[i]; r < wl.rep_offsets[i + 1]; ++r) {
+        const ReplicaRef ref = wl.rep_targets[r];
+        vcheck_.on_replica_write(ref.worker, ref.worker, ref.slot, CYCLOPS_VLOC);
+        shared_data_[ref.worker][ref.slot] = shared;
+      }
+      return;
+    }
+    CYCLOPS_CHECK(false);  // vertex must be mastered somewhere
+  }
+
+  /// Master value of one vertex (by global id) — the point lookup the
+  /// incremental layer uses to compute affected regions without gathering
+  /// the full values() vector.
+  [[nodiscard]] const Value& value_at(VertexId v) const {
+    for (WorkerId w = 0; w < layout_.workers.size(); ++w) {
+      const auto& masters = layout_.workers[w].masters;
+      const auto it = std::lower_bound(masters.begin(), masters.end(), v);
+      if (it != masters.end() && *it == v) {
+        return values_[w][static_cast<std::size_t>(it - masters.begin())];
+      }
+    }
+    CYCLOPS_CHECK(false);  // vertex must be mastered somewhere
+    return values_[0][0];
+  }
+
   /// Topology mutation (§8 future work; see core/mutation.hpp): re-targets
   /// the engine at a mutated graph + partition, carrying all master state
   /// (values, shared data, activity, convergence marks) across by vertex id.

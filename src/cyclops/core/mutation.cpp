@@ -1,37 +1,84 @@
 #include "cyclops/core/mutation.hpp"
 
 #include <algorithm>
+#include <tuple>
 
 namespace cyclops::core {
 
 namespace {
 
-bool matches_any(const std::vector<graph::Edge>& removes, const graph::Edge& e) {
-  return std::any_of(removes.begin(), removes.end(), [&](const graph::Edge& r) {
-    return r.src == e.src && r.dst == e.dst;
-  });
+/// Sorted (src, dst) pair index — pair-matching ignores weight.
+using Pair = std::pair<VertexId, VertexId>;
+
+bool pair_removed(const std::vector<Pair>& removed, const graph::Edge& e) {
+  return std::binary_search(removed.begin(), removed.end(), Pair{e.src, e.dst});
 }
 
 }  // namespace
 
-void TopologyDelta::apply(graph::EdgeList& edges) const {
-  auto& list = edges.edges();
-  if (!removes_.empty()) {
-    auto removed = [&](const graph::Edge& e) { return matches_any(removes_, e); };
-    list.erase(std::remove_if(list.begin(), list.end(), removed), list.end());
+TopologyDelta::Canonical TopologyDelta::canonical() const {
+  // Index the remove ops by pair: (src, dst, staging index), sorted so the
+  // last remove for a pair is found with one upper_bound.
+  std::vector<std::tuple<VertexId, VertexId, std::size_t>> removes;
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    if (!ops_[i].is_add) {
+      removes.emplace_back(ops_[i].edge.src, ops_[i].edge.dst, i);
+    }
   }
-  for (const graph::Edge& e : adds_) {
+  std::sort(removes.begin(), removes.end());
+
+  Canonical out;
+  // One canonical remove per distinct pair, in sorted pair order: a remove
+  // erases every pre-existing (src, dst) edge no matter how often staged.
+  for (std::size_t i = 0; i < removes.size(); ++i) {
+    if (i == 0 || std::get<0>(removes[i]) != std::get<0>(removes[i - 1]) ||
+        std::get<1>(removes[i]) != std::get<1>(removes[i - 1])) {
+      out.removes.push_back(graph::Edge{std::get<0>(removes[i]), std::get<1>(removes[i]), 0.0});
+    }
+  }
+  // An add survives iff no remove for its pair was staged at a later index
+  // (last-op-wins: a later remove cancels it).
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    if (!ops_[i].is_add) continue;
+    const graph::Edge& e = ops_[i].edge;
+    auto it = std::upper_bound(removes.begin(), removes.end(),
+                               std::make_tuple(e.src, e.dst, ops_.size()));
+    const bool removed_later = it != removes.begin() &&
+                               std::get<0>(*(it - 1)) == e.src &&
+                               std::get<1>(*(it - 1)) == e.dst &&
+                               std::get<2>(*(it - 1)) > i;
+    if (!removed_later) out.adds.push_back(e);
+  }
+  return out;
+}
+
+void TopologyDelta::apply(graph::EdgeList& edges) const {
+  const Canonical c = canonical();
+  if (!c.removes.empty()) {
+    std::vector<Pair> removed;
+    removed.reserve(c.removes.size());
+    for (const graph::Edge& r : c.removes) removed.emplace_back(r.src, r.dst);
+    auto& list = edges.edges();
+    auto gone = [&](const graph::Edge& e) { return pair_removed(removed, e); };
+    list.erase(std::remove_if(list.begin(), list.end(), gone), list.end());
+  }
+  for (const graph::Edge& e : c.adds) {
     edges.add(e.src, e.dst, e.weight);
   }
 }
 
 graph::EdgeList TopologyDelta::applied(const graph::EdgeList& edges) const {
+  const Canonical c = canonical();
+  std::vector<Pair> removed;
+  removed.reserve(c.removes.size());
+  for (const graph::Edge& r : c.removes) removed.emplace_back(r.src, r.dst);
+
   graph::EdgeList out(edges.num_vertices());
   for (const graph::Edge& e : edges.edges()) {
-    if (!removes_.empty() && matches_any(removes_, e)) continue;
+    if (!removed.empty() && pair_removed(removed, e)) continue;
     out.add(e.src, e.dst, e.weight);
   }
-  for (const graph::Edge& e : adds_) {
+  for (const graph::Edge& e : c.adds) {
     out.add(e.src, e.dst, e.weight);
   }
   return out;
@@ -39,14 +86,10 @@ graph::EdgeList TopologyDelta::applied(const graph::EdgeList& edges) const {
 
 std::vector<VertexId> TopologyDelta::touched_vertices() const {
   std::vector<VertexId> touched;
-  touched.reserve(2 * (adds_.size() + removes_.size()));
-  for (const graph::Edge& e : adds_) {
-    touched.push_back(e.src);
-    touched.push_back(e.dst);
-  }
-  for (const graph::Edge& e : removes_) {
-    touched.push_back(e.src);
-    touched.push_back(e.dst);
+  touched.reserve(2 * ops_.size());
+  for (const Op& op : ops_) {
+    touched.push_back(op.edge.src);
+    touched.push_back(op.edge.dst);
   }
   std::sort(touched.begin(), touched.end());
   touched.erase(std::unique(touched.begin(), touched.end()), touched.end());

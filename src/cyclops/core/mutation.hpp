@@ -7,12 +7,21 @@
 // checkpointing design (§3.6) enables for free: replicas and in-edge slots
 // are *derived* state, so applying a batch of edge mutations rebuilds the
 // layout from the mutated graph and carries master state (values, shared
-// data, activity, convergence marks) across by vertex id. The cost is one
-// extra ingress (REP+INIT) per mutation epoch — appropriate for the bulk
-// topology changes graph systems see in practice (crawl deltas, daily
-// snapshots), and honest about what incremental replica maintenance would
-// have to beat.
+// data, activity, convergence marks) across by vertex id. The ingest layer
+// (src/cyclops/ingest/) builds on this with structural-sharing epoch
+// publication (graph::DeltaOverlay) and incremental re-convergence.
+//
+// Batch semantics are *last-op-wins per (src, dst) pair*, as if the staged
+// operations replayed in staging order against the graph:
+//   - remove(u,v) erases every pre-existing (u,v) edge (any weight) and
+//     cancels any (u,v) add staged earlier in the same batch;
+//   - add(u,v,w) appends one edge; adds staged after the last remove for
+//     the pair all survive (parallel edges remain expressible).
+// So {add(u,v), remove(u,v)} leaves (u,v) absent while
+// {remove(u,v), add(u,v)} leaves exactly the new edge — order inside one
+// batch is meaningful and deterministic, never apply-order-dependent.
 
+#include <cstddef>
 #include <vector>
 
 #include "cyclops/graph/edge_list.hpp"
@@ -22,16 +31,30 @@ namespace cyclops::core {
 /// A batch of edge additions and removals to apply between supersteps.
 class TopologyDelta {
  public:
+  /// The batch reduced to last-op-wins normal form: `removes` are the
+  /// (src, dst) pairs whose pre-existing edges must be erased (weight is
+  /// ignored for matching), `adds` the surviving additions in staging
+  /// order. This is the form `apply`/`applied` execute and the form the
+  /// DeltaOverlay store consumes, so every consumer sees one semantics.
+  struct Canonical {
+    std::vector<graph::Edge> adds;
+    std::vector<graph::Edge> removes;
+  };
+
   void add_edge(VertexId src, VertexId dst, double weight = 1.0) {
-    adds_.push_back(graph::Edge{src, dst, weight});
+    ops_.push_back(Op{graph::Edge{src, dst, weight}, /*is_add=*/true});
   }
-  /// Removes every (src, dst) edge regardless of weight.
+  /// Removes every (src, dst) edge regardless of weight, and cancels any
+  /// (src, dst) add staged earlier in this batch.
   void remove_edge(VertexId src, VertexId dst) {
-    removes_.push_back(graph::Edge{src, dst, 0.0});
+    ops_.push_back(Op{graph::Edge{src, dst, 0.0}, /*is_add=*/false});
   }
 
-  [[nodiscard]] bool empty() const noexcept { return adds_.empty() && removes_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return adds_.size() + removes_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ops_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return ops_.size(); }
+
+  /// Reduces the staged ops to last-op-wins normal form (see file header).
+  [[nodiscard]] Canonical canonical() const;
 
   /// Applies the delta to an edge list (adds may grow the vertex count).
   void apply(graph::EdgeList& edges) const;
@@ -41,13 +64,18 @@ class TopologyDelta {
   /// epoch never aliases (or mutates) a live epoch's storage.
   [[nodiscard]] graph::EdgeList applied(const graph::EdgeList& edges) const;
 
-  /// Vertices incident to any mutated edge — the set a caller typically
-  /// re-activates so the algorithm reacts to the new topology.
+  /// Vertices incident to any staged op — the set a caller typically
+  /// re-activates so the algorithm reacts to the new topology. De-duplicated
+  /// and sorted; includes endpoints of ops a later op cancelled (their
+  /// adjacency may still have churned mid-batch, re-activation is cheap).
   [[nodiscard]] std::vector<VertexId> touched_vertices() const;
 
  private:
-  std::vector<graph::Edge> adds_;
-  std::vector<graph::Edge> removes_;
+  struct Op {
+    graph::Edge edge;
+    bool is_add;
+  };
+  std::vector<Op> ops_;
 };
 
 }  // namespace cyclops::core

@@ -15,6 +15,7 @@ std::string_view store_kind_name(StoreKind kind) noexcept {
     case StoreKind::kMemory: return "memory";
     case StoreKind::kCompact: return "compact";
     case StoreKind::kStream: return "stream";
+    case StoreKind::kDelta: return "delta";
   }
   return "?";
 }
@@ -23,6 +24,9 @@ StoreKind parse_store_kind(std::string_view name) {
   if (name == "memory") return StoreKind::kMemory;
   if (name == "compact") return StoreKind::kCompact;
   if (name == "stream") return StoreKind::kStream;
+  // "delta" is deliberately not parseable: an overlay needs a base epoch and
+  // is only produced by the snapshot publication path, never selected as a
+  // buildable-from-scratch backend.
   throw std::runtime_error("unknown store kind '" + std::string(name) +
                            "' (expected memory|compact|stream)");
 }
@@ -48,6 +52,11 @@ std::unique_ptr<const GraphStore> make_store(const EdgeList& edges, const StoreO
       return std::make_unique<const CompactCsr>(CompactCsr::build(csr));
     case StoreKind::kStream:
       return std::make_unique<const StreamStore>(csr, opts);
+    case StoreKind::kDelta:
+      // Overlays are built over a live base epoch by the snapshot layer
+      // (service/snapshot.cpp); from an edge list the flat CSR *is* the
+      // correct realization.
+      return std::make_unique<const Csr>(std::move(csr));
   }
   return std::make_unique<const Csr>(std::move(csr));
 }

@@ -37,7 +37,12 @@ struct Adj {
   [[nodiscard]] bool operator==(const Adj&) const = default;
 };
 
-enum class StoreKind { kMemory, kCompact, kStream };
+enum class StoreKind {
+  kMemory,
+  kCompact,
+  kStream,
+  kDelta,  ///< structural-sharing overlay over a base store (graph/delta_overlay.hpp)
+};
 
 [[nodiscard]] std::string_view store_kind_name(StoreKind kind) noexcept;
 

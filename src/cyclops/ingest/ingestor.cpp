@@ -1,0 +1,46 @@
+#include "cyclops/ingest/ingestor.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace cyclops::ingest {
+
+void MutationIngestor::offer(const MutationOp& op) {
+  if (op.is_add) {
+    staged_.add_edge(op.src, op.dst, op.weight);
+  } else {
+    staged_.remove_edge(op.src, op.dst);
+  }
+  staged_offer_s_.push_back(clock_.elapsed_s());
+  ++stats_.ops;
+  const bool batch_full = staged_.size() >= cfg_.max_batch;
+  const bool too_stale =
+      clock_.elapsed_s() - staged_offer_s_.front() >= cfg_.max_delay_s;
+  if (batch_full || too_stale) publish();
+}
+
+service::Epoch MutationIngestor::flush() {
+  if (!staged_.empty()) publish();
+  return store_.current_epoch();
+}
+
+void MutationIngestor::publish() {
+  Timer apply_timer;
+  const service::Epoch epoch = store_.apply(staged_);
+  stats_.publish_s += apply_timer.elapsed_s();
+
+  const double now = clock_.elapsed_s();
+  for (const double offered : staged_offer_s_) {
+    const double staleness = now - offered;
+    stats_.total_staleness_s += staleness;
+    stats_.max_staleness_s = std::max(stats_.max_staleness_s, staleness);
+  }
+  stats_.elapsed_s = now;
+  ++stats_.batches;
+
+  core::TopologyDelta published = std::exchange(staged_, core::TopologyDelta{});
+  staged_offer_s_.clear();
+  if (hook_) hook_(epoch, published);
+}
+
+}  // namespace cyclops::ingest

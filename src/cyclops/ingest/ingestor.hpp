@@ -1,0 +1,83 @@
+#pragma once
+// MutationIngestor — the batching front door of the streaming ingestion
+// subsystem. It accepts one time-ordered mutation stream (offer() is
+// single-writer, matching SnapshotStore::apply's contract), folds ops into a
+// staged TopologyDelta, and publishes an epoch when either batching bound
+// trips:
+//   - max_batch staged ops (throughput bound), or
+//   - the oldest staged op has waited max_delay_s of wall time (staleness
+//     bound).
+// flush() force-publishes a partial batch (end of stream / quiesce points).
+//
+// Batching contract: ops within one batch collapse under TopologyDelta's
+// last-op-wins canonicalization; batches are applied in offer order; an op
+// is durable-visible exactly when the epoch containing it is published.
+// Staleness is measured per op: publication wall time minus offer wall time
+// — the mutation->published-epoch latency EXPERIMENTS.md reports.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cyclops/common/timer.hpp"
+#include "cyclops/core/mutation.hpp"
+#include "cyclops/ingest/trace.hpp"
+#include "cyclops/service/snapshot.hpp"
+
+namespace cyclops::ingest {
+
+struct IngestConfig {
+  std::size_t max_batch = 256;  ///< fold cadence: staged-op count bound
+  double max_delay_s = 0.05;    ///< fold cadence: oldest-op wall-time bound
+};
+
+struct IngestStats {
+  std::uint64_t ops = 0;      ///< mutations accepted
+  std::uint64_t batches = 0;  ///< epochs published by this ingestor
+  double total_staleness_s = 0;
+  double max_staleness_s = 0;
+  double publish_s = 0;  ///< wall time spent inside SnapshotStore::apply
+  double elapsed_s = 0;  ///< wall time from construction to last publish
+
+  [[nodiscard]] double mean_staleness_s() const noexcept {
+    return ops > 0 ? total_staleness_s / static_cast<double>(ops) : 0.0;
+  }
+  [[nodiscard]] double mutations_per_s() const noexcept {
+    return elapsed_s > 0 ? static_cast<double>(ops) / elapsed_s : 0.0;
+  }
+};
+
+class MutationIngestor {
+ public:
+  /// Called after each published epoch with the delta it folded — the hook
+  /// incremental re-convergence subscribes to. Runs on the offering thread.
+  using EpochHook = std::function<void(service::Epoch, const core::TopologyDelta&)>;
+
+  MutationIngestor(service::SnapshotStore& store, IngestConfig cfg = {})
+      : store_(store), cfg_(cfg) {}
+
+  void set_epoch_hook(EpochHook hook) { hook_ = std::move(hook); }
+
+  /// Stages one mutation; publishes an epoch when a batching bound trips.
+  /// Timestamps in `op` pace the *trace*; staleness here is wall time.
+  void offer(const MutationOp& op);
+
+  /// Publishes any staged ops; returns the store's current epoch either way.
+  service::Epoch flush();
+
+  [[nodiscard]] std::size_t staged() const noexcept { return staged_.size(); }
+  [[nodiscard]] const IngestStats& stats() const noexcept { return stats_; }
+
+ private:
+  void publish();
+
+  service::SnapshotStore& store_;
+  IngestConfig cfg_;
+  core::TopologyDelta staged_;
+  std::vector<double> staged_offer_s_;  ///< offer wall time per staged op
+  Timer clock_;
+  IngestStats stats_;
+  EpochHook hook_;
+};
+
+}  // namespace cyclops::ingest

@@ -1,0 +1,86 @@
+#include "cyclops/ingest/trace.hpp"
+
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "cyclops/common/check.hpp"
+
+namespace cyclops::ingest {
+
+std::vector<MutationOp> parse_trace(std::istream& in) {
+  std::vector<MutationOp> ops;
+  std::string line;
+  std::size_t lineno = 0;
+  double prev_at = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    MutationOp op;
+    std::string verb;
+    if (!(ls >> op.at_s >> verb >> op.src >> op.dst)) {
+      throw std::runtime_error("trace line " + std::to_string(lineno) +
+                               ": expected '<at_s> add|remove <src> <dst>'");
+    }
+    if (verb == "add") {
+      op.is_add = true;
+      ls >> op.weight;  // optional; stays 1.0 when absent
+    } else if (verb == "remove") {
+      op.is_add = false;
+    } else {
+      throw std::runtime_error("trace line " + std::to_string(lineno) +
+                               ": unknown op '" + verb + "'");
+    }
+    if (op.at_s < prev_at) {
+      throw std::runtime_error("trace line " + std::to_string(lineno) +
+                               ": timestamps must be non-decreasing");
+    }
+    prev_at = op.at_s;
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+std::vector<MutationOp> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) throw std::runtime_error("cannot open trace file: " + path);
+  return parse_trace(in);
+}
+
+std::vector<MutationOp> synth_trace(const TraceSpec& spec) {
+  CYCLOPS_CHECK(spec.num_vertices >= 2);
+  std::mt19937_64 rng(spec.seed);
+  std::uniform_int_distribution<VertexId> pick(0, spec.num_vertices - 1);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  std::vector<MutationOp> ops;
+  ops.reserve(spec.undirected ? 2 * spec.ops : spec.ops);
+  std::vector<std::pair<VertexId, VertexId>> added;  // removal pool
+  double at = 0;
+  const double dt = spec.ops_per_s > 0 ? 1.0 / spec.ops_per_s : 0.0;
+  for (std::size_t i = 0; i < spec.ops; ++i, at += dt) {
+    if (!added.empty() && coin(rng) >= spec.add_fraction) {
+      std::uniform_int_distribution<std::size_t> slot(0, added.size() - 1);
+      const std::size_t s = slot(rng);
+      const auto [u, v] = added[s];
+      added[s] = added.back();
+      added.pop_back();
+      ops.push_back(MutationOp{at, /*is_add=*/false, u, v, 0.0});
+      if (spec.undirected) ops.push_back(MutationOp{at, /*is_add=*/false, v, u, 0.0});
+    } else {
+      VertexId u = pick(rng);
+      VertexId v = pick(rng);
+      while (v == u) v = pick(rng);
+      added.emplace_back(u, v);
+      ops.push_back(MutationOp{at, /*is_add=*/true, u, v, 1.0});
+      if (spec.undirected) ops.push_back(MutationOp{at, /*is_add=*/true, v, u, 1.0});
+    }
+  }
+  return ops;
+}
+
+}  // namespace cyclops::ingest

@@ -6,6 +6,20 @@
 // handed out as shared_ptr<const Snapshot>, so in-flight jobs pin their epoch
 // for as long as they run while new submissions land on the newest one;
 // retirement is the refcount hitting zero (tracked by the store for stats).
+//
+// Two publication paths exist:
+//   - full: copy + re-store + re-partition (the original path; every epoch
+//     is self-contained).
+//   - overlay (cfg.overlay_publish, the ingest path): a mutation epoch pins
+//     its base epoch and layers a graph::DeltaOverlay patch over the base's
+//     store — O(touched adjacency) new allocation instead of O(|E|) — and
+//     carries the base's edge-cut owner vectors forward (new vertices get
+//     the hash rule), which keeps vertex ownership stable across epochs so
+//     incremental re-convergence can carry engine state by global id. The
+//     edge list and GAS vertex cut are materialized lazily on first use;
+//     once the overlay chain exceeds cfg.compact_overlay_fraction of the
+//     flat edge count or cfg.max_overlay_depth layers, apply() compacts
+//     back to a full snapshot and the chain can retire.
 
 #include <atomic>
 #include <cstdint>
@@ -14,6 +28,7 @@
 
 #include "cyclops/common/sync.hpp"
 #include "cyclops/core/mutation.hpp"
+#include "cyclops/graph/delta_overlay.hpp"
 #include "cyclops/graph/edge_list.hpp"
 #include "cyclops/graph/store.hpp"
 #include "cyclops/partition/partition.hpp"
@@ -38,6 +53,14 @@ struct SnapshotConfig {
   std::uint64_t mem_cap_mb = 64;
   std::string spill_dir;  ///< stream backend scratch dir; empty = /tmp
 
+  /// Structural-sharing publication for mutation epochs (the ingest path).
+  bool overlay_publish = false;
+  /// Compact back to a flat store once the overlay chain's patch entries
+  /// exceed this fraction of the flat edge count...
+  double compact_overlay_fraction = 0.25;
+  /// ...or the chain grows this deep (lookup cost is linear in depth).
+  std::uint32_t max_overlay_depth = 8;
+
   [[nodiscard]] WorkerId edge_cut_parts() const noexcept {
     return machines * workers_per_machine;
   }
@@ -50,9 +73,18 @@ struct SnapshotConfig {
   }
 };
 
+class Snapshot;
+/// Pinned handle: holding one keeps the epoch's storage alive.
+using SnapshotRef = std::shared_ptr<const Snapshot>;
+
 class Snapshot {
  public:
+  /// Full (self-contained) epoch: store + partitions built from scratch.
   Snapshot(Epoch epoch, graph::EdgeList edges, const SnapshotConfig& cfg);
+  /// Overlay epoch: pins `base` and patches its store with the canonical
+  /// delta; partitions are carried forward (see file header).
+  Snapshot(Epoch epoch, SnapshotRef base, const core::TopologyDelta::Canonical& delta,
+           const SnapshotConfig& cfg);
   ~Snapshot();
   Snapshot(const Snapshot&) = delete;
   Snapshot& operator=(const Snapshot&) = delete;
@@ -61,10 +93,9 @@ class Snapshot {
   // verify-layer epoch registry (no-op unless -DCYCLOPS_VERIFY): a caller
   // still holding references past its SnapshotRef is a use-after-retire.
   [[nodiscard]] Epoch epoch() const noexcept { return epoch_; }
-  [[nodiscard]] const graph::EdgeList& edges() const noexcept {
-    verify::EpochRegistry::instance().on_read(epoch_, CYCLOPS_VLOC);
-    return edges_;
-  }
+  /// The epoch's edge list. Overlay epochs materialize it lazily (first call
+  /// pays O(|E|)); the publication fast path never touches it.
+  [[nodiscard]] const graph::EdgeList& edges() const;
   [[nodiscard]] const graph::GraphStore& store() const noexcept {
     verify::EpochRegistry::instance().on_read(epoch_, CYCLOPS_VLOC);
     return *store_;
@@ -79,20 +110,27 @@ class Snapshot {
     verify::EpochRegistry::instance().on_read(epoch_, CYCLOPS_VLOC);
     return mt_edge_cut_;
   }
-  /// Vertex cut with one part per machine (PowerGraph/GAS).
-  [[nodiscard]] const partition::VertexCutPartition& vertex_cut() const noexcept {
-    verify::EpochRegistry::instance().on_read(epoch_, CYCLOPS_VLOC);
-    return vertex_cut_;
-  }
+  /// Vertex cut with one part per machine (PowerGraph/GAS). Overlay epochs
+  /// build it lazily on the first GAS submission.
+  [[nodiscard]] const partition::VertexCutPartition& vertex_cut() const;
   [[nodiscard]] const SnapshotConfig& config() const noexcept { return cfg_; }
   /// Re-partition + layout time of this epoch (snapshot-transition overhead).
   [[nodiscard]] double build_s() const noexcept { return build_s_; }
-  /// CRC-32 over the raw edge array — the immutability witness tests use.
+  /// Immutability witness: CRC-32 over the raw edge array for full epochs;
+  /// overlay epochs chain the base's checksum with the canonical delta bytes
+  /// (still unique per epoch, still stable for the epoch's lifetime).
   [[nodiscard]] std::uint32_t edge_checksum() const noexcept { return checksum_; }
+
+  /// Non-null iff this is an overlay epoch (structural sharing in effect).
+  [[nodiscard]] const graph::DeltaOverlay* overlay() const noexcept;
+  [[nodiscard]] bool is_overlay() const noexcept { return base_ != nullptr; }
+  /// The base epoch this overlay pins; nullptr for full epochs.
+  [[nodiscard]] const SnapshotRef& base() const noexcept { return base_; }
 
  private:
   Epoch epoch_ = 0;
   SnapshotConfig cfg_;
+  SnapshotRef base_;  ///< overlay epochs keep their base chain alive
   graph::EdgeList edges_;
   std::unique_ptr<const graph::GraphStore> store_;
   partition::EdgeCutPartition edge_cut_;
@@ -100,21 +138,27 @@ class Snapshot {
   partition::VertexCutPartition vertex_cut_;
   double build_s_ = 0;
   std::uint32_t checksum_ = 0;
-};
 
-/// Pinned handle: holding one keeps the epoch's storage alive.
-using SnapshotRef = std::shared_ptr<const Snapshot>;
+  // Lazily materialized views for overlay epochs (built at most once; the
+  // snapshot stays logically immutable).
+  mutable Mutex lazy_mutex_;
+  mutable std::unique_ptr<const graph::EdgeList> lazy_edges_;
+  mutable std::unique_ptr<const partition::VertexCutPartition> lazy_vertex_cut_;
+};
 
 struct SnapshotStoreStats {
   std::uint64_t epochs_published = 0;  ///< includes the base epoch 0
   std::uint64_t epochs_retired = 0;    ///< refcount hit zero
+  std::uint64_t overlay_epochs = 0;    ///< published via structural sharing
+  std::uint64_t compactions = 0;       ///< overlay chains flattened
   double total_build_s = 0;
   double last_build_s = 0;
 };
 
 /// Holds the newest snapshot and publishes new epochs by applying a batched
-/// TopologyDelta through the const-preserving applied() path, then
-/// re-partitioning. Thread-safe: jobs pin epochs concurrently with apply().
+/// TopologyDelta — either through the const-preserving applied() copy path or
+/// (cfg.overlay_publish) as a DeltaOverlay patch over the previous epoch.
+/// Thread-safe: jobs pin epochs concurrently with apply().
 class SnapshotStore {
  public:
   SnapshotStore(graph::EdgeList base, SnapshotConfig cfg);
@@ -133,6 +177,11 @@ class SnapshotStore {
 
  private:
   SnapshotRef publish(Epoch epoch, graph::EdgeList edges);
+  SnapshotRef publish_overlay(Epoch epoch, SnapshotRef base,
+                              const core::TopologyDelta::Canonical& delta);
+  SnapshotRef wrap(Snapshot* snap);
+  [[nodiscard]] bool should_compact(const Snapshot& base,
+                                    const core::TopologyDelta::Canonical& delta) const;
 
   mutable Mutex mutex_;
   SnapshotConfig cfg_;

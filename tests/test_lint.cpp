@@ -103,6 +103,25 @@ TEST(Lint, OutboxEscapeFixture) {
   EXPECT_EQ(lint_fixture("bad_outbox_escape.cpp"), expected);
 }
 
+TEST(Lint, DeltaEscapeFixture) {
+  // Lines 13/14: in-place apply() via '.' and '->'. The applied() copy,
+  // apply() on non-delta receivers (SnapshotStore, a GAS program), and the
+  // suppressed harness call all stay silent.
+  const Golden expected = {{13, "delta-outside-ingest"},
+                           {14, "delta-outside-ingest"}};
+  EXPECT_EQ(lint_fixture("bad_delta_escape.cpp"), expected);
+}
+
+TEST(Lint, CoreAndIngestPathsExemptDeltaApply) {
+  const std::string body =
+      "core::TopologyDelta delta;\ndelta.apply(edges);\n";
+  EXPECT_TRUE(lint_file("src/cyclops/core/mutation.cpp", body).empty());
+  EXPECT_TRUE(lint_file("src/cyclops/ingest/ingestor.cpp", body).empty());
+  const auto findings = lint_file("src/cyclops/service/snapshot.cpp", body);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "delta-outside-ingest");
+}
+
 TEST(Lint, RuntimeAndSimPathsExemptOutbox) {
   const std::string body = "auto& box = fabric.outbox(from, lane);\n";
   EXPECT_TRUE(lint_file("src/cyclops/runtime/sync_channel.hpp", body).empty());
@@ -135,6 +154,10 @@ TEST(Lint, ClassifyPath) {
   EXPECT_TRUE(classify_path("src/cyclops/sim/fabric.cpp").in_sim);
   EXPECT_FALSE(classify_path("src/cyclops/bsp/engine.hpp").in_runtime);
   EXPECT_FALSE(classify_path("src/cyclops/bsp/engine.hpp").in_sim);
+  EXPECT_TRUE(classify_path("src/cyclops/core/mutation.cpp").in_core);
+  EXPECT_TRUE(classify_path("src/cyclops/ingest/ingestor.cpp").in_ingest);
+  EXPECT_FALSE(classify_path("src/cyclops/service/snapshot.cpp").in_core);
+  EXPECT_FALSE(classify_path("src/cyclops/service/snapshot.cpp").in_ingest);
 }
 
 TEST(Lint, SuppressionOnPreviousLine) {

@@ -55,6 +55,97 @@ TEST(TopologyDelta, TouchedVerticesDeduplicated) {
   EXPECT_EQ(touched, (std::vector<VertexId>{1, 2, 3}));
 }
 
+TEST(TopologyDelta, LastOpWinsAddThenRemove) {
+  // Staging {add, remove} for the same pair cancels the add — and also
+  // erases any pre-existing edge on that pair.
+  graph::EdgeList edges(3);
+  edges.add(0, 1, 1.0);
+  TopologyDelta delta;
+  delta.add_edge(0, 1, 5.0);
+  delta.remove_edge(0, 1);
+  delta.apply(edges);
+  EXPECT_EQ(edges.num_edges(), 0u);
+  const auto canon = delta.canonical();
+  EXPECT_TRUE(canon.adds.empty());
+  EXPECT_EQ(canon.removes.size(), 1u);
+}
+
+TEST(TopologyDelta, LastOpWinsRemoveThenAdd) {
+  // Staging {remove, add} replaces the old edge with the new one: the remove
+  // erases what existed, the later add survives it.
+  graph::EdgeList edges(3);
+  edges.add(0, 1, 1.0);
+  TopologyDelta delta;
+  delta.remove_edge(0, 1);
+  delta.add_edge(0, 1, 7.0);
+  delta.apply(edges);
+  ASSERT_EQ(edges.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(edges.edges()[0].weight, 7.0);
+  const auto canon = delta.canonical();
+  ASSERT_EQ(canon.adds.size(), 1u);
+  EXPECT_DOUBLE_EQ(canon.adds[0].weight, 7.0);
+  EXPECT_EQ(canon.removes.size(), 1u);
+}
+
+TEST(TopologyDelta, CanonicalKeepsMultipleAddsAfterLastRemove) {
+  TopologyDelta delta;
+  delta.add_edge(0, 1, 1.0);  // cancelled by the remove below
+  delta.remove_edge(0, 1);
+  delta.add_edge(0, 1, 2.0);  // both later adds survive (multiplicity kept)
+  delta.add_edge(0, 1, 3.0);
+  const auto canon = delta.canonical();
+  ASSERT_EQ(canon.adds.size(), 2u);
+  EXPECT_DOUBLE_EQ(canon.adds[0].weight, 2.0);
+  EXPECT_DOUBLE_EQ(canon.adds[1].weight, 3.0);
+  ASSERT_EQ(canon.removes.size(), 1u);
+  EXPECT_EQ(canon.removes[0].src, 0u);
+  EXPECT_EQ(canon.removes[0].dst, 1u);
+}
+
+TEST(TopologyDelta, CanonicalDeduplicatesRemoves) {
+  TopologyDelta delta;
+  delta.remove_edge(2, 3);
+  delta.remove_edge(2, 3);
+  delta.remove_edge(1, 4);
+  const auto canon = delta.canonical();
+  ASSERT_EQ(canon.removes.size(), 2u);  // one per distinct pair, pair order
+  EXPECT_EQ(canon.removes[0].src, 1u);
+  EXPECT_EQ(canon.removes[1].src, 2u);
+}
+
+TEST(TopologyDelta, TouchedIncludesCancelledOps) {
+  // touched_vertices() is deliberately conservative: endpoints of ops that
+  // cancel out still count (their state may need re-examination).
+  TopologyDelta delta;
+  delta.add_edge(5, 6);
+  delta.remove_edge(5, 6);
+  const auto touched = delta.touched_vertices();
+  EXPECT_EQ(touched, (std::vector<VertexId>{5, 6}));
+}
+
+TEST(TopologyDelta, ApplyMatchesCanonicalReplay) {
+  // apply() must behave exactly as canonical(): erase canonical removes,
+  // append canonical adds.
+  graph::EdgeList edges = test::diamond_graph();
+  TopologyDelta delta;
+  delta.add_edge(3, 0, 2.0);
+  delta.remove_edge(3, 0);   // cancels the add and erases nothing (no (3,0))
+  delta.remove_edge(0, 1);   // erases a real edge
+  delta.add_edge(0, 1, 9.0); // then re-adds it heavier
+  delta.add_edge(1, 3, 4.0);
+  const graph::EdgeList applied = delta.applied(edges);
+  const auto canon = delta.canonical();
+  graph::EdgeList replay = edges;
+  TopologyDelta canonical_only;
+  for (const graph::Edge& e : canon.removes) canonical_only.remove_edge(e.src, e.dst);
+  for (const graph::Edge& e : canon.adds) canonical_only.add_edge(e.src, e.dst, e.weight);
+  canonical_only.apply(replay);
+  ASSERT_EQ(applied.num_edges(), replay.num_edges());
+  for (std::size_t i = 0; i < applied.num_edges(); ++i) {
+    EXPECT_EQ(applied.edges()[i], replay.edges()[i]);
+  }
+}
+
 TEST(TopologyDelta, AddGrowsVertexCount) {
   graph::EdgeList edges = test::diamond_graph();
   TopologyDelta delta;

@@ -10,6 +10,8 @@
 //
 // Run with --help for the full flag list.
 
+#include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +24,7 @@
 
 #include "cyclops/algorithms/als.hpp"
 #include "cyclops/common/args.hpp"
+#include "cyclops/common/sync.hpp"
 #include "cyclops/algorithms/cc.hpp"
 #include "cyclops/algorithms/cd.hpp"
 #include "cyclops/algorithms/datasets.hpp"
@@ -33,6 +36,8 @@
 #include "cyclops/graph/gstats.hpp"
 #include "cyclops/graph/loader.hpp"
 #include "cyclops/graph/store.hpp"
+#include "cyclops/ingest/incremental.hpp"
+#include "cyclops/ingest/ingestor.hpp"
 #include "cyclops/metrics/reporter.hpp"
 #include "cyclops/partition/hash.hpp"
 #include "cyclops/partition/ldg.hpp"
@@ -76,6 +81,18 @@ struct Options {
   std::size_t serve_queue = 64;    // bounded admission queue
   std::size_t tenant_limit = 2;    // max running jobs per tenant
   double realize_modeled = 0.0;    // modeled-comm -> wall-clock sleep factor
+
+  // Streaming ingestion mode: replay a mutation trace through the batching
+  // ingestor while incremental engines re-converge per published epoch,
+  // optionally under concurrent scripted query load (--serve).
+  std::string ingest;                      // trace path or synth:<ops>
+  std::size_t ingest_batch = 64;           // batching bound: staged-op count
+  double ingest_delay_s = 0.05;            // batching bound: oldest-op wall time
+  std::string ingest_algos = "pr,sssp,cc"; // incremental engines to keep warm
+  unsigned ingest_hops = 2;                // delta-PR re-activation radius
+  std::uint64_t ingest_seed = 1;           // synth:<ops> trace seed
+  bool overlay = false;                    // structural-sharing publication
+  double compact_threshold = 0.25;         // overlay-entries/|E| compaction bound
 
   // Fault tolerance: any armed flag routes the run through the automated
   // checkpoint/recovery runtime (runtime::run_with_recovery).
@@ -160,6 +177,25 @@ struct Options {
       "  --realize F                 sleep F x modeled comm time per job, so\n"
       "                              cross-tenant wire-wait overlaps (default 0)\n"
       "\n"
+      "ingest mode (streaming mutation epochs with incremental recompute):\n"
+      "  --ingest FILE|synth:N       mutation trace ('<at_s> add|remove <u> <v>'\n"
+      "                              lines) or a deterministic synthetic trace of\n"
+      "                              N ops over the base graph's vertices\n"
+      "  --ingest-batch N            publish after N staged ops (default 64)\n"
+      "  --ingest-delay S            publish when the oldest staged op has waited\n"
+      "                              S seconds (default 0.05)\n"
+      "  --ingest-algos LIST         comma list of pr,sssp,cc kept incrementally\n"
+      "                              converged across epochs (default all three;\n"
+      "                              --engine cyclops|mt only)\n"
+      "  --ingest-hops K             delta-PR re-activation radius (default 2)\n"
+      "  --ingest-seed S             synth:N trace seed (default 1)\n"
+      "  --overlay                   publish epochs as structural-sharing\n"
+      "                              DeltaOverlay patches instead of flat copies\n"
+      "  --compact-threshold F       flatten the overlay chain once patch entries\n"
+      "                              exceed F x base |E| (default 0.25)\n"
+      "                              with --serve FILE, the script's job/wait\n"
+      "                              lines replay concurrently as query load\n"
+      "\n"
       "fault tolerance (any of these routes through automated recovery):\n"
       "  --checkpoint-every N        checkpoint every N supersteps (default off)\n"
       "  --checkpoint-mode light|heavy  override the engine's natural mode\n"
@@ -224,6 +260,14 @@ Options parse(int argc, char** argv) {
   o.serve_queue = p.get("--serve-queue", o.serve_queue);
   o.tenant_limit = p.get("--tenant-limit", o.tenant_limit);
   o.realize_modeled = p.get("--realize", o.realize_modeled);
+  o.ingest = p.get("--ingest", o.ingest);
+  o.ingest_batch = p.get("--ingest-batch", o.ingest_batch);
+  o.ingest_delay_s = p.get("--ingest-delay", o.ingest_delay_s);
+  o.ingest_algos = p.get("--ingest-algos", o.ingest_algos);
+  o.ingest_hops = p.get("--ingest-hops", o.ingest_hops);
+  o.ingest_seed = p.get("--ingest-seed", o.ingest_seed);
+  o.overlay = p.flag("--overlay");
+  o.compact_threshold = p.get("--compact-threshold", o.compact_threshold);
   o.checkpoint_every = p.get("--checkpoint-every", o.checkpoint_every);
   o.checkpoint_mode = p.get("--checkpoint-mode", o.checkpoint_mode);
   o.fail_at = p.get("--fail-at", o.fail_at);
@@ -257,6 +301,15 @@ Options parse(int argc, char** argv) {
   }
   if (o.race_seeds > 0 && !o.serve.empty()) {
     args::Parser::fail("--race is not supported in --serve mode");
+  }
+  if (!o.ingest.empty()) {
+    if (o.engine != "cyclops" && o.engine != "mt") {
+      args::Parser::fail("--ingest keeps incremental engines warm; use --engine cyclops|mt");
+    }
+    if (o.race_seeds > 0 || o.fault_tolerant()) {
+      args::Parser::fail("--ingest cannot combine with --race or fault flags");
+    }
+    if (o.ingest_batch == 0) args::Parser::fail("--ingest-batch must be positive");
   }
   if (o.race_seeds > 0 && o.fault_tolerant()) {
     args::Parser::fail("--race runs fault-free engines; drop the fault flags");
@@ -615,11 +668,294 @@ int run_serve(const Options& o, graph::EdgeList edges) {
   return 0;
 }
 
+// Replays only the job/wait lines of a serve script — the concurrent query
+// load half of ingest mode. Mutations must come from the trace (the snapshot
+// store is single-writer), so add/remove/commit lines are rejected.
+int replay_query_load(const Options& o, service::Service& svc) {
+  std::ifstream in(o.serve);
+  if (!in) {
+    std::fprintf(stderr, "cannot open workload script '%s'\n", o.serve.c_str());
+    return 2;
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream ss(line);
+    std::string cmd;
+    if (!(ss >> cmd) || cmd[0] == '#') continue;
+    if (cmd == "job") {
+      service::JobSpec spec;
+      std::string algo, engine;
+      if (!(ss >> spec.tenant >> spec.priority >> algo >> engine) ||
+          !service::parse_algo(algo, spec.algo) ||
+          !service::parse_engine(engine, spec.engine)) {
+        std::fprintf(stderr, "%s:%zu: bad job line\n", o.serve.c_str(), lineno);
+        return 2;
+      }
+      spec.epsilon = o.epsilon;
+      spec.max_supersteps = o.max_supersteps;
+      spec.mt_threads = o.threads;
+      spec.mt_receivers = o.receivers;
+      spec.source = o.source;
+      (void)svc.submit(spec);  // rejection (queue full) is valid load-shedding
+    } else if (cmd == "wait") {
+      svc.wait_all();
+    } else {
+      std::fprintf(stderr,
+                   "%s:%zu: only job/wait allowed under --ingest "
+                   "(mutations come from the trace)\n",
+                   o.serve.c_str(), lineno);
+      return 2;
+    }
+  }
+  return 0;
+}
+
+/// Totals one incremental engine accumulates across all published epochs.
+struct IngestTally {
+  std::uint64_t supersteps = 0;
+  std::uint64_t messages = 0;
+  double modeled_s = 0;  ///< measured phase time + modeled wire/barrier
+  std::size_t resets = 0;
+  std::size_t activated = 0;
+};
+
+double modeled_run_s(const metrics::RunStats& run) {
+  return run.phase_totals().total_s() + run.modeled_comm_total_s();
+}
+
+// Streaming ingestion mode: replay a mutation trace through the batching
+// MutationIngestor; on every published epoch the requested incremental
+// engines re-target the new snapshot and re-converge from their carried
+// state. Ends with an incremental-vs-from-scratch comparison per algorithm
+// on the final snapshot — exits nonzero if any incremental result diverges
+// (SSSP/CC bit-identical, PageRank within fixpoint tolerance).
+int run_ingest(const Options& o, graph::EdgeList edges) {
+  const bool mt = o.engine == "mt";
+  bool want_pr = false, want_sssp = false, want_cc = false;
+  {
+    std::istringstream ss(o.ingest_algos);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      if (tok == "pr") want_pr = true;
+      else if (tok == "sssp") want_sssp = true;
+      else if (tok == "cc") want_cc = true;
+      else if (!tok.empty()) {
+        std::fprintf(stderr, "--ingest-algos: unknown algorithm '%s'\n", tok.c_str());
+        return 2;
+      }
+    }
+  }
+  if (!want_pr && !want_sssp && !want_cc) {
+    std::fprintf(stderr, "--ingest-algos selected no algorithms\n");
+    return 2;
+  }
+
+  service::ServiceConfig cfg;
+  cfg.snapshot.machines = o.machines;
+  cfg.snapshot.workers_per_machine = o.workers / o.machines;
+  cfg.snapshot.partitioner = o.partitioner;
+  cfg.snapshot.store = graph::parse_store_kind(o.store.kind);
+  cfg.snapshot.mem_cap_mb = o.store.mem_cap_mb;
+  cfg.snapshot.spill_dir = o.store.spill_dir;
+  cfg.snapshot.overlay_publish = o.overlay;
+  cfg.snapshot.compact_overlay_fraction = o.compact_threshold;
+  cfg.scheduler.workers = o.serve_workers;
+  cfg.scheduler.max_queue = o.serve_queue;
+  cfg.scheduler.per_tenant_running = o.tenant_limit;
+  cfg.scheduler.realize_modeled_factor = o.realize_modeled;
+  service::Service svc(std::move(edges), cfg);
+  const service::SnapshotRef base = svc.snapshots().current();
+
+  std::vector<ingest::MutationOp> ops;
+  try {
+    if (o.ingest.rfind("synth:", 0) == 0) {
+      ingest::TraceSpec spec;
+      spec.ops = static_cast<std::size_t>(std::strtoull(o.ingest.c_str() + 6, nullptr, 10));
+      if (spec.ops == 0) {
+        std::fprintf(stderr, "--ingest synth:N needs a positive op count\n");
+        return 2;
+      }
+      spec.num_vertices = base->store().num_vertices();
+      spec.undirected = want_cc;  // CC expects both directions stored
+      spec.seed = o.ingest_seed;
+      ops = ingest::synth_trace(spec);
+    } else {
+      ops = ingest::load_trace(o.ingest);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  std::printf("[ingest] trace: %zu ops, batch bound %zu, delay bound %.3fs, %s publication\n",
+              ops.size(), o.ingest_batch, o.ingest_delay_s,
+              o.overlay ? "overlay" : "flat");
+
+  ingest::IncrementalConfig icfg = ingest::make_incremental_config(
+      cfg.snapshot, mt, o.threads, o.receivers, o.max_supersteps);
+  icfg.pr_hops = o.ingest_hops;
+
+  std::optional<ingest::IncrementalPageRank> ipr;
+  std::optional<ingest::IncrementalSssp> isssp;
+  std::optional<ingest::IncrementalCc> icc;
+  if (want_pr) {
+    algo::PageRankCyclops prog;
+    prog.epsilon = o.epsilon;
+    ipr.emplace(base, prog, icfg);
+    std::printf("%s\n", metrics::run_summary("ingest-cold/pr", ipr->cold_run()).c_str());
+  }
+  if (want_sssp) {
+    if (o.source >= base->store().num_vertices()) {
+      std::fprintf(stderr, "--source out of range\n");
+      return 2;
+    }
+    algo::SsspCyclops prog;
+    prog.source = o.source;
+    isssp.emplace(base, prog, icfg);
+    std::printf("%s\n", metrics::run_summary("ingest-cold/sssp", isssp->cold_run()).c_str());
+  }
+  if (want_cc) {
+    icc.emplace(base, algo::CcCyclops{}, icfg);
+    std::printf("%s\n", metrics::run_summary("ingest-cold/cc", icc->cold_run()).c_str());
+  }
+
+  IngestTally tpr, tsssp, tcc;
+  std::uint64_t epochs_advanced = 0;
+  ingest::MutationIngestor ingestor(svc.snapshots(),
+                                    ingest::IngestConfig{o.ingest_batch, o.ingest_delay_s});
+  ingestor.set_epoch_hook([&](service::Epoch epoch, const core::TopologyDelta& delta) {
+    const service::SnapshotRef snap = svc.snapshots().current();
+    ++epochs_advanced;
+    const auto step = [&](auto& eng, IngestTally& t, const char* name) {
+      if (!eng) return;
+      const ingest::EpochAdvance adv = eng->advance(snap, delta);
+      t.supersteps += adv.run.supersteps.size();
+      t.messages += adv.run.net_totals().total_messages();
+      t.modeled_s += modeled_run_s(adv.run);
+      t.resets += adv.reset_vertices;
+      t.activated += adv.activated_vertices;
+      std::printf("[ingest] epoch %llu %s: %zu supersteps, %zu resets, %zu activated\n",
+                  static_cast<unsigned long long>(epoch), name, adv.run.supersteps.size(),
+                  adv.reset_vertices, adv.activated_vertices);
+    };
+    step(ipr, tpr, "pr");
+    step(isssp, tsssp, "sssp");
+    step(icc, tcc, "cc");
+  });
+
+  // Optional concurrent query load: scheduler jobs pin epochs while the
+  // ingestor publishes new ones — the apply-vs-pinning concurrency the
+  // service was built for.
+  Thread load;
+  std::atomic<int> load_rc{0};
+  if (!o.serve.empty()) {
+    load = Thread([&] { load_rc = replay_query_load(o, svc); });
+  }
+  for (const ingest::MutationOp& op : ops) ingestor.offer(op);
+  ingestor.flush();
+  if (load.joinable()) load.join();
+  svc.wait_all();
+
+  const auto& is = ingestor.stats();
+  const auto& ss = svc.snapshots().stats();
+  std::printf("[ingest] %llu ops -> %llu epochs: %.0f mutations/s, staleness mean "
+              "%.1fms max %.1fms, publish %.3fs total\n",
+              static_cast<unsigned long long>(is.ops),
+              static_cast<unsigned long long>(is.batches), is.mutations_per_s(),
+              1e3 * is.mean_staleness_s(), 1e3 * is.max_staleness_s, is.publish_s);
+  const service::SnapshotRef fin = svc.snapshots().current();
+  const auto mem = fin->store().memory();
+  std::printf("[ingest] store: %s, %u vertices, %zu edges, %.1f KiB resident%s\n",
+              graph::store_kind_name(fin->store().kind()).data(),
+              fin->store().num_vertices(), fin->store().num_edges(),
+              static_cast<double>(mem.resident_bytes) / 1024.0,
+              fin->is_overlay() ? " (overlay patch only; base shared)" : "");
+  std::printf("[ingest] epochs published %llu (%llu overlay, %llu compactions), "
+              "last build %.3fs\n",
+              static_cast<unsigned long long>(ss.epochs_published),
+              static_cast<unsigned long long>(ss.overlay_epochs),
+              static_cast<unsigned long long>(ss.compactions), ss.last_build_s);
+
+  // Final verdict: a cold engine on the final snapshot must agree with each
+  // incrementally-maintained result.
+  bool ok = true;
+  const auto compare = [&](const char* name, const IngestTally& t, std::uint64_t cold_ss,
+                           std::uint64_t cold_msgs, double cold_modeled_s, bool match,
+                           double max_diff) {
+    const double e = static_cast<double>(std::max<std::uint64_t>(1, epochs_advanced));
+    std::printf("[ingest] %s: incremental avg/epoch %.1f supersteps, %.0f msgs, %.4fs "
+                "modeled vs cold %llu supersteps, %llu msgs, %.4fs modeled — %s"
+                " (max |diff| %.2e)\n",
+                name, static_cast<double>(t.supersteps) / e,
+                static_cast<double>(t.messages) / e, t.modeled_s / e,
+                static_cast<unsigned long long>(cold_ss),
+                static_cast<unsigned long long>(cold_msgs), cold_modeled_s,
+                match ? "EQUIVALENT" : "DIVERGED", max_diff);
+    ok = ok && match;
+  };
+  if (ipr) {
+    algo::PageRankCyclops prog;
+    prog.epsilon = o.epsilon;
+    core::Engine<algo::PageRankCyclops> cold(
+        fin->store(), mt ? fin->mt_edge_cut() : fin->edge_cut(), prog, icfg.engine);
+    const auto cs = cold.run();
+    const auto a = ipr->values();
+    const auto b = cold.values();
+    double diff = a.size() == b.size() ? 0.0 : algo::kInfDistance;
+    for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      diff = std::max(diff, std::abs(a[i] - b[i]));
+    }
+    // Threshold convergence is O(epsilon x update rounds) accurate: a vertex
+    // with residual <= epsilon does not rebroadcast, so stale shares drift
+    // by up to epsilon per round — in the cold run and, cumulatively, across
+    // incremental epochs alike. Scale the tolerance accordingly; tight
+    // equivalence needs a tight --epsilon (the test suite uses 1e-15).
+    const double tol = std::max(
+        1e-12, o.epsilon * static_cast<double>(tpr.supersteps + cs.supersteps.size() + 1));
+    compare("pr", tpr, cs.supersteps.size(), cs.net_totals().total_messages(),
+            modeled_run_s(cs), diff <= tol, diff);
+  }
+  if (isssp) {
+    algo::SsspCyclops prog;
+    prog.source = o.source;
+    core::Engine<algo::SsspCyclops> cold(
+        fin->store(), mt ? fin->mt_edge_cut() : fin->edge_cut(), prog, icfg.engine);
+    const auto cs = cold.run();
+    const auto a = isssp->values();
+    const auto b = cold.values();
+    double diff = a == b ? 0.0 : algo::kInfDistance;
+    compare("sssp", tsssp, cs.supersteps.size(), cs.net_totals().total_messages(),
+            modeled_run_s(cs), a == b, diff);
+  }
+  if (icc) {
+    core::Engine<algo::CcCyclops> cold(
+        fin->store(), mt ? fin->mt_edge_cut() : fin->edge_cut(), algo::CcCyclops{},
+        icfg.engine);
+    const auto cs = cold.run();
+    const auto a = icc->values();
+    const auto b = cold.values();
+    compare("cc", tcc, cs.supersteps.size(), cs.net_totals().total_messages(),
+            modeled_run_s(cs), a == b, a == b ? 0.0 : 1.0);
+  }
+
+  if (!o.serve.empty()) {
+    for (const auto& js : svc.scheduler().all_stats()) {
+      std::printf("%s\n", metrics::job_summary(js).c_str());
+    }
+    std::printf("%s\n", svc.summary().c_str());
+  }
+  svc.shutdown();
+  if (load_rc != 0) return load_rc;
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options o = parse(argc, argv);
   graph::EdgeList loaded = load_graph(o);
+  if (!o.ingest.empty()) return run_ingest(o, std::move(loaded));
   if (!o.serve.empty()) return run_serve(o, std::move(loaded));
   const graph::EdgeList edges = std::move(loaded);
   const auto store = graph::make_store(

@@ -65,6 +65,7 @@ void print_rules() {
       "lock-across-wire  no wire calls while a lock may still be held\n"
       "csr-outside-graph  no concrete graph::Csr outside src/cyclops/graph/\n"
       "outbox-outside-runtime  no direct fabric outbox() access outside runtime/ and sim/\n"
+      "delta-outside-ingest  no TopologyDelta::apply() outside core/ and ingest/\n"
       "\nsuppress with: // cyclops-lint: allow(<rule>)\n");
 }
 

@@ -29,6 +29,12 @@
 //                   bypasses the SyncChannel send path, so the package never
 //                   reaches the message log and log-based recovery cannot
 //                   replay it — engines must send through SyncChannel.
+//   delta-outside-ingest  calling TopologyDelta::apply() — the in-place edge
+//                   list mutator — outside core/ and ingest/ bypasses the
+//                   batching/publication discipline (staged ops become
+//                   visible only when SnapshotStore publishes the epoch).
+//                   Use the const-preserving applied() copy, or route the
+//                   delta through MutationIngestor / SnapshotStore::apply.
 //
 // Suppress a finding with `// cyclops-lint: allow(<rule>)` on the same line
 // or the line above. The same engine is unit-tested against fixture files in
@@ -269,6 +275,8 @@ struct FileClass {
   bool in_graph = false;    ///< under graph/: the one home of concrete stores
   bool in_runtime = false;  ///< under runtime/: owns the logged send path
   bool in_sim = false;      ///< under sim/: owns the fabric itself
+  bool in_core = false;     ///< under core/: TopologyDelta's own home
+  bool in_ingest = false;   ///< under ingest/: owns the batching front door
 };
 
 [[nodiscard]] inline FileClass classify_path(std::string_view path) {
@@ -281,6 +289,10 @@ struct FileClass {
                   path.find("runtime\\") != std::string_view::npos;
   fc.in_sim = path.find("sim/") != std::string_view::npos ||
               path.find("sim\\") != std::string_view::npos;
+  fc.in_core = path.find("core/") != std::string_view::npos ||
+               path.find("core\\") != std::string_view::npos;
+  fc.in_ingest = path.find("ingest/") != std::string_view::npos ||
+                 path.find("ingest\\") != std::string_view::npos;
   return fc;
 }
 
@@ -345,6 +357,29 @@ inline std::vector<Finding> lint_file(const std::string& path, const std::string
     }
   }
 
+  // Identifiers declared (or bound as parameters/references) with type
+  // TopologyDelta anywhere in this file. `TopologyDelta::Canonical canon`
+  // contributes nothing: the char after the token is ':', not a declared
+  // name, and Canonical is a value type with no mutating apply().
+  std::vector<std::string> delta_idents;
+  for (const std::string& c : code) {
+    std::size_t at = 0;
+    while ((at = c.find("TopologyDelta", at)) != std::string::npos) {
+      const bool left_ok = at == 0 || !detail::ident_char(c[at - 1]);
+      const std::size_t after = at + std::string_view("TopologyDelta").size();
+      at = after;
+      if (!left_ok) continue;
+      std::size_t i = after;
+      while (i < c.size() && (std::isspace(static_cast<unsigned char>(c[i])) != 0 ||
+                              c[i] == '&' || c[i] == '*')) {
+        ++i;
+      }
+      std::size_t end = i;
+      while (end < c.size() && detail::ident_char(c[end])) ++end;
+      if (end > i) delta_idents.push_back(c.substr(i, end - i));
+    }
+  }
+
   // Wire lines already attributed to a lock scope (two overlapping guards
   // must not double-report the same send).
   std::vector<bool> wire_under_lock(lines.size(), false);
@@ -399,6 +434,44 @@ inline std::vector<Finding> lint_file(const std::string& path, const std::string
           "direct fabric outbox() access outside src/cyclops/runtime/ and "
           "src/cyclops/sim/; sends must flow through SyncChannel so the "
           "message log sees every package and replay stays faithful");
+    }
+
+    // delta-outside-ingest: `<ident>.apply(` / `<ident>->apply(` where the
+    // ident was declared TopologyDelta. The const-preserving `.applied(`
+    // never matches (the char after "apply" is 'd', not '('); receivers of
+    // other types (SnapshotStore::apply, a GAS program's apply) are not in
+    // the ident set.
+    if (!fc.in_core && !fc.in_ingest && !delta_idents.empty()) {
+      std::size_t pos = 0;
+      while ((pos = c.find("apply(", pos)) != std::string::npos) {
+        const std::size_t call = pos;
+        pos += 1;
+        if (call == 0) continue;
+        std::size_t dot = call;  // start of the member access before "apply("
+        if (c[call - 1] == '.') {
+          dot = call - 1;
+        } else if (call >= 2 && c[call - 2] == '-' && c[call - 1] == '>') {
+          dot = call - 2;
+        } else {
+          continue;
+        }
+        std::size_t begin = dot;
+        while (begin > 0 && detail::ident_char(c[begin - 1])) --begin;
+        if (begin == dot) continue;
+        const std::string recv = c.substr(begin, dot - begin);
+        for (const std::string& ident : delta_idents) {
+          if (ident == recv) {
+            add(i, "delta-outside-ingest",
+                "TopologyDelta::apply() on '" + recv +
+                    "' outside src/cyclops/core/ and src/cyclops/ingest/ "
+                    "mutates an edge list in place, bypassing batched epoch "
+                    "publication; use applied() for a const-preserving copy "
+                    "or route the delta through MutationIngestor / "
+                    "SnapshotStore::apply");
+            break;
+          }
+        }
+      }
     }
 
     // csr-outside-graph
