@@ -1,0 +1,52 @@
+// Fixture for the static frozen-view pass (tools/analyze/frozen_view.hpp),
+// the compile-time mirror of the CYCLOPS_VERIFY frozen-compute-view
+// invariant: writes through identifiers bound to const view references are
+// flagged; reads, by-value copies, and unrelated locals reusing a name
+// after the binding's scope closes are not. Token engine only — the legacy
+// line scanner has no frozen-view rule.
+#include <cstdint>
+#include <vector>
+
+namespace graph {
+struct GraphStore {
+  void clear() {}
+  void set_budget(std::uint64_t) {}
+  std::uint64_t num_vertices() const { return 0; }
+};
+}  // namespace graph
+
+struct SnapshotRef {
+  void retire() {}
+  std::uint64_t epoch() const { return 0; }
+};
+
+void fixture_mutator_through_ref(const graph::GraphStore& view) {
+  view.clear();  // line 24: flagged (mutating call through frozen ref)
+}
+
+void fixture_setter_through_ptr(const graph::GraphStore* view) {
+  view->set_budget(64);  // line 28: flagged (set_* through frozen pointer)
+}
+
+void fixture_const_cast_on_type(const graph::GraphStore& view) {
+  auto* w = const_cast<graph::GraphStore*>(&view);  // line 32: flagged
+  (void)w;
+}
+
+void fixture_mutator_through_snapshot(SnapshotRef snap) {
+  snap.retire();  // line 37: flagged (mutator through SnapshotRef)
+}
+
+void fixture_reads_stay_silent(const graph::GraphStore& view, SnapshotRef snap) {
+  (void)view.num_vertices();  // not flagged: read-only member
+  (void)snap.epoch();         // not flagged: read-only member
+}
+
+void fixture_unrelated_local_reuses_name() {
+  std::vector<std::uint64_t> view;
+  view.clear();  // not flagged: the frozen bindings above went out of scope
+}
+
+void fixture_value_copy_is_owned(graph::GraphStore owned) {
+  owned.clear();  // not flagged: a by-value copy belongs to the callee
+}

@@ -1,0 +1,162 @@
+// Fixture for the scanner's former 60-line caps: a lock scope and a
+// range-for body both reach their wire call more than 60 lines after they
+// open. Real brace tracking must carry the scan to the end of the scope,
+// so both engines flag the sends; test_lint.cpp asserts the parity.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+struct Sender {
+  void send(std::uint32_t, std::uint64_t) {}
+};
+
+struct Spin {
+  void lock() {}
+  void unlock() {}
+};
+
+void fixture_long_lock_scope(Sender& sender, Spin& mu,
+                             const std::vector<std::uint64_t>& items) {
+  mu.lock();
+  std::uint64_t payload = items.front();
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  payload += 1;
+  sender.send(0, payload);  // flagged: the lock is still held
+  mu.unlock();
+}
+
+void fixture_long_unordered_body(Sender& sender) {
+  std::unordered_map<std::uint64_t, std::uint64_t> weights;
+  for (const auto& [key, weight] : weights) {  // flagged at this line
+    std::uint64_t acc = weight;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    acc += 1;
+    sender.send(1, acc);  // the wire call the caps used to hide
+  }
+}

@@ -1,0 +1,4 @@
+// Fixture: cycle_a -> cycle_b -> cycle_a is a file-granularity cycle inside
+// one layer (the layer pass stays silent; the cycle pass flags it once).
+#pragma once
+#include "cyclops/core/cycle_b.hpp"

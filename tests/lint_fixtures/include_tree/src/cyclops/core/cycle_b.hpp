@@ -1,0 +1,2 @@
+#pragma once
+#include "cyclops/core/cycle_a.hpp"

@@ -1,0 +1,3 @@
+// Fixture: graph (rank 1) including runtime (rank 3) is an upward edge.
+#pragma once
+#include "cyclops/runtime/channel.hpp"

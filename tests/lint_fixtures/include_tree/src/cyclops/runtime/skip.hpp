@@ -1,0 +1,4 @@
+// Fixture: runtime (rank 3) including graph (rank 1) is not a declared
+// dependency in the layer map — a skip-layer edge.
+#pragma once
+#include "cyclops/graph/topology.hpp"

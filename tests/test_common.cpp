@@ -5,7 +5,6 @@
 
 #include <atomic>
 #include <set>
-#include <thread>
 
 #include "cyclops/common/bitset.hpp"
 #include "cyclops/common/check.hpp"
@@ -14,6 +13,7 @@
 #include "cyclops/common/serialize.hpp"
 #include "cyclops/common/spinlock.hpp"
 #include "cyclops/common/stats.hpp"
+#include "cyclops/common/sync.hpp"
 #include "cyclops/common/table.hpp"
 #include "cyclops/common/thread_pool.hpp"
 
@@ -122,7 +122,7 @@ TEST(DenseBitset, ForEachVisitsInOrder) {
 
 TEST(DenseBitset, ConcurrentSetIsLossless) {
   DenseBitset bs(10000);
-  std::vector<std::thread> threads;
+  std::vector<Thread> threads;
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&, t] {
       for (std::size_t i = static_cast<std::size_t>(t); i < 10000; i += 4) bs.set(i);
@@ -148,7 +148,7 @@ TEST(CheckDeathTest, PassingCheckIsSilent) {
 TEST(SpinLock, CountsAcquisitionsAndExcludes) {
   SpinLock lock;
   std::uint64_t counter = 0;
-  std::vector<std::thread> threads;
+  std::vector<Thread> threads;
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&] {
       for (int i = 0; i < 1000; ++i) {

@@ -10,13 +10,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <thread>
 #include <vector>
 
 #include "cyclops/algorithms/cc.hpp"
 #include "cyclops/algorithms/datasets.hpp"
 #include "cyclops/algorithms/pagerank.hpp"
 #include "cyclops/algorithms/sssp.hpp"
+#include "cyclops/common/sync.hpp"
 #include "cyclops/core/engine.hpp"
 #include "cyclops/core/mutation.hpp"
 #include "cyclops/graph/csr.hpp"
@@ -265,7 +265,7 @@ TEST(IngestConcurrency, PinnedRunsAreScheduleAndPublishInvariant) {
     // Pin the newest epoch, then run against it while the writer publishes
     // more epochs concurrently — the pinned view must not move.
     const service::SnapshotRef snap = store.current();
-    std::thread writer([&ing, seed] {
+    Thread writer([&ing, seed] {
       for (VertexId i = 0; i < 6; ++i) {
         ing.offer(ingest::MutationOp{0.0, true, 128 + 16 * static_cast<VertexId>(seed) + i,
                                      7 + i, 1.0});

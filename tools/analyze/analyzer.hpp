@@ -1,0 +1,83 @@
+#pragma once
+// cyclops-analyze driver: lexes every file once (in parallel, via the repo's
+// own common/thread_pool), runs the per-file passes (the 8 ported rules, the
+// frozen-view pass, allow()-marker validation), then the cross-file include
+// pass, and returns findings in deterministic (file, line, rule) order —
+// identical regardless of job count, which the tests assert.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cyclops/common/thread_pool.hpp"
+
+#include "baseline.hpp"
+#include "frozen_view.hpp"
+#include "include_graph.hpp"
+#include "model.hpp"
+#include "rules.hpp"
+#include "sarif.hpp"
+
+namespace cyclops::analyze {
+
+struct AnalyzeOptions {
+  /// Worker threads for per-file scanning. 0 = hardware concurrency,
+  /// 1 = fully serial (no pool constructed).
+  std::size_t jobs = 0;
+  /// Cross-file include pass (layer map + cycle detection). Off only in
+  /// tests that target a single per-file rule.
+  bool include_pass = true;
+};
+
+/// Analyzes a set of files and returns sorted findings.
+inline std::vector<Finding> analyze_files(const std::vector<SourceFile>& files,
+                                          const AnalyzeOptions& opt = {}) {
+  // Lex + per-file passes, one result slot per file: workers never share a
+  // slot, so the merge needs no locks and the order never depends on timing.
+  std::vector<std::unique_ptr<FileUnit>> units(files.size());
+  std::vector<std::vector<Finding>> per_file(files.size());
+
+  const auto scan_one = [&](std::size_t i) {
+    units[i] = std::make_unique<FileUnit>(files[i].path, files[i].content);
+    run_token_rules(*units[i], per_file[i]);
+    run_frozen_view(*units[i], per_file[i]);
+    check_markers(*units[i], per_file[i]);
+  };
+
+  if (opt.jobs == 1 || files.size() <= 1) {
+    for (std::size_t i = 0; i < files.size(); ++i) scan_one(i);
+  } else {
+    ThreadPool pool(opt.jobs);
+    pool.parallel_for(files.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) scan_one(i);
+    });
+  }
+
+  std::vector<Finding> findings;
+  for (std::vector<Finding>& fs : per_file) {
+    for (Finding& f : fs) findings.push_back(std::move(f));
+  }
+
+  if (opt.include_pass) {
+    std::vector<FileUnit> owned;
+    owned.reserve(units.size());
+    for (std::unique_ptr<FileUnit>& u : units) owned.push_back(std::move(*u));
+    run_include_pass(owned, findings);
+  }
+
+  std::sort(findings.begin(), findings.end(), finding_less);
+  return findings;
+}
+
+/// Single-file convenience for tests and spot checks (no include pass: layer
+/// and cycle findings need the whole set).
+inline std::vector<Finding> analyze_file(const std::string& path,
+                                         const std::string& content) {
+  AnalyzeOptions opt;
+  opt.jobs = 1;
+  opt.include_pass = false;
+  return analyze_files({SourceFile{path, content}}, opt);
+}
+
+}  // namespace cyclops::analyze

@@ -1,0 +1,140 @@
+#pragma once
+// Baseline (suppression file) support for cyclops-analyze. A baseline entry
+// acknowledges one existing finding so the tree gate can demand *zero
+// unbaselined* findings while a violation is being worked off. The format is
+// the analyzer's own text output minus the message, one per line:
+//
+//     src/cyclops/foo/bar.hpp:42: [rule-id]
+//
+// `#` starts a comment. Paths match by repo-relative suffix, so a baseline
+// written from the repo root matches findings produced from absolute paths.
+// Entries that match nothing are reported as stale (the violation was fixed;
+// delete the line) — stale entries are a warning, not a failure, so fixing
+// code never breaks the gate.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model.hpp"
+
+namespace cyclops::analyze {
+
+struct BaselineEntry {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  bool used = false;
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+  std::vector<std::string> parse_errors;  ///< malformed lines, for diagnostics
+};
+
+/// Parses baseline text. Malformed lines land in parse_errors instead of
+/// being silently dropped — a typo must not quietly widen the gate.
+[[nodiscard]] inline Baseline parse_baseline(std::string_view content) {
+  Baseline b;
+  std::size_t start = 0;
+  int line_no = 0;
+  while (start <= content.size()) {
+    const std::size_t nl = content.find('\n', start);
+    std::string_view line = nl == std::string_view::npos
+                                ? content.substr(start)
+                                : content.substr(start, nl - start);
+    ++line_no;
+    // Trim + comments.
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t'))
+      line.remove_prefix(1);
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                             line.back() == '\r'))
+      line.remove_suffix(1);
+    if (!line.empty() && line.front() != '#') {
+      // <path>:<line>: [<rule>]
+      const std::size_t rb = line.rfind(']');
+      const std::size_t lb = line.rfind('[');
+      bool ok = rb != std::string_view::npos && lb != std::string_view::npos &&
+                lb < rb && rb == line.size() - 1;
+      if (ok) {
+        const std::string rule(line.substr(lb + 1, rb - lb - 1));
+        std::string_view head = line.substr(0, lb);
+        while (!head.empty() && (head.back() == ' ' || head.back() == ':'))
+          head.remove_suffix(1);
+        const std::size_t colon = head.rfind(':');
+        ok = colon != std::string_view::npos && colon + 1 < head.size();
+        if (ok) {
+          int ln = 0;
+          for (std::size_t i = colon + 1; i < head.size(); ++i) {
+            if (head[i] < '0' || head[i] > '9') {
+              ok = false;
+              break;
+            }
+            ln = ln * 10 + (head[i] - '0');
+          }
+          if (ok) {
+            BaselineEntry e;
+            e.path = repo_relative(head.substr(0, colon));
+            e.line = ln;
+            e.rule = rule;
+            b.entries.push_back(std::move(e));
+          }
+        }
+      }
+      if (!ok) {
+        b.parse_errors.push_back("baseline line " + std::to_string(line_no) +
+                                 ": cannot parse '" + std::string(line) + "'");
+      }
+    }
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+  return b;
+}
+
+/// Removes findings covered by the baseline (marking entries used) and
+/// returns the rest. Matching is (repo-relative path, line, rule).
+[[nodiscard]] inline std::vector<Finding> apply_baseline(
+    const std::vector<Finding>& findings, Baseline& baseline) {
+  std::vector<Finding> remaining;
+  for (const Finding& f : findings) {
+    const std::string rel = repo_relative(f.file);
+    bool covered = false;
+    for (BaselineEntry& e : baseline.entries) {
+      if (e.line == f.line && e.rule == f.rule && e.path == rel) {
+        e.used = true;
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) remaining.push_back(f);
+  }
+  return remaining;
+}
+
+[[nodiscard]] inline std::vector<const BaselineEntry*> stale_entries(
+    const Baseline& baseline) {
+  std::vector<const BaselineEntry*> stale;
+  for (const BaselineEntry& e : baseline.entries) {
+    if (!e.used) stale.push_back(&e);
+  }
+  return stale;
+}
+
+/// Serializes findings as a fresh baseline file.
+[[nodiscard]] inline std::string write_baseline(
+    const std::vector<Finding>& findings) {
+  std::string out;
+  out += "# cyclops-analyze baseline: acknowledged findings, one per line as\n";
+  out += "# <repo-relative-path>:<line>: [rule]. Delete lines as violations\n";
+  out += "# are fixed; the analyze_tree gate fails only on UNbaselined\n";
+  out += "# findings and warns on stale entries.\n";
+  for (const Finding& f : findings) {
+    out += repo_relative(f.file) + ":" + std::to_string(f.line) + ": [" +
+           f.rule + "]\n";
+  }
+  return out;
+}
+
+}  // namespace cyclops::analyze

@@ -1,0 +1,268 @@
+#pragma once
+// Static frozen-view pass: the compile-time mirror of the CYCLOPS_VERIFY
+// EngineChecker's frozen-compute-view invariant (verify/verify.hpp). The
+// runtime checker catches a write to the frozen view only on schedules a
+// test actually exercises; this pass catches the *code shape* of such a
+// write in paths no test reaches — which is the guarantee layer the hybrid
+// sync/async engine (ROADMAP item 1) needs before it can relax the interior
+// write rule.
+//
+// What it tracks: identifiers bound to a `const <ViewType>&` / `const
+// <ViewType>*` (or a SnapshotRef, which is shared_ptr-to-const by
+// definition) where ViewType is one of the frozen view types — the
+// GraphStore family plus the service snapshot. Tracking is scope-aware via
+// the lexer's real brace depths: a local binding ends with its enclosing
+// block, a parameter binding ends with its function body, and a prototype
+// parameter binds nothing — so an unrelated variable reusing the name in a
+// later function is never confused with the view (shadowing a frozen name
+// with a mutable one in a *nested* scope is the one residual blind spot,
+// and is its own review problem).
+//
+// What it flags, on those identifiers:
+//   * calls to known mutating members (apply, clear, add_edge, set_*, ...)
+//     — the list is a closed set of mutators so the pass can never
+//     false-positive on the read-only GraphStore API as it grows;
+//   * assignments through the view (`v.field = x`, `v->a.b = x`,
+//     `v->slots[i] = x`);
+//   * any const_cast whose target type names a view type, or whose argument
+//     is a tracked frozen identifier — the only way C++ lets code write
+//     through these bindings at all.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model.hpp"
+
+namespace cyclops::analyze {
+
+namespace frozen_detail {
+
+inline constexpr std::string_view kViewTypes[] = {
+    "GraphStore", "Csr", "CompactCsr", "StreamStore", "DeltaOverlay",
+    "Snapshot"};
+
+[[nodiscard]] inline bool is_view_type(std::string_view name) {
+  for (const std::string_view v : kViewTypes) {
+    if (name == v) return true;
+  }
+  return false;
+}
+
+/// Mutating member names. Closed set: anything here called through a frozen
+/// binding is a discipline violation regardless of how it compiles (e.g.
+/// via a mutable reference obtained elsewhere to the same object).
+inline constexpr std::string_view kMutators[] = {
+    "apply",   "clear",       "resize", "reserve",  "push_back", "pop_back",
+    "insert",  "erase",       "emplace", "emplace_back", "assign", "swap",
+    "add_edge", "remove_edge", "load",   "rebuild",  "compact",   "retire"};
+
+[[nodiscard]] inline bool is_mutator(std::string_view name) {
+  if (name.rfind("set_", 0) == 0) return true;
+  for (const std::string_view m : kMutators) {
+    if (name == m) return true;
+  }
+  return false;
+}
+
+struct FrozenIdent {
+  std::string name;
+  std::size_t decl_tok = 0;  ///< tracking starts after the declaration
+  std::size_t end_tok = 0;   ///< ...and ends with the enclosing scope
+};
+
+/// Computes where a binding declared at token `name_at` goes out of scope.
+/// Locals end at the first token whose brace depth drops below the
+/// declaration's (the `}` closing the block reports the outer depth, so it
+/// is itself the end). Parameters (paren_depth > 0 at the name) scope over
+/// the function body that follows the parameter list: forward to the
+/// body-opening `{` — or to a `;`, which means a prototype that binds
+/// nothing — then to the body's close.
+[[nodiscard]] inline std::size_t scope_end(const std::vector<Token>& toks,
+                                           std::size_t name_at) {
+  const int d = toks[name_at].brace_depth;
+  std::size_t j = name_at + 1;
+  if (toks[name_at].paren_depth > 0) {
+    while (j < toks.size()) {
+      if (toks[j].paren_depth == 0 && toks[j].kind == Tok::kPunct) {
+        // `;` carries the surrounding depth d; an opening `{` carries the
+        // depth it creates, d + 1 (the lexer increments before pushing).
+        if (toks[j].text == ";" && toks[j].brace_depth == d) return j;
+        if (toks[j].text == "{" && toks[j].brace_depth == d + 1) break;
+      }
+      if (toks[j].brace_depth < d) return j;  // malformed; fail closed
+      ++j;
+    }
+    ++j;  // into the body, depth d + 1
+    while (j < toks.size() && toks[j].brace_depth > d) ++j;
+    return j;
+  }
+  while (j < toks.size() && toks[j].brace_depth >= d) ++j;
+  return j;
+}
+
+[[nodiscard]] inline bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == Tok::kPunct && t.text == text;
+}
+
+/// Collects identifiers bound to const view references/pointers and
+/// SnapshotRef values. Pattern (tokens, possibly spanning lines):
+///   `const` [ns ::]* ViewType [&|*]+ name   — name not followed by `(`
+///   `SnapshotRef` name                      — ditto
+[[nodiscard]] inline std::vector<FrozenIdent> collect(
+    const std::vector<Token>& toks) {
+  std::vector<FrozenIdent> out;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent) continue;
+
+    std::size_t name_at = toks.size();
+    if (is_view_type(toks[i].text)) {
+      // Walk back over `ns ::` qualifiers to the `const`.
+      std::size_t j = i;
+      while (j >= 2 && is_punct(toks[j - 1], "::") &&
+             toks[j - 2].kind == Tok::kIdent) {
+        j -= 2;
+      }
+      if (j == 0 || !(toks[j - 1].kind == Tok::kIdent && toks[j - 1].text == "const"))
+        continue;
+      // Forward over ref/pointer declarators to the declared name.
+      std::size_t k = i + 1;
+      if (k < toks.size() && is_punct(toks[k], "::")) continue;  // ViewType::member
+      bool ref_or_ptr = false;
+      while (k < toks.size() && (is_punct(toks[k], "&") || is_punct(toks[k], "*"))) {
+        ref_or_ptr = true;
+        ++k;
+      }
+      // `const GraphStore g` by value is a copy the callee owns — only
+      // reference/pointer bindings alias the frozen view.
+      if (!ref_or_ptr) continue;
+      name_at = k;
+    } else if (toks[i].text == "SnapshotRef") {
+      std::size_t k = i + 1;
+      if (k < toks.size() && is_punct(toks[k], "::")) continue;
+      while (k < toks.size() && (is_punct(toks[k], "&") || is_punct(toks[k], "*"))) ++k;
+      name_at = k;
+    } else {
+      continue;
+    }
+
+    if (name_at >= toks.size() || toks[name_at].kind != Tok::kIdent) continue;
+    // A following `(` means this declared a function returning the type,
+    // not a variable binding.
+    if (name_at + 1 < toks.size() && is_punct(toks[name_at + 1], "(")) continue;
+    out.push_back(
+        FrozenIdent{toks[name_at].text, name_at, scope_end(toks, name_at)});
+  }
+  return out;
+}
+
+[[nodiscard]] inline bool tracked_at(const std::vector<FrozenIdent>& idents,
+                                     std::string_view name, std::size_t tok) {
+  for (const FrozenIdent& f : idents) {
+    if (f.name == name && tok > f.decl_tok && tok < f.end_tok) return true;
+  }
+  return false;
+}
+
+}  // namespace frozen_detail
+
+/// Runs the frozen-view pass over one file.
+inline void run_frozen_view(const FileUnit& u, std::vector<Finding>& out) {
+  namespace fd = frozen_detail;
+  const std::vector<Token>& toks = u.tokens();
+  const std::vector<fd::FrozenIdent> idents = fd::collect(toks);
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+
+    // const_cast<...>: on a view type, or on a tracked frozen identifier.
+    if (t.kind == Tok::kIdent && t.text == "const_cast" && i + 1 < toks.size() &&
+        fd::is_punct(toks[i + 1], "<")) {
+      const std::size_t close = match_angle(toks, i + 1);
+      bool on_view_type = false;
+      if (close < toks.size()) {
+        for (std::size_t j = i + 2; j < close; ++j) {
+          if (toks[j].kind == Tok::kIdent && fd::is_view_type(toks[j].text)) {
+            on_view_type = true;
+            break;
+          }
+        }
+      }
+      bool on_frozen_ident = false;
+      if (close + 1 < toks.size() && fd::is_punct(toks[close + 1], "(")) {
+        const std::size_t arg_close = match_paren(toks, close + 1);
+        for (std::size_t j = close + 2; j < arg_close && j < toks.size(); ++j) {
+          if (toks[j].kind == Tok::kIdent &&
+              fd::tracked_at(idents, toks[j].text, j)) {
+            on_frozen_ident = true;
+            break;
+          }
+        }
+      }
+      if (on_view_type || on_frozen_ident) {
+        u.add(out, t.line, "frozen-view",
+              on_view_type
+                  ? "const_cast on a frozen view type; the compute-phase "
+                    "view is immutable by contract (owner-only applies land "
+                    "in the mirror, not the view) — route writes through "
+                    "the engine's apply path"
+                  : "const_cast on an identifier bound to a frozen view; "
+                    "casting away the view's constness breaks the "
+                    "phase/ownership discipline EngineChecker enforces at "
+                    "runtime");
+      }
+      continue;
+    }
+
+    // Member access through a tracked frozen identifier.
+    if (t.kind != Tok::kIdent || !fd::tracked_at(idents, t.text, i)) continue;
+    if (i + 1 >= toks.size() || !(fd::is_punct(toks[i + 1], ".") ||
+                                  fd::is_punct(toks[i + 1], "->"))) {
+      continue;
+    }
+    // Skip declarations: the token before a use is never `const` or a type.
+    // Walk the member chain: ident (.|->) ident [(...)|[...]] ...
+    std::size_t j = i + 1;
+    std::string last_member;
+    while (j + 1 < toks.size() &&
+           (fd::is_punct(toks[j], ".") || fd::is_punct(toks[j], "->")) &&
+           toks[j + 1].kind == Tok::kIdent) {
+      last_member = toks[j + 1].text;
+      j += 2;
+      // Subscripts between members / before an assignment.
+      while (j < toks.size() && fd::is_punct(toks[j], "[")) {
+        int depth = 0;
+        while (j < toks.size()) {
+          if (fd::is_punct(toks[j], "[")) ++depth;
+          if (fd::is_punct(toks[j], "]") && --depth == 0) {
+            ++j;
+            break;
+          }
+          ++j;
+        }
+      }
+    }
+    if (last_member.empty()) continue;
+
+    if (j < toks.size() && fd::is_punct(toks[j], "(")) {
+      if (fd::is_mutator(last_member)) {
+        u.add(out, t.line, "frozen-view",
+              "mutating call " + last_member + "() through '" + t.text +
+                  "', which is bound to a frozen compute-phase view; the "
+                  "immutable-view contract allows reads only — apply "
+                  "mutations through the owner's apply path");
+      }
+      continue;
+    }
+    if (j < toks.size() && fd::is_punct(toks[j], "=")) {
+      u.add(out, t.line, "frozen-view",
+            "assignment through '" + t.text +
+                "', which is bound to a frozen compute-phase view; the view "
+                "is immutable during compute — writes belong in the owner's "
+                "mirror state");
+    }
+  }
+}
+
+}  // namespace cyclops::analyze

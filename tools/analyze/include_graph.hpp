@@ -1,0 +1,252 @@
+#pragma once
+// Include-graph pass: parses the `#include` edges the lexer extracted across
+// src/cyclops/, then enforces two properties the architecture depends on:
+//
+//   1. The layer DAG. Each src/cyclops/<layer>/ directory declares, in
+//      kLayerMap below, exactly which layers it may include. An include of a
+//      *higher* layer is an upward edge (inverted dependency); an include of
+//      a lower layer that the map does not declare is a skip-layer edge (an
+//      undeclared coupling that bypasses the intended seam). Both are
+//      findings — the map is the single place a new dependency gets debated.
+//
+//   2. Acyclicity at file granularity. Layer-level mutual edges exist by
+//      design (common <-> verify: the race instrumentation hooks), but no
+//      two *files* may include each other transitively; a file cycle means
+//      the headers only compile by include-order accident.
+//
+// Files outside src/cyclops/ (tools/, tests/, bench/, examples/) have no
+// layer: they may include anything, and they participate in cycle detection
+// only through edges that resolve into the scanned set.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model.hpp"
+
+namespace cyclops::analyze {
+
+/// One layer of the architecture DAG, lowest first. `allowed` lists every
+/// layer this one may include (itself always implied). The rank order below
+/// is the documentation-grade summary:
+///
+///   common/verify -> graph, sim -> partition, metrics -> runtime
+///     -> core (cyclops), bsp, gas -> algorithms -> service -> ingest
+struct LayerSpec {
+  std::string_view name;
+  int rank;
+  std::vector<std::string_view> allowed;
+};
+
+[[nodiscard]] inline const std::vector<LayerSpec>& layer_map() {
+  static const std::vector<LayerSpec> kLayerMap = {
+      // verify is co-resident with common: the race/invariant hooks are
+      // compiled into the base primitives (spinlock, thread pool), so the
+      // two form the rank-0 instrumentation substrate together.
+      {"common", 0, {"verify"}},
+      {"verify", 0, {"common"}},
+      {"graph", 1, {"common"}},
+      {"sim", 1, {"common", "verify"}},
+      {"partition", 2, {"common", "graph"}},
+      {"metrics", 2, {"common", "sim"}},
+      {"runtime", 3, {"common", "verify", "sim", "metrics"}},
+      {"core", 4,
+       {"common", "verify", "graph", "partition", "sim", "metrics", "runtime"}},
+      {"bsp", 4,
+       {"common", "verify", "graph", "partition", "sim", "metrics", "runtime"}},
+      {"gas", 4,
+       {"common", "verify", "graph", "partition", "sim", "metrics", "runtime"}},
+      {"algorithms", 5,
+       {"common", "verify", "graph", "partition", "sim", "metrics", "runtime",
+        "core", "bsp", "gas"}},
+      {"service", 6,
+       {"common", "verify", "graph", "partition", "sim", "metrics", "runtime",
+        "core", "bsp", "gas", "algorithms"}},
+      {"ingest", 7,
+       {"common", "verify", "graph", "partition", "sim", "metrics", "runtime",
+        "core", "bsp", "gas", "algorithms", "service"}},
+  };
+  return kLayerMap;
+}
+
+namespace include_detail {
+
+[[nodiscard]] inline const LayerSpec* find_layer(std::string_view name) {
+  for (const LayerSpec& l : layer_map()) {
+    if (l.name == name) return &l;
+  }
+  return nullptr;
+}
+
+/// Layer of a file path: the segment after "src/cyclops/", or "" when the
+/// file is outside the layered tree.
+[[nodiscard]] inline std::string path_layer(std::string_view path) {
+  const std::size_t at = path.find("src/cyclops/");
+  if (at == std::string_view::npos) return {};
+  const std::size_t start = at + std::string_view("src/cyclops/").size();
+  const std::size_t slash = path.find('/', start);
+  if (slash == std::string_view::npos) return {};  // a file directly in cyclops/
+  return std::string(path.substr(start, slash - start));
+}
+
+/// Layer of a quoted include target ("cyclops/<layer>/...").
+[[nodiscard]] inline std::string target_layer(std::string_view target) {
+  if (target.rfind("cyclops/", 0) != 0) return {};
+  const std::size_t start = std::string_view("cyclops/").size();
+  const std::size_t slash = target.find('/', start);
+  if (slash == std::string_view::npos) return {};
+  return std::string(target.substr(start, slash - start));
+}
+
+/// Canonical node key for cycle detection: the path suffix from "cyclops/"
+/// under src/, which is exactly how quoted includes name repo headers.
+[[nodiscard]] inline std::string node_key(std::string_view path) {
+  const std::size_t at = path.find("src/cyclops/");
+  if (at == std::string_view::npos) return {};
+  return std::string(path.substr(at + 4));  // from "cyclops/"
+}
+
+}  // namespace include_detail
+
+/// Runs the include pass over the whole scanned set.
+inline void run_include_pass(const std::vector<FileUnit>& units,
+                             std::vector<Finding>& out) {
+  namespace id = include_detail;
+
+  // --- layer enforcement -------------------------------------------------
+  for (const FileUnit& u : units) {
+    const std::string src_layer = id::path_layer(u.path());
+    if (src_layer.empty()) continue;  // unlayered: tools/tests/bench
+    const LayerSpec* src = id::find_layer(src_layer);
+    for (const IncludeDirective& inc : u.includes()) {
+      if (inc.angled) continue;  // system/library headers are not layered
+      const std::string dst_layer = id::target_layer(inc.target);
+      if (dst_layer.empty()) continue;  // relative include within a dir
+      if (src == nullptr) {
+        u.add(out, inc.line, "include-layering",
+              "directory '" + src_layer +
+                  "' is not in the layer map (tools/analyze/include_graph.hpp);"
+                  " add it with an explicit allowed-dependency list");
+        break;  // once per file is enough for an unmapped directory
+      }
+      if (dst_layer == src_layer) continue;
+      bool allowed = false;
+      for (const std::string_view a : src->allowed) {
+        if (a == dst_layer) {
+          allowed = true;
+          break;
+        }
+      }
+      if (allowed) continue;
+      const LayerSpec* dst = id::find_layer(dst_layer);
+      std::string message;
+      if (dst == nullptr) {
+        message = "include of '" + inc.target + "': directory '" + dst_layer +
+                  "' is not in the layer map; add it before depending on it";
+      } else if (dst->rank > src->rank) {
+        message = "upward include: layer '" + src_layer + "' (rank " +
+                  std::to_string(src->rank) + ") must not depend on higher "
+                  "layer '" + dst_layer + "' (rank " +
+                  std::to_string(dst->rank) + ") — invert the dependency or "
+                  "move the shared piece down the DAG";
+      } else {
+        message = "skip-layer include: '" + dst_layer + "' (rank " +
+                  std::to_string(dst->rank) + ") is below '" + src_layer +
+                  "' (rank " + std::to_string(src->rank) + ") but is not a "
+                  "declared dependency of it; declare the edge in the layer "
+                  "map or route through a declared layer";
+      }
+      u.add(out, inc.line, "include-layering", std::move(message));
+    }
+  }
+
+  // --- file-granularity cycle detection ----------------------------------
+  std::map<std::string, std::size_t> index;  // node key -> unit index
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    const std::string key = id::node_key(units[i].path());
+    if (!key.empty()) index.emplace(key, i);
+  }
+  std::vector<std::vector<std::size_t>> edges(units.size());
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    for (const IncludeDirective& inc : units[i].includes()) {
+      if (inc.angled) continue;
+      const auto it = index.find(inc.target);
+      if (it != index.end()) edges[i].push_back(it->second);
+    }
+  }
+
+  // Iterative three-color DFS in deterministic (index) order; each cycle is
+  // reported once, anchored at its lexicographically smallest member.
+  enum class Color { kWhite, kGrey, kBlack };
+  std::vector<Color> color(units.size(), Color::kWhite);
+  std::vector<std::size_t> stack;      // current DFS path
+  std::vector<std::string> reported;   // canonical cycle signatures
+
+  struct Frame {
+    std::size_t node;
+    std::size_t next_edge = 0;
+  };
+  for (std::size_t root = 0; root < units.size(); ++root) {
+    if (color[root] != Color::kWhite) continue;
+    std::vector<Frame> frames{{root, 0}};
+    color[root] = Color::kGrey;
+    stack.push_back(root);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.next_edge < edges[f.node].size()) {
+        const std::size_t to = edges[f.node][f.next_edge++];
+        if (color[to] == Color::kWhite) {
+          color[to] = Color::kGrey;
+          stack.push_back(to);
+          frames.push_back(Frame{to, 0});
+        } else if (color[to] == Color::kGrey) {
+          // Back edge: the cycle is the stack suffix starting at `to`.
+          std::size_t start = stack.size();
+          while (start > 0 && stack[start - 1] != to) --start;
+          if (start > 0) --start;
+          std::vector<std::string> keys;
+          for (std::size_t s = start; s < stack.size(); ++s) {
+            keys.push_back(id::node_key(units[stack[s]].path()));
+          }
+          // Canonical signature: rotate so the smallest key leads.
+          std::size_t min_at = 0;
+          for (std::size_t k = 1; k < keys.size(); ++k) {
+            if (keys[k] < keys[min_at]) min_at = k;
+          }
+          std::string sig, pretty;
+          for (std::size_t k = 0; k < keys.size(); ++k) {
+            const std::string& key = keys[(min_at + k) % keys.size()];
+            sig += key + "|";
+            pretty += key + " -> ";
+          }
+          pretty += keys[min_at];
+          bool seen = false;
+          for (const std::string& s : reported) {
+            if (s == sig) {
+              seen = true;
+              break;
+            }
+          }
+          if (!seen) {
+            reported.push_back(sig);
+            const std::size_t anchor = stack[start + min_at];
+            units[anchor].add(out, 1, "include-cycle",
+                              "include cycle: " + pretty +
+                                  "; headers in a cycle compile only by "
+                                  "include-order accident — break the cycle "
+                                  "with a forward declaration or by moving "
+                                  "the shared type down a layer");
+          }
+        }
+      } else {
+        color[f.node] = Color::kBlack;
+        stack.pop_back();
+        frames.pop_back();
+      }
+    }
+  }
+}
+
+}  // namespace cyclops::analyze

@@ -1,0 +1,107 @@
+#pragma once
+// SARIF 2.1.0 serialization for cyclops-analyze findings. Machine-readable
+// output lets CI annotate PRs and archive runs; the golden test in
+// tests/test_lint.cpp pins the exact shape, so keep the output byte-stable:
+// fixed key order, 2-space indent, sorted findings in, no timestamps.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model.hpp"
+
+namespace cyclops::analyze {
+
+namespace sarif_detail {
+
+[[nodiscard]] inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace sarif_detail
+
+/// Renders findings (already sorted; see finding_less) as a SARIF 2.1.0 log
+/// with one run. Paths are normalized repo-relative so the artifact is
+/// stable across checkouts.
+[[nodiscard]] inline std::string to_sarif(const std::vector<Finding>& findings) {
+  using sarif_detail::json_escape;
+  std::string s;
+  s += "{\n";
+  s += "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  s += "  \"version\": \"2.1.0\",\n";
+  s += "  \"runs\": [\n";
+  s += "    {\n";
+  s += "      \"tool\": {\n";
+  s += "        \"driver\": {\n";
+  s += "          \"name\": \"cyclops-analyze\",\n";
+  s += "          \"informationUri\": \"https://example.invalid/cyclops\",\n";
+  s += "          \"version\": \"1.0.0\",\n";
+  s += "          \"rules\": [\n";
+  {
+    bool first = true;
+    for (const RuleInfo& r : kRules) {
+      if (!first) s += ",\n";
+      first = false;
+      s += "            {\n";
+      s += "              \"id\": \"" + std::string(r.id) + "\",\n";
+      s += "              \"shortDescription\": { \"text\": \"" +
+           json_escape(r.summary) + "\" }\n";
+      s += "            }";
+    }
+  }
+  s += "\n          ]\n";
+  s += "        }\n";
+  s += "      },\n";
+  s += "      \"results\": [\n";
+  {
+    bool first = true;
+    for (const Finding& f : findings) {
+      if (!first) s += ",\n";
+      first = false;
+      s += "        {\n";
+      s += "          \"ruleId\": \"" + json_escape(f.rule) + "\",\n";
+      s += "          \"level\": \"error\",\n";
+      s += "          \"message\": { \"text\": \"" + json_escape(f.message) +
+           "\" },\n";
+      s += "          \"locations\": [\n";
+      s += "            {\n";
+      s += "              \"physicalLocation\": {\n";
+      s += "                \"artifactLocation\": { \"uri\": \"" +
+           json_escape(repo_relative(f.file)) + "\" },\n";
+      s += "                \"region\": { \"startLine\": " +
+           std::to_string(f.line) + " }\n";
+      s += "              }\n";
+      s += "            }\n";
+      s += "          ]\n";
+      s += "        }";
+    }
+  }
+  if (!findings.empty()) s += "\n";
+  s += "      ]\n";
+  s += "    }\n";
+  s += "  ]\n";
+  s += "}\n";
+  return s;
+}
+
+}  // namespace cyclops::analyze
